@@ -1,0 +1,55 @@
+"""Ablation bench: the linear bound of eq. (5) vs the true stability curve.
+
+The paper replaces the jitter-margin curve with the conservative linear
+constraint ``L + aJ <= b``.  This ablation quantifies the two sides of
+that choice:
+
+* **speed** -- evaluating the linear constraint is arithmetic; consulting
+  the curve means interpolation; *deriving* either costs a latency sweep,
+  amortised by the generator's period-bucket cache (also timed here);
+* **conservatism** -- the area under the linear bound divided by the area
+  under the true curve (how much stable design space the linearisation
+  gives away).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plants import get_plant
+from repro.experiments.fig4 import run_fig4
+from repro.jittermargin.linearbound import (
+    _compute_bound,
+    stability_bound_for_plant,
+)
+
+
+def test_ablation_bound_conservatism(benchmark):
+    result = benchmark.pedantic(run_fig4, kwargs={"points": 41}, rounds=1, iterations=1)
+    curve = result.curve
+    finite = ~np.isnan(curve.margins)
+    lats = curve.latencies[finite]
+    margins = np.minimum(curve.margins[finite], 1e6)
+    curve_area = float(np.trapezoid(margins, lats))
+    line = np.array([result.linear_bound_jitter(float(l)) for l in lats])
+    line_area = float(np.trapezoid(line, lats))
+    ratio = line_area / curve_area
+    print(f"\nlinear-bound area / curve area = {ratio:.3f}")
+    # Conservative but not absurdly so: keeps most of the stable region.
+    assert 0.5 <= ratio <= 1.0 + 1e-9
+
+
+def test_ablation_exact_bound_derivation(benchmark):
+    """Cost of deriving one linear bound from scratch (design + sweep)."""
+    plant = get_plant("dc_servo")
+    bound = benchmark(_compute_bound, plant, 0.006, 0.0)
+    assert bound.a >= 1.0
+
+
+def test_ablation_cached_bound_lookup(benchmark):
+    """Cost of the bucketed cache hit the benchmark generator relies on."""
+    plant = get_plant("dc_servo")
+    stability_bound_for_plant(plant, 0.006)  # warm the bucket
+    bound = benchmark(stability_bound_for_plant, plant, 0.006)
+    assert bound.a >= 1.0

@@ -1,0 +1,23 @@
+"""Extension bench: the cost-vs-jitter curve (margin <-> cost consistency).
+
+Times the full Kronecker-lifted jump-system sweep and asserts the
+cross-module consistency property: every jitter the small-gain margin
+certifies is mean-square stable with finite expected cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.jittercurve import run_jittercurve
+
+
+def test_ext_cost_vs_jitter_curve(benchmark):
+    result = benchmark.pedantic(
+        run_jittercurve, kwargs={"points": 12}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.consistent
+    finite = np.isfinite(result.costs)
+    assert np.all(np.diff(result.costs[finite]) > 0)

@@ -1,0 +1,41 @@
+"""Extension bench: minimum-bandwidth server synthesis (ref [12]).
+
+Times the verified budget-grid scan that sizes a control task's server,
+and asserts the bandwidth/replenishment-granularity trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.plants import get_plant
+from repro.jittermargin.linearbound import stability_bound_for_plant
+from repro.rta.taskset import Task
+from repro.servers.design import minimum_bandwidth_server
+
+
+@pytest.fixture(scope="module")
+def servo_task():
+    plant = get_plant("dc_servo")
+    return Task(
+        name="servo",
+        period=0.006,
+        wcet=0.001,
+        bcet=0.0004,
+        stability=stability_bound_for_plant(plant, 0.006, exact_period=True),
+        plant_name="dc_servo",
+    )
+
+
+def test_ext_server_synthesis(benchmark, servo_task):
+    result = benchmark(
+        minimum_bandwidth_server, servo_task, 0.002, grid_points=128
+    )
+    assert result is not None
+    fine = minimum_bandwidth_server(servo_task, 0.001, grid_points=128)
+    print(
+        f"\nmin bandwidth: {result.bandwidth:.3f} @ Pi=2ms, "
+        f"{fine.bandwidth:.3f} @ Pi=1ms (bare utilisation "
+        f"{servo_task.utilization:.3f})"
+    )
+    assert fine.bandwidth <= result.bandwidth

@@ -1,0 +1,34 @@
+"""Figure 2 bench: regenerate the cost-vs-period curve.
+
+Prints the reproduced series (period, cost) and asserts the paper's three
+phenomena; the timed region is the full LQG-design-plus-cost sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.cost import plant_lqg_cost
+from repro.control.plants import get_plant
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_cost_curve(benchmark):
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs={"h_min": 0.05, "h_max": 0.45, "points": 41},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.monotonicity_violations > 0          # phenomenon 2
+    assert result.trend_correlation > 0.5              # phenomenon 3
+    assert any(0.2 < s < 0.3 for s in result.spike_periods)  # phenomenon 1
+
+
+def test_fig2_single_cost_evaluation_kernel(benchmark):
+    """Microbench: one LQG design + stationary cost evaluation."""
+    plant = get_plant("resonant_servo")
+    cost = benchmark(plant_lqg_cost, plant, 0.1)
+    assert np.isfinite(cost) and cost > 0

@@ -1,0 +1,33 @@
+"""Figure 4 bench: regenerate the stability curve and its linear bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.lqg import design_lqg
+from repro.control.plants import get_plant
+from repro.experiments.fig4 import run_fig4
+from repro.jittermargin.margin import jitter_margin
+
+
+def test_fig4_stability_curve(benchmark):
+    result = benchmark.pedantic(run_fig4, kwargs={"points": 41}, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.bound_is_safe
+    assert result.bound.a >= 1.0
+    # Monotone decreasing margin over the stable latency range.
+    finite = ~np.isnan(result.curve.margins)
+    assert np.all(np.diff(result.curve.margins[finite]) <= 1e-12)
+
+
+def test_fig4_single_margin_kernel(benchmark):
+    """Microbench: one jitter-margin evaluation (closed loop + sweep)."""
+    plant = get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    design = design_lqg(plant.state_space(), 0.006, 0.0, q1, q12, q2, r1, r2)
+    margin = benchmark(
+        jitter_margin, plant.state_space(), design.controller, 0.006, 0.001
+    )
+    assert margin > 0

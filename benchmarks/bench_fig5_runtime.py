@@ -1,0 +1,39 @@
+"""Figure 5 bench: runtime of Backtracking vs Unsafe Quadratic.
+
+This is the paper's runtime experiment in pytest-benchmark form: each
+(algorithm, n) pair is timed over the same pre-generated instances, so the
+``pytest benchmarks/ --benchmark-only`` report *is* the Fig. 5 series.
+The paper's qualitative claims asserted: both algorithms stay quadratic-ish
+in constraint evaluations, and backtracking pays at most a small factor
+over the unsafe baseline on anomaly-free suites (while 20! enumeration
+would be astronomically off the chart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assignment.backtracking import assign_backtracking
+from repro.assignment.unsafe_quadratic import assign_unsafe_quadratic
+
+
+def _run_over(instances, algorithm):
+    results = [algorithm(ts) for ts in instances]
+    return results
+
+
+@pytest.mark.parametrize("n", [4, 8, 12, 16, 20])
+def test_fig5_unsafe_quadratic(benchmark, benchmark_instances, n):
+    results = benchmark(_run_over, benchmark_instances[n], assign_unsafe_quadratic)
+    # Exactly quadratic evaluation count, every run.
+    assert all(r.evaluations == n * (n + 1) // 2 for r in results)
+
+
+@pytest.mark.parametrize("n", [4, 8, 12, 16, 20])
+def test_fig5_backtracking(benchmark, benchmark_instances, n):
+    results = benchmark(_run_over, benchmark_instances[n], assign_backtracking)
+    evaluations = [r.evaluations for r in results]
+    # Average-case quadratic: within a small factor of n(n+1)/2 on
+    # anomaly-free instances (the paper's Fig. 5 message).
+    mean_evals = sum(evaluations) / len(evaluations)
+    assert mean_evals <= 5.0 * n * (n + 1) / 2

@@ -1,0 +1,29 @@
+"""Table I bench: invalid solutions of Unsafe Quadratic.
+
+Regenerates the table at a CI-friendly scale (the paper used 10000
+benchmarks per column; use ``python -m repro table1 --benchmarks 10000``
+for the full run).  The timed region covers benchmark generation, the
+greedy assignment, and exact validation for every instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_invalid_solutions(benchmark):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"task_counts": (4, 8, 12, 16, 20), "benchmarks": 40, "seed": 2017},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    # The paper's headline: invalid solutions are extremely rare (<= 0.38%
+    # at n=4).  At this reduced sample size assert the same order of
+    # magnitude and that large n stays at (near) zero.
+    for n in (4, 8, 12, 16, 20):
+        assert result.invalid_percent(n) <= 5.0
+    assert result.invalid_percent(20) <= result.invalid_percent(4) + 2.5

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a scaled-down version of) one artifact of the
+paper; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Deterministic instances are pre-generated outside the timed region so the
+benchmarks time the *algorithms*, not the generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
+
+
+@pytest.fixture(scope="session")
+def benchmark_instances():
+    """Deterministic benchmark task sets, keyed by task count."""
+    config = BenchmarkConfig()
+    instances = {}
+    for n in (4, 8, 12, 16, 20):
+        instances[n] = [
+            generate_control_taskset(
+                n, np.random.default_rng([2017, n, index]), config=config
+            )
+            for index in range(20)
+        ]
+    return instances

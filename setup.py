@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is unavailable;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro -- reproduction of "Anomalies in Scheduling Control Applications
+and Design Complexity" (Amir Aminifar & Enrico Bini, DATE 2017).
+
+The library spans the paper's whole pipeline:
+
+* :mod:`repro.lti`, :mod:`repro.linalg` -- linear systems and the numerics
+  under them (matrix exponentials, Van Loan sampling, Riccati/Lyapunov).
+* :mod:`repro.control` -- plant database and sampled-data LQG design; the
+  quadratic-cost-vs-period phenomenology of Fig. 2.
+* :mod:`repro.jittermargin` -- stability curves ``J_max(L)`` and the linear
+  constraint ``L + aJ <= b`` of eq. (5) / Fig. 4 (Jitter Margin toolbox
+  substitute).
+* :mod:`repro.rta` -- the task model and exact best-/worst-case
+  response-time analyses of eqs. (2)-(4).
+* :mod:`repro.sim` -- event-driven FPPS scheduler simulation and
+  plant-in-the-loop co-simulation.
+* :mod:`repro.assignment` -- the paper's case study: backtracking priority
+  assignment (Algorithm 1) and the Unsafe Quadratic baseline, plus
+  Audsley/exhaustive/heuristic references.
+* :mod:`repro.anomalies` -- anomaly detectors, constructed instances, and
+  the Monte-Carlo census.
+* :mod:`repro.benchgen` -- the UUniFast-based benchmark protocol of sec. V.
+* :mod:`repro.experiments` -- drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Task, TaskSet, LinearStabilityBound
+    from repro.assignment import assign_backtracking, validate_assignment
+
+    tasks = TaskSet([
+        Task("roll",  period=0.01, wcet=0.002, bcet=0.001,
+             stability=LinearStabilityBound(a=1.2, b=0.008)),
+        Task("pitch", period=0.02, wcet=0.005, bcet=0.002,
+             stability=LinearStabilityBound(a=1.1, b=0.015)),
+    ])
+    result = assign_backtracking(tasks)
+    print(result.priorities, validate_assignment(result.apply_to(tasks)).valid)
+"""
+
+from repro.errors import (
+    DimensionError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    RiccatiError,
+    ScheduleError,
+    UnstableLoopError,
+)
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "LinearStabilityBound",
+    "ReproError",
+    "DimensionError",
+    "ModelError",
+    "NumericalError",
+    "RiccatiError",
+    "ScheduleError",
+    "UnstableLoopError",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` -- experiment runner entry point."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

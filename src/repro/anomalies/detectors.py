@@ -1,0 +1,266 @@
+"""Detectors for the three anomaly families (paper sec. I and [20]).
+
+All detectors compare *exact* response-time interfaces before and after a
+change that intuition says can only help:
+
+* **priority raise** -- swapping a task up one priority level removes one
+  interferer from its hp-set; monotonicity suggests (L, J) can only
+  improve, yet the jitter ``J = R^w - R^b`` can grow because ``R^b`` may
+  shrink faster than ``R^w`` (best case uses BCETs, worst case WCETs).
+* **WCET decrease of an interferer** -- less interference in the worst
+  case, unchanged best case: the task's jitter can only... shrink?  No:
+  ``R^w`` can drop discontinuously past a period boundary while ``R^b``
+  stays, which is fine -- but a *joint* WCET+BCET decrease can raise
+  ``J``.
+* **period increase of an interferer** -- fewer preemptions, yet the
+  response-time interface of a lower-priority task can degrade, the case
+  [20] demonstrates.
+
+A detected anomaly is reported as an :class:`AnomalyEvent` carrying the
+before/after interfaces and slacks so experiments can rank severity (a
+slack-sign flip is a *destabilising* anomaly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.rta.interface import ResponseTimes, latency_jitter
+from repro.rta.taskset import Task, TaskSet
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detected monotonicity violation."""
+
+    kind: str
+    task_name: str
+    change: str
+    before: ResponseTimes
+    after: ResponseTimes
+    slack_before: Optional[float]
+    slack_after: Optional[float]
+
+    @property
+    def jitter_increase(self) -> float:
+        return self.after.jitter - self.before.jitter
+
+    @property
+    def destabilising(self) -> bool:
+        """The change flipped the task from stable to unstable."""
+        return (
+            self.slack_before is not None
+            and self.slack_after is not None
+            and self.slack_before >= 0.0 > self.slack_after
+        )
+
+
+def _interface_and_slack(
+    task: Task, hp: Sequence[Task]
+) -> Tuple[ResponseTimes, Optional[float]]:
+    times = latency_jitter(task, hp)
+    if task.stability is None or not times.finite:
+        slack = None if task.stability is None else float("-inf")
+        return times, slack
+    return times, task.stability.slack(times.latency, times.jitter)
+
+
+def jitter_after_priority_raise(
+    taskset: TaskSet, task_name: str
+) -> Tuple[ResponseTimes, ResponseTimes]:
+    """Interfaces of ``task_name`` before/after a one-level priority raise.
+
+    Raising swaps the task with the task exactly one level above it.
+    Raises :class:`ModelError` if the task already has the highest
+    priority.
+    """
+    taskset.check_distinct_priorities()
+    task = taskset.by_name(task_name)
+    above = _task_one_level_above(taskset, task)
+    before = latency_jitter(task, taskset.higher_priority(task))
+    swapped = _swap_priorities(taskset, task.name, above.name)
+    task_after = swapped.by_name(task_name)
+    after = latency_jitter(task_after, swapped.higher_priority(task_after))
+    return before, after
+
+
+def priority_raise_anomalies(taskset: TaskSet) -> List[AnomalyEvent]:
+    """All one-level priority raises that worsen the raised task.
+
+    "Worsen" means the stability slack decreases (or, for tasks without a
+    bound, the jitter increases) even though the raise removes an
+    interferer -- the headline anomaly of the paper.
+    """
+    taskset.check_distinct_priorities()
+    events: List[AnomalyEvent] = []
+    ordered = taskset.sorted_by_priority(descending=False)  # lowest first
+    for task in ordered[:-1]:
+        above = _task_one_level_above(taskset, task)
+        before, slack_before = _interface_and_slack(
+            task, taskset.higher_priority(task)
+        )
+        swapped = _swap_priorities(taskset, task.name, above.name)
+        task_after = swapped.by_name(task.name)
+        after, slack_after = _interface_and_slack(
+            task_after, swapped.higher_priority(task_after)
+        )
+        if _is_worse(before, after, slack_before, slack_after):
+            events.append(
+                AnomalyEvent(
+                    kind="priority_raise",
+                    task_name=task.name,
+                    change=f"swap above {above.name}",
+                    before=before,
+                    after=after,
+                    slack_before=slack_before,
+                    slack_after=slack_after,
+                )
+            )
+    return events
+
+
+def wcet_decrease_anomalies(
+    taskset: TaskSet,
+    *,
+    shrink: float = 0.9,
+) -> List[AnomalyEvent]:
+    """Anomalies where shrinking an interferer's execution times hurts.
+
+    For every pair (interferer ``tau_j``, observed ``tau_i`` with lower
+    priority), both execution-time bounds of ``tau_j`` are scaled by
+    ``shrink`` and the observed task's interface re-evaluated.  Faster
+    higher-priority code should never destabilise anyone -- when it does,
+    that is the anomaly (cf. Racu & Ernst, the paper's reference [18]).
+    """
+    if not (0 < shrink < 1):
+        raise ModelError(f"shrink factor must be in (0,1), got {shrink}")
+    taskset.check_distinct_priorities()
+    events: List[AnomalyEvent] = []
+    for interferer in taskset:
+        changed = TaskSet(
+            [
+                replace(t, wcet=t.wcet * shrink, bcet=t.bcet * shrink)
+                if t.name == interferer.name
+                else t.copy()
+                for t in taskset
+            ]
+        )
+        for task in taskset:
+            if task.priority >= interferer.priority:
+                continue
+            before, slack_before = _interface_and_slack(
+                task, taskset.higher_priority(task)
+            )
+            task_after = changed.by_name(task.name)
+            after, slack_after = _interface_and_slack(
+                task_after, changed.higher_priority(task_after)
+            )
+            if _is_worse(before, after, slack_before, slack_after):
+                events.append(
+                    AnomalyEvent(
+                        kind="wcet_decrease",
+                        task_name=task.name,
+                        change=f"{interferer.name} executed {shrink:g}x faster",
+                        before=before,
+                        after=after,
+                        slack_before=slack_before,
+                        slack_after=slack_after,
+                    )
+                )
+    return events
+
+
+def period_increase_anomalies(
+    taskset: TaskSet,
+    *,
+    stretch: float = 1.1,
+) -> List[AnomalyEvent]:
+    """Anomalies where slowing an interferer's rate hurts a lower task.
+
+    Scales an interferer's period by ``stretch`` (execution times
+    unchanged, so its utilisation *drops*) and re-evaluates every
+    lower-priority task -- the second anomaly [20] demonstrates.
+    """
+    if stretch <= 1:
+        raise ModelError(f"stretch factor must exceed 1, got {stretch}")
+    taskset.check_distinct_priorities()
+    events: List[AnomalyEvent] = []
+    for interferer in taskset:
+        if interferer.wcet > interferer.period * stretch:
+            continue
+        changed = TaskSet(
+            [
+                replace(t, period=t.period * stretch)
+                if t.name == interferer.name
+                else t.copy()
+                for t in taskset
+            ]
+        )
+        for task in taskset:
+            if task.priority >= interferer.priority:
+                continue
+            before, slack_before = _interface_and_slack(
+                task, taskset.higher_priority(task)
+            )
+            task_after = changed.by_name(task.name)
+            after, slack_after = _interface_and_slack(
+                task_after, changed.higher_priority(task_after)
+            )
+            if _is_worse(before, after, slack_before, slack_after):
+                events.append(
+                    AnomalyEvent(
+                        kind="period_increase",
+                        task_name=task.name,
+                        change=f"{interferer.name} period x{stretch:g}",
+                        before=before,
+                        after=after,
+                        slack_before=slack_before,
+                        slack_after=slack_after,
+                    )
+                )
+    return events
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _task_one_level_above(taskset: TaskSet, task: Task) -> Task:
+    higher = [
+        t
+        for t in taskset
+        if t.priority is not None and t.priority > task.priority
+    ]
+    if not higher:
+        raise ModelError(f"task {task.name!r} already has the highest priority")
+    return min(higher, key=lambda t: t.priority)
+
+
+def _swap_priorities(taskset: TaskSet, name_a: str, name_b: str) -> TaskSet:
+    pa = taskset.by_name(name_a).priority
+    pb = taskset.by_name(name_b).priority
+    priorities = {
+        t.name: (pb if t.name == name_a else pa if t.name == name_b else t.priority)
+        for t in taskset
+    }
+    return taskset.with_priorities(priorities)
+
+
+def _is_worse(
+    before: ResponseTimes,
+    after: ResponseTimes,
+    slack_before: Optional[float],
+    slack_after: Optional[float],
+) -> bool:
+    """Did the 'improvement' actually degrade the task?
+
+    With a stability bound: slack strictly decreased.  Without: jitter
+    strictly increased.  Strictness uses a small tolerance so that exact
+    float ties are not reported.
+    """
+    tol = 1e-12
+    if slack_before is not None and slack_after is not None:
+        return slack_after < slack_before - tol
+    return after.jitter > before.jitter + tol

@@ -1,0 +1,220 @@
+"""Sensitivity analysis of stability constraints (paper sec. I, ref [17]).
+
+The paper's abstract example of design complexity: to maximise a parameter
+``x`` under a constraint ``f(x) <= 0``, *monotonicity* of ``f`` enables
+binary search -- "by checking the constraint for one value of x, we can
+find out if the optimum satisfies y < x or y > x.  Hence efficient pruning
+of the search space."  Without monotonicity, binary search silently
+returns wrong answers.
+
+This module makes that story concrete for the classic sensitivity question
+(Racu-Hamann-Ernst, the paper's reference [17]): *by how much can a task's
+execution demand grow before the system breaks?*
+
+* :func:`wcet_scaling_margin` -- binary search for the critical scaling
+  factor of one task's (WCET, BCET), in the monotonicity-trusting style.
+  For *scaling a task's own demand* the constraint metric of every task is
+  genuinely monotone (interference and own demand both grow with the
+  factor), so the binary search is sound -- this is the majority-case tool
+  the paper advocates.
+* :func:`priority_level_margin` -- the same question for a *discrete*
+  parameter where monotonicity famously fails (the task's priority level):
+  answered by exhaustive evaluation, with the non-monotone slack profile
+  returned so callers can *see* the anomaly.
+* :func:`sensitivity_report` -- per-task scaling margins for a whole
+  assignment: the "how much slack does my design have" table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.rta.interface import latency_jitter
+from repro.rta.taskset import Task, TaskSet
+
+
+@dataclass(frozen=True)
+class ScalingMargin:
+    """Critical demand-scaling factor of one task."""
+
+    task_name: str
+    factor: float            # largest validated scale (1.0 = no headroom growth)
+    evaluations: int         # constraint evaluations spent
+    binding_task: Optional[str]  # which task's constraint broke just past it
+
+
+def _taskset_with_scaled_task(taskset: TaskSet, name: str, factor: float) -> Optional[TaskSet]:
+    """Scale one task's WCET/BCET; ``None`` if the WCET leaves the period."""
+    scaled = []
+    for task in taskset:
+        if task.name != name:
+            scaled.append(task.copy())
+            continue
+        wcet = task.wcet * factor
+        if wcet > task.period:
+            return None
+        scaled.append(replace(task, wcet=wcet, bcet=task.bcet * factor))
+    return TaskSet(scaled)
+
+
+def _first_violation(taskset: TaskSet) -> Optional[str]:
+    """Name of the first task violating deadline/stability, else ``None``."""
+    for task in taskset:
+        times = latency_jitter(task, taskset.higher_priority(task))
+        if not times.finite:
+            return task.name
+        if task.stability is not None and not task.stability.is_stable(
+            times.latency, times.jitter
+        ):
+            return task.name
+    return None
+
+
+def wcet_scaling_margin(
+    taskset: TaskSet,
+    task_name: str,
+    *,
+    tolerance: float = 1e-4,
+    max_factor: float = 64.0,
+) -> ScalingMargin:
+    """Largest factor by which ``task_name``'s demand may grow.
+
+    Requires the task set to carry a valid priority assignment.  The
+    search is a textbook bisection on the factor, justified here because
+    scaling *both* execution-time bounds of one task by a common factor
+    moves every task's ``(L, J)`` metric monotonically upward:
+    interference terms scale with the factor and the task's own demand
+    does too.  (Contrast with :func:`priority_level_margin`, where no such
+    argument exists and bisection would be unsound.)
+
+    Returns the largest factor (within ``tolerance``, relative) for which
+    the *whole* assignment stays valid.
+    """
+    taskset.check_distinct_priorities()
+    taskset.by_name(task_name)  # raises ModelError for unknown tasks
+    evaluations = 0
+
+    def valid_at(factor: float) -> Tuple[bool, Optional[str]]:
+        nonlocal evaluations
+        evaluations += 1
+        scaled = _taskset_with_scaled_task(taskset, task_name, factor)
+        if scaled is None:
+            return False, task_name
+        violator = _first_violation(scaled)
+        return violator is None, violator
+
+    ok_now, violator = valid_at(1.0)
+    if not ok_now:
+        raise ModelError(
+            f"task set is already invalid (task {violator!r}); sensitivity "
+            "is defined for working designs"
+        )
+
+    # Exponential bracket, then bisection.
+    low, high = 1.0, 2.0
+    binding: Optional[str] = None
+    while high <= max_factor:
+        ok, violator = valid_at(high)
+        if not ok:
+            binding = violator
+            break
+        low, high = high, high * 2.0
+    else:
+        return ScalingMargin(
+            task_name=task_name,
+            factor=low,
+            evaluations=evaluations,
+            binding_task=None,
+        )
+
+    while (high - low) > tolerance * high:
+        mid = 0.5 * (low + high)
+        ok, violator = valid_at(mid)
+        if ok:
+            low = mid
+        else:
+            high = mid
+            binding = violator
+    return ScalingMargin(
+        task_name=task_name,
+        factor=low,
+        evaluations=evaluations,
+        binding_task=binding,
+    )
+
+
+def sensitivity_report(
+    taskset: TaskSet, *, tolerance: float = 1e-3
+) -> Dict[str, ScalingMargin]:
+    """Scaling margin of every task under the current assignment."""
+    return {
+        task.name: wcet_scaling_margin(taskset, task.name, tolerance=tolerance)
+        for task in taskset
+    }
+
+
+@dataclass(frozen=True)
+class PriorityLevelProfile:
+    """Stability slack of one task at every priority level.
+
+    ``slacks[k]`` is the task's constraint slack when assigned priority
+    level ``levels[k]`` (other tasks keeping their relative order).  A
+    profile that is not monotone in the level *is* a priority anomaly; the
+    paper's point is that bisection over levels would then be unsound.
+    """
+
+    task_name: str
+    levels: Tuple[int, ...]
+    slacks: Tuple[float, ...]
+
+    @property
+    def is_monotone(self) -> bool:
+        return all(
+            b >= a - 1e-12 for a, b in zip(self.slacks, self.slacks[1:])
+        )
+
+    @property
+    def best_level(self) -> int:
+        best = max(range(len(self.levels)), key=lambda k: self.slacks[k])
+        return self.levels[best]
+
+
+def priority_level_margin(taskset: TaskSet, task_name: str) -> PriorityLevelProfile:
+    """Slack of ``task_name`` at each priority level (exhaustive).
+
+    Unlike the scaling factor, the priority level admits no monotonicity
+    guarantee (the paper's headline anomaly), so every level is evaluated.
+    Other tasks keep their relative order; the probed task is inserted at
+    each level 1..n.
+    """
+    taskset.check_distinct_priorities()
+    target = taskset.by_name(task_name)
+    others = [
+        t for t in taskset.sorted_by_priority(descending=False)
+        if t.name != task_name
+    ]
+    n = len(taskset)
+    levels: List[int] = []
+    slacks: List[float] = []
+    for level in range(1, n + 1):
+        # Rebuild priorities: others keep order, target inserted at level.
+        order = others[: level - 1] + [target] + others[level - 1 :]
+        priorities = {t.name: i + 1 for i, t in enumerate(order)}
+        probed = taskset.with_priorities(priorities)
+        probed_target = probed.by_name(task_name)
+        times = latency_jitter(
+            probed_target, probed.higher_priority(probed_target)
+        )
+        if not times.finite:
+            slack = float("-inf")
+        elif target.stability is None:
+            slack = target.period - times.worst
+        else:
+            slack = target.stability.slack(times.latency, times.jitter)
+        levels.append(level)
+        slacks.append(slack)
+    return PriorityLevelProfile(
+        task_name=task_name, levels=tuple(levels), slacks=tuple(slacks)
+    )

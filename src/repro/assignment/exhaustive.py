@@ -1,0 +1,78 @@
+"""Brute-force priority assignment: ground truth for small task sets.
+
+Enumerates priority orders until a valid one is found (or all ``n!`` are
+exhausted).  The paper invokes this as the strawman -- "the number of all
+possible design solutions are 20!, which takes more than 20 years to
+enumerate" -- so the module guards against accidental large-``n`` use.
+It also provides :func:`count_valid_orders`, used by the anomaly census to
+measure how constrained an instance really is.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from typing import Dict, Optional
+
+from repro.assignment.predicate import EvaluationCounter, is_feasible
+from repro.assignment.result import AssignmentResult
+from repro.errors import ModelError
+from repro.rta.taskset import TaskSet
+
+#: Hard cap: 9! = 362880 orders is already ~1e6 constraint evaluations.
+_MAX_EXHAUSTIVE_TASKS = 9
+
+
+def _order_is_valid(order, counter: EvaluationCounter) -> bool:
+    """Check a complete order bottom-up, short-circuiting on violations.
+
+    ``order[0]`` has the lowest priority; task ``order[k]``'s
+    higher-priority set is ``order[k+1:]``.
+    """
+    for position, task in enumerate(order):
+        if not is_feasible(task, order[position + 1 :], counter):
+            return False
+    return True
+
+
+def assign_exhaustive(taskset: TaskSet) -> AssignmentResult:
+    """Try lexicographic priority orders until one is valid."""
+    if len(taskset) > _MAX_EXHAUSTIVE_TASKS:
+        raise ModelError(
+            f"exhaustive search limited to {_MAX_EXHAUSTIVE_TASKS} tasks; "
+            f"got {len(taskset)} ({math.factorial(len(taskset))} orders)"
+        )
+    counter = EvaluationCounter()
+    start = time.perf_counter()
+    tasks = [t.copy() for t in taskset]
+    for order in itertools.permutations(tasks):
+        if _order_is_valid(order, counter):
+            priorities = {task.name: level + 1 for level, task in enumerate(order)}
+            return AssignmentResult(
+                algorithm="exhaustive",
+                priorities=priorities,
+                claims_valid=True,
+                evaluations=counter.count,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+    return AssignmentResult(
+        algorithm="exhaustive",
+        priorities=None,
+        claims_valid=False,
+        evaluations=counter.count,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def count_valid_orders(taskset: TaskSet) -> int:
+    """Number of valid priority orders (exact, small ``n`` only)."""
+    if len(taskset) > _MAX_EXHAUSTIVE_TASKS:
+        raise ModelError(
+            f"count_valid_orders limited to {_MAX_EXHAUSTIVE_TASKS} tasks"
+        )
+    counter = EvaluationCounter()
+    tasks = [t.copy() for t in taskset]
+    return sum(
+        1 for order in itertools.permutations(tasks) if _order_is_valid(order, counter)
+    )

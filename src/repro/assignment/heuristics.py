@@ -1,0 +1,58 @@
+"""Single-pass ordering heuristics (ablation baselines).
+
+* **Rate monotonic** -- shorter period, higher priority (optimal for plain
+  deadline schedulability with implicit deadlines, but oblivious to
+  stability constraints: jitter does not enter the ordering at all).
+* **Slack monotonic** -- one evaluation per task against all others as
+  higher priority (the most pessimistic hp-set); tasks ordered by that
+  slack, least slack highest priority.  Linear in evaluations, quadratic in
+  arithmetic; trusts monotonicity twice over (both the ordering argument
+  and the pessimism argument), so it fails more often than Unsafe
+  Quadratic -- which is the point of the ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.assignment.predicate import EvaluationCounter, stability_slack
+from repro.assignment.result import AssignmentResult
+from repro.rta.taskset import Task, TaskSet
+
+
+def assign_rate_monotonic(taskset: TaskSet) -> AssignmentResult:
+    """Shorter period -> higher priority; performs no constraint checks."""
+    start = time.perf_counter()
+    ordered: List[Task] = sorted(taskset, key=lambda t: t.period, reverse=True)
+    priorities = {task.name: level + 1 for level, task in enumerate(ordered)}
+    return AssignmentResult(
+        algorithm="rate_monotonic",
+        priorities=priorities,
+        claims_valid=None,
+        evaluations=0,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def assign_slack_monotonic(taskset: TaskSet) -> AssignmentResult:
+    """Order by slack under the all-others-higher-priority assumption."""
+    counter = EvaluationCounter()
+    start = time.perf_counter()
+    tasks = [t.copy() for t in taskset]
+    scored: List[Tuple[float, str]] = []
+    for index, task in enumerate(tasks):
+        others = tasks[:index] + tasks[index + 1 :]
+        scored.append((stability_slack(task, others, counter), task.name))
+    # Most slack -> lowest priority (level 1 first).
+    scored.sort(key=lambda item: -item[0])
+    priorities: Dict[str, int] = {
+        name: level + 1 for level, (_, name) in enumerate(scored)
+    }
+    return AssignmentResult(
+        algorithm="slack_monotonic",
+        priorities=priorities,
+        claims_valid=None,
+        evaluations=counter.count,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,56 @@
+"""The stability predicate shared by all assignment algorithms.
+
+A single task is *feasible at the lowest priority* among a candidate set if
+its exact response-time interface against the rest of the set satisfies its
+stability bound (and its implicit deadline, which eq. (3) requires).  The
+evaluation counter threads through all algorithms so their complexity can
+be compared in constraint evaluations, the unit the paper uses alongside
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.rta.interface import latency_jitter
+from repro.rta.taskset import Task
+
+
+@dataclass
+class EvaluationCounter:
+    """Mutable counter shared across one algorithm run."""
+
+    count: int = 0
+
+    def tick(self) -> None:
+        self.count += 1
+
+
+def stability_slack(
+    task: Task,
+    higher_priority: Sequence[Task],
+    counter: EvaluationCounter,
+) -> float:
+    """Signed slack of the stability constraint; ``-inf`` on deadline miss.
+
+    Positive slack means ``L + aJ <= b`` holds with room to spare; tasks
+    without a stability bound return the (scaled) deadline slack instead,
+    so plain real-time tasks can share the platform.
+    """
+    counter.tick()
+    times = latency_jitter(task, higher_priority)
+    if not times.finite:
+        return float("-inf")
+    if task.stability is None:
+        return task.period - times.worst
+    return task.stability.slack(times.latency, times.jitter)
+
+
+def is_feasible(
+    task: Task,
+    higher_priority: Sequence[Task],
+    counter: EvaluationCounter,
+) -> bool:
+    """Paper Algorithm 1, line 12: ``L_i + a_i J_i <= b_i`` (exact)."""
+    return stability_slack(task, higher_priority, counter) >= 0.0

@@ -1,0 +1,66 @@
+"""The "Unsafe Quadratic" baseline of the paper's experiments (sec. V).
+
+Reconstruction of the priority-assignment algorithm of Aminifar et al.
+(EMSOFT 2013, the paper's reference [20]), "modified to use the exact
+response times" as the paper specifies: a bottom-up greedy that trusts the
+monotonicity property.
+
+At each priority level, every remaining task's stability slack is
+evaluated assuming all other remaining tasks have higher priority, and the
+maximum-slack task is committed to the level -- *without backtracking and
+even if its constraint is violated*.  Under monotonicity this is safe: if
+any complete valid assignment exists, a feasible task exists at every
+level (Audsley's argument), so the greedy never commits a violation.  When
+an anomaly breaks monotonicity the greedy can run into a dead end, commits
+anyway, and the resulting assignment is **invalid** -- these are exactly
+the rare failures counted in Table I.
+
+Cost: level ``rho`` evaluates ``n - rho + 1`` candidates; the whole run is
+``n(n+1)/2`` constraint evaluations -- the "Quadratic" in the name.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.assignment.predicate import EvaluationCounter, stability_slack
+from repro.assignment.result import AssignmentResult
+from repro.rta.taskset import Task, TaskSet
+
+
+def assign_unsafe_quadratic(taskset: TaskSet) -> AssignmentResult:
+    """Run the monotonicity-trusting greedy; always commits to an order.
+
+    ``claims_valid`` reports whether every committed task actually
+    satisfied its constraint at commit time; the experiments re-validate
+    independently via :func:`repro.assignment.validate.validate_assignment`.
+    """
+    remaining: List[Task] = [t.copy() for t in taskset]
+    counter = EvaluationCounter()
+    assignment: Dict[str, int] = {}
+    believed_valid = True
+    start = time.perf_counter()
+
+    for level in range(1, len(remaining) + 1):
+        best_index = -1
+        best_slack = float("-inf")
+        for index, candidate in enumerate(remaining):
+            others = remaining[:index] + remaining[index + 1 :]
+            slack = stability_slack(candidate, others, counter)
+            if slack > best_slack:
+                best_slack = slack
+                best_index = index
+        chosen = remaining.pop(best_index)
+        assignment[chosen.name] = level
+        if best_slack < 0.0:
+            believed_valid = False  # dead end: committed past a violation
+
+    return AssignmentResult(
+        algorithm="unsafe_quadratic",
+        priorities=assignment,
+        claims_valid=believed_valid,
+        evaluations=counter.count,
+        backtracks=0,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,63 @@
+"""Exact validation of complete priority assignments.
+
+The experiments of the paper hinge on an independent notion of validity:
+an assignment is valid iff *every* task, under the exact response-time
+interface induced by the full assignment, meets its implicit deadline and
+its stability constraint.  The unsafe algorithms are judged against this,
+never against their own beliefs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.rta.interface import ResponseTimes, latency_jitter
+from repro.rta.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class TaskVerdict:
+    """Validation detail of one task."""
+
+    times: ResponseTimes
+    deadline_met: bool
+    stable: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.deadline_met and self.stable
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Validation of a complete assignment, with per-task detail."""
+
+    verdicts: Dict[str, TaskVerdict]
+
+    @property
+    def valid(self) -> bool:
+        return all(v.ok for v in self.verdicts.values())
+
+    @property
+    def violating_tasks(self) -> tuple:
+        return tuple(name for name, v in self.verdicts.items() if not v.ok)
+
+
+def validate_assignment(taskset: TaskSet) -> ValidationReport:
+    """Check deadlines and stability of every task under its priorities."""
+    taskset.check_distinct_priorities()
+    verdicts: Dict[str, TaskVerdict] = {}
+    for task in taskset:
+        times = latency_jitter(task, taskset.higher_priority(task))
+        deadline_met = times.finite
+        if task.stability is None:
+            stable = True
+        elif not deadline_met:
+            stable = False
+        else:
+            stable = task.stability.is_stable(times.latency, times.jitter)
+        verdicts[task.name] = TaskVerdict(
+            times=times, deadline_met=deadline_met, stable=stable
+        )
+    return ValidationReport(verdicts=verdicts)

@@ -1,0 +1,27 @@
+"""Benchmark generation following the paper's experimental protocol (sec. V).
+
+"We generate 10000 benchmarks with a set of 4-20 control applications.
+The plants are chosen from [4], [14].  We use the UUniFast algorithm [25]
+to generate a set of random control tasks for a given utilization."
+
+* :mod:`~repro.benchgen.uunifast` -- the Bini-Buttazzo utilisation
+  generator (reference [25]).
+* :mod:`~repro.benchgen.taskgen` -- random control task sets: plant from
+  the database, sampling period from the plant's realistic range, WCET
+  from the UUniFast share, BCET a random fraction of WCET, stability bound
+  from the jitter-margin analysis of the plant's LQG controller.
+"""
+
+from repro.benchgen.taskgen import (
+    BenchmarkConfig,
+    generate_benchmark_suite,
+    generate_control_taskset,
+)
+from repro.benchgen.uunifast import uunifast
+
+__all__ = [
+    "uunifast",
+    "generate_control_taskset",
+    "generate_benchmark_suite",
+    "BenchmarkConfig",
+]

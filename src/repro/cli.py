@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Regenerates any table or figure of the paper from the terminal::
+
+    python -m repro fig2
+    python -m repro fig4 --period 0.006
+    python -m repro table1 --benchmarks 10000
+    python -m repro fig5 --benchmarks 200
+    python -m repro census --benchmarks 200
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Anomalies in Scheduling Control Applications "
+            "and Design Complexity' (Aminifar & Bini, DATE 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    fig2 = sub.add_parser("fig2", help="control cost vs sampling period")
+    # 197 points over [0.02, 1.0] = exactly 5 ms spacing: the narrow
+    # pathological resonances at 0.25/0.5/0.75/1.0 s are sampled head-on.
+    fig2.add_argument("--points", type=int, default=197)
+    fig2.add_argument("--h-min", type=float, default=0.02)
+    fig2.add_argument("--h-max", type=float, default=1.0)
+
+    fig4 = sub.add_parser("fig4", help="stability curve + linear bound")
+    fig4.add_argument("--period", type=float, default=0.006)
+    fig4.add_argument("--points", type=int, default=41)
+
+    table1 = sub.add_parser("table1", help="invalid solutions of Unsafe Quadratic")
+    table1.add_argument("--benchmarks", type=int, default=500)
+    table1.add_argument("--seed", type=int, default=2017)
+
+    fig5 = sub.add_parser("fig5", help="runtime comparison of the assigners")
+    fig5.add_argument("--benchmarks", type=int, default=100)
+    fig5.add_argument("--seed", type=int, default=2017)
+
+    census = sub.add_parser("census", help="anomaly census (extension)")
+    census.add_argument("--benchmarks", type=int, default=100)
+    census.add_argument("--seed", type=int, default=424242)
+
+    jittercurve = sub.add_parser(
+        "jittercurve", help="expected cost vs jitter (extension)"
+    )
+    jittercurve.add_argument("--period", type=float, default=0.006)
+    jittercurve.add_argument("--latency", type=float, default=0.0)
+    jittercurve.add_argument("--points", type=int, default=15)
+
+    sub.add_parser("all", help="run every experiment at default scale")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "all":
+        for name in ("fig2", "fig4", "table1", "fig5", "census", "jittercurve"):
+            print(run_experiment(name))
+            print()
+        return 0
+    kwargs = {}
+    if args.experiment == "fig2":
+        kwargs = {"points": args.points, "h_min": args.h_min, "h_max": args.h_max}
+    elif args.experiment == "fig4":
+        kwargs = {"h": args.period, "points": args.points}
+    elif args.experiment == "jittercurve":
+        kwargs = {
+            "h": args.period,
+            "latency": args.latency,
+            "points": args.points,
+        }
+    elif args.experiment in ("table1", "fig5", "census"):
+        kwargs = {"benchmarks": args.benchmarks, "seed": args.seed}
+    print(run_experiment(args.experiment, **kwargs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Control-scheduling co-design: period selection (paper ref [6]).
+
+The paper's introduction frames the whole anomaly discussion inside
+*control-scheduling co-design*: pick scheduling parameters (sampling
+periods, priorities) to optimise control performance subject to stability.
+This package implements the canonical instance -- delay-aware period
+assignment (Bini & Cervin, the paper's reference [6]) -- on top of the
+library's Fig. 2 cost curves and Algorithm 1:
+
+* each loop gets a grid of candidate periods with exact LQG costs and
+  jitter-margin stability bounds;
+* combinations are explored in increasing total-cost order (best-first),
+  exploiting the cost *trend* the paper highlights;
+* every kept candidate is validated exactly with the backtracking priority
+  assignment -- feasibility is *not* assumed monotone in the periods
+  (that would be exactly the kind of anomaly-blind shortcut the paper
+  warns against), so nothing is pruned on feasibility, only on cost.
+"""
+
+from repro.codesign.periods import (
+    CodesignResult,
+    ControlLoopSpec,
+    assign_periods,
+    candidate_table,
+)
+from repro.codesign.quality import (
+    AssignmentQuality,
+    assignment_control_cost,
+    best_quality_assignment,
+    task_control_cost,
+)
+
+__all__ = [
+    "ControlLoopSpec",
+    "CodesignResult",
+    "assign_periods",
+    "candidate_table",
+    "AssignmentQuality",
+    "assignment_control_cost",
+    "best_quality_assignment",
+    "task_control_cost",
+]

@@ -1,0 +1,46 @@
+"""Controller-design substrate: sampled-data LQG and quadratic cost.
+
+This package implements the control-theoretic machinery the paper leans on
+(its references [4], [14]):
+
+* :mod:`~repro.control.plants` -- the benchmark plant database (DC servo,
+  integrators, pendulum, resonant plants), specified as transfer functions
+  exactly like the sources the paper samples plants from.
+* :mod:`~repro.control.lqg` -- sampled-data LQG design for a given sampling
+  period and (constant) input delay: exact discretisation of dynamics,
+  noise, and continuous-time quadratic cost (Van Loan), LQR with cross
+  terms, stationary Kalman filter, and the discrete controller as an LTI
+  system.
+* :mod:`~repro.control.cost` -- exact stationary quadratic cost of the
+  closed loop (the quantity plotted in Fig. 2 of the paper), evaluated via
+  the closed-loop Lyapunov equation, with pathological sampling periods
+  reported as infinite cost.
+"""
+
+from repro.control.cost import closed_loop_cost, cost_vs_period, plant_lqg_cost
+from repro.control.jittercost import (
+    JitterCostResult,
+    cost_vs_jitter,
+    expected_cost_under_jitter,
+)
+from repro.control.kalman import kalman_gain
+from repro.control.lqg import LqgDesign, design_lqg, sample_lq_problem
+from repro.control.lqr import sampled_lqr_gain
+from repro.control.plants import PLANT_LIBRARY, Plant, get_plant
+
+__all__ = [
+    "Plant",
+    "PLANT_LIBRARY",
+    "get_plant",
+    "design_lqg",
+    "LqgDesign",
+    "sample_lq_problem",
+    "sampled_lqr_gain",
+    "kalman_gain",
+    "closed_loop_cost",
+    "cost_vs_period",
+    "plant_lqg_cost",
+    "expected_cost_under_jitter",
+    "cost_vs_jitter",
+    "JitterCostResult",
+]

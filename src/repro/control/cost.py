@@ -1,0 +1,168 @@
+"""Stationary quadratic control cost of the sampled-data LQG loop.
+
+This is the quantity on the y-axis of Fig. 2 of the paper: the stationary
+value of the continuous-time quadratic cost
+
+    J = lim_{T->inf} (1/T) E integral_0^T x'Q1 x + 2 x'Q12 u + u'Q2 u dt
+
+achieved by the LQG controller at a given sampling period (and constant
+input delay).  Rather than textbook trace formulas, the cost is evaluated
+*constructively*: the full closed loop (plant state, in-flight control
+value, filter state) is assembled as a discrete linear system driven by the
+sampled process noise and the measurement noise, its stationary covariance
+is obtained from a discrete Lyapunov equation, and the exact sampled cost
+matrices (Van Loan) are applied on top, plus the controller-independent
+inter-sample noise floor.
+
+At *pathological sampling periods* the sampled plant loses reachability or
+detectability, a Riccati equation has no stabilising solution, and the cost
+is reported as ``float('inf')`` -- reproducing the spikes of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.control.lqg import LqgDesign, design_lqg
+from repro.control.plants import Plant
+from repro.errors import NumericalError, RiccatiError, UnstableLoopError
+from repro.linalg.lyapunov import solve_dlyap
+from repro.lti.analysis import spectral_radius
+
+
+def closed_loop_matrices(design: LqgDesign) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble the closed loop driven by ``(w, e)``.
+
+    Returns ``(a_cl, b_w, b_e)`` for the state ``xi = (x, u_prev, xp)``
+    (the ``u_prev`` block is absent when the design has no delay), where
+    ``x`` is the true plant state, ``u_prev`` the in-flight control value,
+    and ``xp`` the filter's one-step prediction.
+    """
+    problem = design.problem
+    n = problem.n_plant
+    m = problem.gamma0.shape[1]
+    phi, gamma0, gamma1 = problem.phi, problem.gamma0, problem.gamma1
+    c = design.c_matrix
+    kf = design.kalman_gain
+    eye_n = np.eye(n)
+
+    if not problem.augmented:
+        lx = design.lqr_gain
+        # u = Ux xi + Ue e with xi = (x, xp).
+        u_x = np.hstack([-lx @ kf @ c, -lx @ (eye_n - kf @ c)])
+        u_e = -lx @ kf
+        base = np.block(
+            [
+                [phi, np.zeros((n, n))],
+                [phi @ kf @ c, phi @ (eye_n - kf @ c)],
+            ]
+        )
+        push = np.vstack([gamma0, gamma0])
+        a_cl = base + push @ u_x
+        b_w = np.vstack([eye_n, np.zeros((n, n))])
+        b_e = np.vstack([np.zeros((n, c.shape[0])), phi @ kf]) + push @ u_e
+        return a_cl, b_w, b_e
+
+    lx = design.lqr_gain[:, :n]
+    lu = design.lqr_gain[:, n:]
+    u_x = np.hstack([-lx @ kf @ c, -lu, -lx @ (eye_n - kf @ c)])
+    u_e = -lx @ kf
+    base = np.block(
+        [
+            [phi, gamma1, np.zeros((n, n))],
+            [np.zeros((m, n)), np.zeros((m, m)), np.zeros((m, n))],
+            [phi @ kf @ c, gamma1, phi @ (eye_n - kf @ c)],
+        ]
+    )
+    push = np.vstack([gamma0, np.eye(m), gamma0])
+    a_cl = base + push @ u_x
+    b_w = np.vstack([eye_n, np.zeros((m + n, n))])
+    b_e = np.vstack(
+        [np.zeros((n, c.shape[0])), np.zeros((m, c.shape[0])), phi @ kf]
+    ) + push @ u_e
+    return a_cl, b_w, b_e
+
+
+def control_input_maps(design: LqgDesign) -> tuple[np.ndarray, np.ndarray]:
+    """Maps ``(Ux, Ue)`` with ``u_k = Ux xi_k + Ue e_k`` (see above)."""
+    problem = design.problem
+    n = problem.n_plant
+    c = design.c_matrix
+    kf = design.kalman_gain
+    eye_n = np.eye(n)
+    if not problem.augmented:
+        lx = design.lqr_gain
+        return np.hstack([-lx @ kf @ c, -lx @ (eye_n - kf @ c)]), -lx @ kf
+    lx = design.lqr_gain[:, :n]
+    lu = design.lqr_gain[:, n:]
+    u_x = np.hstack([-lx @ kf @ c, -lu, -lx @ (eye_n - kf @ c)])
+    return u_x, -lx @ kf
+
+
+def closed_loop_cost(design: LqgDesign) -> float:
+    """Exact stationary continuous-time cost of the LQG closed loop.
+
+    Raises
+    ------
+    UnstableLoopError
+        If the assembled closed loop is not Schur stable (should not happen
+        for a successfully designed LQG controller; guards against
+        numerically marginal designs).
+    """
+    problem = design.problem
+    n = problem.n_plant
+    m = problem.gamma0.shape[1]
+    a_cl, b_w, b_e = closed_loop_matrices(design)
+    if spectral_radius(a_cl) >= 1.0 - 1e-10:
+        raise UnstableLoopError(
+            f"LQG closed loop marginally unstable (rho = {spectral_radius(a_cl):.8f})"
+        )
+    noise_input = b_w @ problem.r1_d @ b_w.T + b_e @ design.r2_d @ b_e.T
+    sigma = solve_dlyap(a_cl, noise_input)
+
+    u_x, u_e = control_input_maps(design)
+    nz = n + m if problem.augmented else n
+    z_sel = np.hstack([np.eye(nz), np.zeros((nz, a_cl.shape[0] - nz))])
+    m_xi = np.vstack([z_sel, u_x])
+    m_e = np.vstack([np.zeros((nz, u_e.shape[1])), u_e])
+    cov_v = m_xi @ sigma @ m_xi.T + m_e @ design.r2_d @ m_e.T
+    q_big = np.block(
+        [[problem.q1_z, problem.q12_z], [problem.q12_z.T, problem.q2_z]]
+    )
+    period_cost = float(np.trace(q_big @ cov_v)) + problem.noise_floor
+    return period_cost / problem.h
+
+
+def plant_lqg_cost(
+    plant: Plant,
+    h: float,
+    delay: float = 0.0,
+) -> float:
+    """Design the plant's LQG controller at ``(h, delay)`` and return its cost.
+
+    Pathological periods (no stabilising Riccati solution) and marginally
+    unstable loops are reported as ``float('inf')`` -- this is the exact
+    semantics the Fig. 2 sweep needs.
+    """
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    try:
+        design = design_lqg(plant.state_space(), h, delay, q1, q12, q2, r1, r2)
+        return closed_loop_cost(design)
+    except (RiccatiError, UnstableLoopError, NumericalError):
+        return float("inf")
+
+
+def cost_vs_period(
+    plant: Plant,
+    periods: Iterable[float],
+    delay: float = 0.0,
+) -> np.ndarray:
+    """Sweep the sampling period: the Fig. 2 curve for one plant.
+
+    Returns an array aligned with ``periods``; entries are ``inf`` at
+    pathological periods.
+    """
+    return np.array([plant_lqg_cost(plant, float(h), delay) for h in periods])

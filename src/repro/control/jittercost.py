@@ -1,0 +1,246 @@
+"""Expected LQG cost under response-time jitter (Jitterbug-style).
+
+The paper's stability analysis is binary: a ``(L, J)`` pair is in or out
+of the stable region.  Its companion tool in the literature (Jitterbug, by
+the same Lund group as the Jitter Margin toolbox) answers the quantitative
+question: *how much does jitter cost*?  This module reproduces that
+analysis for the library's LQG loops and connects the two views: as the
+jitter approaches the margin, the expected cost blows up.
+
+Model.  The controller is a fixed LQG design.  At period ``k`` the control
+task's actuation delay is a random variable ``delta_k``, i.i.d. over
+``[L, L + J]`` (uniform over a grid by default -- response times of a task
+under interference; independence is the standard Jitterbug approximation).
+The closed loop becomes a i.i.d.-jump linear system::
+
+    xi[k+1] = A(delta_k) xi[k] + B_w(delta_k) w[k] + B_e(delta_k) e[k]
+
+which is *mean-square stable* iff ``rho(E[A (x) A]) < 1`` (Kronecker
+lifting), in which case the stationary covariance solves the linear system
+``vec(Sigma) = E[A (x) A] vec(Sigma) + vec(E[B W B'])`` and the expected
+per-period cost follows from the delay-dependent sampled cost matrices.
+
+Scope: delays within one period (``L + J <= h``), the regime of all
+deadline-meeting control tasks in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.lqg import LqgDesign, sample_lq_problem
+from repro.errors import ModelError, UnstableLoopError
+from repro.lti.statespace import StateSpace
+
+
+@dataclass(frozen=True)
+class JitterCostResult:
+    """Expected cost of one loop under i.i.d. actuation-delay jitter."""
+
+    latency: float
+    jitter: float
+    expected_cost: float
+    mean_square_spectral_radius: float
+
+    @property
+    def mean_square_stable(self) -> bool:
+        return self.mean_square_spectral_radius < 1.0
+
+
+def _delay_closed_loop(
+    design: LqgDesign,
+    plant: StateSpace,
+    delay: float,
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+    r1: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    """Closed loop and cost data when the *actual* delay is ``delay``.
+
+    The controller is the fixed design (built for its own nominal delay);
+    only the plant-side input weights ``Gamma1(delay), Gamma0(delay)`` and
+    the sampled cost matrices move with the actual delay.
+
+    Returns ``(a_cl, b_w, b_e, m_xi, m_e, q_big, noise_floor)`` where
+    ``zeta = m_xi xi + m_e e`` are the cost coordinates
+    ``(x, u_prev, u_new)`` and ``q_big`` their quadratic weight.
+    """
+    problem = sample_lq_problem(plant, design.problem.h, delay, q1, q12, q2, r1)
+    n = problem.n_plant
+    m = problem.gamma0.shape[1]
+    controller = design.controller
+    nc = controller.n_states
+
+    # Closed-loop state xi = (x, u_prev, xc): the true plant state, the
+    # in-flight control value, and the controller's internal state.  The
+    # controller consumes y = C x + e and emits u_new.
+    c = design.c_matrix
+    p_outputs = c.shape[0]
+    a_cl = np.zeros((n + m + nc, n + m + nc))
+    a_cl[:n, :n] = problem.phi
+    a_cl[:n, n : n + m] = problem.gamma1
+    # u_new = Cc xc + Dc (C x + e)
+    u_row = np.zeros((m, n + m + nc))
+    u_row[:, :n] = controller.d @ c
+    u_row[:, n + m :] = controller.c
+    u_e = controller.d
+    a_cl[:n, :] += problem.gamma0 @ u_row
+    a_cl[n : n + m, :] = u_row
+    a_cl[n + m :, :n] = controller.b @ c
+    a_cl[n + m :, n + m :] = controller.a
+
+    b_w = np.zeros((n + m + nc, n))
+    b_w[:n, :] = np.eye(n)
+    b_e = np.zeros((n + m + nc, p_outputs))
+    b_e[:n, :] = problem.gamma0 @ u_e
+    b_e[n : n + m, :] = u_e
+    b_e[n + m :, :] = controller.b
+
+    # Cost coordinates zeta = (x, u_prev, u_new).
+    if problem.augmented:
+        nz = n + m
+        m_xi = np.zeros((nz + m, n + m + nc))
+        m_xi[:nz, :nz] = np.eye(nz)
+        m_xi[nz:, :] = u_row
+        m_e = np.vstack([np.zeros((nz, p_outputs)), u_e])
+        q_big = np.block(
+            [[problem.q1_z, problem.q12_z], [problem.q12_z.T, problem.q2_z]]
+        )
+    else:
+        # delay == 0: cost coordinates are (x, u_new); u_prev is inert.
+        m_xi = np.zeros((n + m, n + m + nc))
+        m_xi[:n, :n] = np.eye(n)
+        m_xi[n:, :] = u_row
+        m_e = np.vstack([np.zeros((n, p_outputs)), u_e])
+        q_big = np.block(
+            [[problem.q1_z, problem.q12_z], [problem.q12_z.T, problem.q2_z]]
+        )
+    return a_cl, b_w, b_e, m_xi, m_e, q_big, problem.noise_floor
+
+
+def expected_cost_under_jitter(
+    design: LqgDesign,
+    plant: StateSpace,
+    latency: float,
+    jitter: float,
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+    r1: np.ndarray,
+    *,
+    delay_points: int = 9,
+    weights: Optional[Sequence[float]] = None,
+) -> JitterCostResult:
+    """Expected stationary cost with actuation delay uniform on [L, L+J].
+
+    Parameters
+    ----------
+    design:
+        A fixed LQG design (its own nominal delay may differ from ``L``).
+    plant:
+        Continuous plant the loop controls.
+    latency, jitter:
+        Delay interval ``[latency, latency + jitter]``; must fit within
+        one period (``<= h``), the paper's deadline-meeting regime.
+    delay_points:
+        Grid resolution of the delay distribution.
+    weights:
+        Optional probability weights over the grid (defaults to uniform).
+
+    Raises
+    ------
+    ModelError
+        On inconsistent dimensions or out-of-range delays.
+    UnstableLoopError
+        If the jittery loop is not mean-square stable (expected cost is
+        infinite); callers producing curves usually catch this and plot
+        ``inf``, mirroring Fig. 2's pathological spikes.
+    """
+    h = design.problem.h
+    if latency < 0 or jitter < 0:
+        raise ModelError("latency and jitter must be non-negative")
+    if latency + jitter > h + 1e-12:
+        raise ModelError(
+            f"delays beyond one period are out of scope: L+J = "
+            f"{latency + jitter} > h = {h}"
+        )
+    if delay_points < 1:
+        raise ModelError("need at least one delay grid point")
+    if jitter == 0.0:
+        delays = np.array([latency])
+    else:
+        delays = np.linspace(latency, latency + jitter, delay_points)
+    if weights is None:
+        probabilities = np.full(delays.size, 1.0 / delays.size)
+    else:
+        probabilities = np.asarray(list(weights), dtype=float)
+        if probabilities.shape != delays.shape:
+            raise ModelError("weights must match the delay grid size")
+        if np.any(probabilities < 0) or abs(probabilities.sum() - 1.0) > 1e-9:
+            raise ModelError("weights must be a probability distribution")
+
+    pieces = [
+        _delay_closed_loop(design, plant, float(d), q1, q12, q2, r1)
+        for d in delays
+    ]
+    size = pieces[0][0].shape[0]
+    kron_mean = np.zeros((size * size, size * size))
+    input_mean = np.zeros((size, size))
+    for prob, (a_cl, b_w, b_e, _, _, _, _) in zip(probabilities, pieces):
+        kron_mean += prob * np.kron(a_cl, a_cl)
+        input_mean += prob * (
+            b_w @ design.problem.r1_d @ b_w.T + b_e @ design.r2_d @ b_e.T
+        )
+
+    ms_radius = float(np.max(np.abs(np.linalg.eigvals(kron_mean))))
+    if ms_radius >= 1.0 - 1e-10:
+        raise UnstableLoopError(
+            f"loop is not mean-square stable under jitter J = {jitter:g} "
+            f"(rho = {ms_radius:.6f}); expected cost is infinite"
+        )
+    vec_sigma = np.linalg.solve(
+        np.eye(size * size) - kron_mean, input_mean.reshape(size * size)
+    )
+    sigma = vec_sigma.reshape(size, size)
+    sigma = 0.5 * (sigma + sigma.T)
+
+    expected_cost = 0.0
+    for prob, (_, _, _, m_xi, m_e, q_big, noise_floor) in zip(probabilities, pieces):
+        cov_v = m_xi @ sigma @ m_xi.T + m_e @ design.r2_d @ m_e.T
+        expected_cost += prob * (float(np.trace(q_big @ cov_v)) + noise_floor)
+    return JitterCostResult(
+        latency=float(latency),
+        jitter=float(jitter),
+        expected_cost=expected_cost / h,
+        mean_square_spectral_radius=ms_radius,
+    )
+
+
+def cost_vs_jitter(
+    design: LqgDesign,
+    plant: StateSpace,
+    latency: float,
+    jitters: Sequence[float],
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+    r1: np.ndarray,
+    *,
+    delay_points: int = 9,
+) -> np.ndarray:
+    """Expected-cost curve over a jitter sweep; ``inf`` past MS stability."""
+    costs = []
+    for jitter in jitters:
+        try:
+            result = expected_cost_under_jitter(
+                design, plant, latency, float(jitter), q1, q12, q2, r1,
+                delay_points=delay_points,
+            )
+            costs.append(result.expected_cost)
+        except (UnstableLoopError, ModelError):
+            costs.append(float("inf"))
+    return np.array(costs)

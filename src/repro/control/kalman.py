@@ -1,0 +1,44 @@
+"""Stationary Kalman filter design for sampled measurements.
+
+The LQG pipeline needs the stationary (steady-state) filter for the sampled
+plant ``x[k+1] = Phi x[k] + ... + w[k]``, ``y[k] = C x[k] + e[k]``.  The
+prediction-error covariance solves the filtering DARE, which is the dual of
+the control DARE -- so the same doubling solver is reused with transposed
+data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.riccati import solve_dare
+
+
+def kalman_gain(
+    phi: np.ndarray,
+    c: np.ndarray,
+    r1: np.ndarray,
+    r2: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(P, Kf)`` -- prediction covariance and *filter* gain.
+
+    ``P`` solves ``P = Phi P Phi' + R1 - Phi P C'(C P C' + R2)^-1 C P Phi'``
+    and ``Kf = P C' (C P C' + R2)^-1`` performs the measurement update
+    ``xf = xp + Kf (y - C xp)``.  The *predictor* gain is ``Phi Kf``.
+
+    Raises
+    ------
+    RiccatiError
+        If the pair ``(Phi, C)`` is undetectable from the sampled output
+        (e.g. a pathological sampling period for an oscillatory plant).
+    """
+    phi = np.atleast_2d(np.asarray(phi, dtype=float))
+    c = np.atleast_2d(np.asarray(c, dtype=float))
+    r1 = np.atleast_2d(np.asarray(r1, dtype=float))
+    r2 = np.atleast_2d(np.asarray(r2, dtype=float))
+    p_cov = solve_dare(phi.T, c.T, r1, r2)
+    innovation = c @ p_cov @ c.T + r2
+    kf = np.linalg.solve(innovation.T, (p_cov @ c.T).T).T
+    return p_cov, kf

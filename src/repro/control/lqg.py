@@ -1,0 +1,312 @@
+"""Sampled-data LQG design with input delay.
+
+Implements the textbook pipeline (Astrom & Wittenmark, *Computer-Controlled
+Systems*, ch. 11) used by the paper's references to design the control
+tasks:
+
+1.  **Sampling the LQ problem** (:func:`sample_lq_problem`): the continuous
+    plant ``dx = Ax + Bu dt + dv`` with quadratic cost
+    ``integral x'Q1 x + 2 x'Q12 u + u'Q2 u dt`` is converted into an exact
+    discrete LQ problem over one period ``h`` with a constant input delay
+    ``tau in [0, h]``.  With a delay the discrete state is augmented to
+    ``z = (x[k], u[k-1])`` because the previous control value is still in
+    flight at each sampling instant.
+2.  **LQR** via the DARE with cross terms.
+3.  **Stationary Kalman filter** for the sampled measurements.
+4.  **Controller realisation** (:class:`LqgDesign.controller`): the
+    measurement-to-control law as a discrete :class:`StateSpace`, ready for
+    closed-loop (jitter-margin) analysis.  The sign convention is
+    ``u = K(y)`` with the negative feedback folded in, so the loop closes
+    with *positive* interconnection of plant and controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.control.kalman import kalman_gain
+from repro.errors import ModelError
+from repro.linalg.riccati import dare_gain, solve_dare
+from repro.linalg.vanloan import (
+    vanloan_cost,
+    vanloan_double_integral,
+    vanloan_dynamics_noise,
+)
+from repro.lti.discretize import held_input_weights
+from repro.lti.statespace import StateSpace
+
+
+@dataclass(frozen=True)
+class SampledLqProblem:
+    """Exact discrete equivalent of a continuous LQG problem.
+
+    State coordinates are ``z = x`` when ``delay == 0`` and
+    ``z = (x, u_prev)`` when ``delay > 0``.  Cost matrices satisfy
+
+    ``E integral_kh^{(k+1)h} (x'Q1x + 2x'Q12u + u'Q2u) dt
+       = E[z'Q1z z + 2 z'Q12z u + u'Q2z u] + noise_floor``
+
+    where ``u`` is the control value computed at instant ``kh`` (applied at
+    ``kh + delay``) and ``noise_floor`` is the controller-independent cost
+    of process noise accumulating between samples.
+    """
+
+    h: float
+    delay: float
+    n_plant: int
+    phi: np.ndarray          # plant-state transition over one period
+    gamma1: np.ndarray       # weight of the in-flight (previous) input
+    gamma0: np.ndarray       # weight of the freshly computed input
+    a_z: np.ndarray          # augmented dynamics
+    b_z: np.ndarray          # augmented input matrix
+    q1_z: np.ndarray
+    q12_z: np.ndarray
+    q2_z: np.ndarray
+    r1_d: np.ndarray         # sampled process-noise covariance (plant state)
+    noise_floor: float       # inter-sample noise cost per period
+
+    @property
+    def augmented(self) -> bool:
+        return self.delay > 0.0
+
+
+def sample_lq_problem(
+    plant: StateSpace,
+    h: float,
+    delay: float,
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+    r1: np.ndarray,
+) -> SampledLqProblem:
+    """Sample a continuous LQG problem over period ``h`` with delay.
+
+    Parameters
+    ----------
+    plant:
+        Continuous-time plant (no direct feed-through).
+    h:
+        Sampling period (> 0).
+    delay:
+        Constant input delay in ``[0, h]``.
+    q1, q12, q2:
+        Continuous cost weights on ``(x, u)``.
+    r1:
+        Intensity of the continuous process noise.
+    """
+    if plant.is_discrete:
+        raise ModelError("sample_lq_problem expects a continuous plant")
+    if h <= 0:
+        raise ModelError(f"period must be positive, got {h}")
+    if not 0.0 <= delay <= h + 1e-15:
+        raise ModelError(f"delay must lie in [0, h]=[0, {h}], got {delay}")
+    delay = min(delay, h)
+
+    a, b = plant.a, plant.b
+    n, m = a.shape[0], b.shape[1]
+    q1 = np.atleast_2d(np.asarray(q1, dtype=float))
+    q12 = np.asarray(q12, dtype=float).reshape(n, m)
+    q2 = np.atleast_2d(np.asarray(q2, dtype=float))
+
+    phi, gamma1, gamma0 = held_input_weights(a, b, h, delay)
+    _, r1_d = vanloan_dynamics_noise(a, r1, h)
+    noise_floor = vanloan_double_integral(a, q1, r1, h)
+
+    a_bar = np.zeros((n + m, n + m))
+    a_bar[:n, :n] = a
+    a_bar[:n, n:] = b
+    q_bar = np.block([[q1, q12], [q12.T, q2]])
+
+    if delay == 0.0:
+        # Single segment [0, h) driven by the fresh input.
+        _, q_d = vanloan_cost(a_bar, q_bar, h)
+        return SampledLqProblem(
+            h=h,
+            delay=0.0,
+            n_plant=n,
+            phi=phi,
+            gamma1=np.zeros((n, m)),
+            gamma0=gamma0,
+            a_z=phi,
+            b_z=gamma0,
+            q1_z=q_d[:n, :n],
+            q12_z=q_d[:n, n:],
+            q2_z=q_d[n:, n:],
+            r1_d=r1_d,
+            noise_floor=noise_floor,
+        )
+
+    # Two segments: [0, delay) under u_prev, [delay, h) under u_new.
+    _, q_head = vanloan_cost(a_bar, q_bar, delay)
+    _, q_tail = vanloan_cost(a_bar, q_bar, h - delay)
+    # Over [0, delay) the held input is u_prev:
+    # x(delay) = phi_head x + (int_0^delay e^{As} ds B) u_prev.
+    phi_head, _, gamma_head = held_input_weights(a, b, delay, 0.0)
+
+    # Coordinates zeta = (x, u_prev, u_new).
+    s_head = np.zeros((n + m, n + 2 * m))
+    s_head[:n, :n] = np.eye(n)
+    s_head[n:, n : n + m] = np.eye(m)
+    s_tail = np.zeros((n + m, n + 2 * m))
+    s_tail[:n, :n] = phi_head
+    s_tail[:n, n : n + m] = gamma_head
+    s_tail[n:, n + m :] = np.eye(m)
+    q_zeta = s_head.T @ q_head @ s_head + s_tail.T @ q_tail @ s_tail
+    q_zeta = 0.5 * (q_zeta + q_zeta.T)
+
+    nz = n + m
+    a_z = np.zeros((nz, nz))
+    a_z[:n, :n] = phi
+    a_z[:n, n:] = gamma1
+    b_z = np.zeros((nz, m))
+    b_z[:n, :] = gamma0
+    b_z[n:, :] = np.eye(m)
+
+    return SampledLqProblem(
+        h=h,
+        delay=delay,
+        n_plant=n,
+        phi=phi,
+        gamma1=gamma1,
+        gamma0=gamma0,
+        a_z=a_z,
+        b_z=b_z,
+        q1_z=q_zeta[:nz, :nz],
+        q12_z=q_zeta[:nz, nz:],
+        q2_z=q_zeta[nz:, nz:],
+        r1_d=r1_d,
+        noise_floor=noise_floor,
+    )
+
+
+@dataclass(frozen=True)
+class LqgDesign:
+    """A complete sampled-data LQG controller.
+
+    Attributes
+    ----------
+    problem:
+        The sampled LQ problem the controller optimises.
+    lqr_gain:
+        State-feedback gain ``L`` on the (possibly augmented) state ``z``.
+    riccati_solution:
+        Stabilising DARE solution (useful for cost formulas and tests).
+    kalman_gain:
+        *Filter* gain ``Kf`` (measurement update, a.k.a. filtered form).
+    error_covariance:
+        Stationary one-step-prediction error covariance ``P``.
+    controller:
+        Discrete LTI controller from measurement ``y`` to control ``u``
+        (negative feedback folded into the sign).
+    c_matrix:
+        Plant output matrix (kept for closed-loop assembly).
+    r2_d:
+        Measurement-noise covariance used by the filter.
+    """
+
+    problem: SampledLqProblem
+    lqr_gain: np.ndarray
+    riccati_solution: np.ndarray
+    kalman_gain: np.ndarray
+    error_covariance: np.ndarray
+    controller: StateSpace
+    c_matrix: np.ndarray
+    r2_d: np.ndarray
+
+
+def design_lqg(
+    plant: StateSpace,
+    h: float,
+    delay: float,
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+    r1: np.ndarray,
+    r2: np.ndarray,
+) -> LqgDesign:
+    """Design a sampled-data LQG controller.
+
+    Raises
+    ------
+    RiccatiError
+        If either Riccati equation has no stabilising solution (pathological
+        sampling period, unreachable/undetectable sampled plant).
+    """
+    problem = sample_lq_problem(plant, h, delay, q1, q12, q2, r1)
+    n, m = problem.n_plant, problem.gamma0.shape[1]
+    c = plant.c
+    r2 = np.atleast_2d(np.asarray(r2, dtype=float))
+
+    # At delay == h the fresh input is inactive within its own period, so
+    # its sampled weight q2_z is exactly singular even though the problem is
+    # well posed (the input is paid for one period later through u_prev).
+    # A ridge many orders below the continuous weight keeps the DARE
+    # regular without measurably changing the design.
+    q2_z = problem.q2_z
+    ridge = 1e-12 * max(1.0, float(np.trace(np.atleast_2d(q2)))) * problem.h
+    q2_z = q2_z + ridge * np.eye(m)
+
+    s_matrix = solve_dare(problem.a_z, problem.b_z, problem.q1_z, q2_z, problem.q12_z)
+    _, gain = dare_gain(problem.a_z, problem.b_z, problem.q1_z, q2_z, problem.q12_z)
+
+    # Stationary filter on the plant state: predictor DARE (dual problem).
+    p_cov, kf = kalman_gain(problem.phi, c, problem.r1_d, r2)
+
+    controller = _assemble_controller(problem, gain, kf, c)
+
+    return LqgDesign(
+        problem=problem,
+        lqr_gain=gain,
+        riccati_solution=s_matrix,
+        kalman_gain=kf,
+        error_covariance=p_cov,
+        controller=controller,
+        c_matrix=c.copy(),
+        r2_d=r2,
+    )
+
+
+def _assemble_controller(
+    problem: SampledLqProblem,
+    gain: np.ndarray,
+    kf: np.ndarray,
+    c: np.ndarray,
+) -> StateSpace:
+    """Realise the LQG law as a discrete system from ``y`` to ``u``.
+
+    The controller runs, at every sampling instant ``kh``:
+
+    1. measurement update  ``xf = xp + Kf (y - C xp)``
+    2. control computation ``u = -Lx xf - Lu u_prev``
+    3. time update         ``xp+ = Phi xf + Gamma1 u_prev + Gamma0 u``
+
+    where ``xp`` is the one-step prediction of the plant state.  With no
+    delay the ``u_prev`` channel disappears.
+    """
+    n = problem.n_plant
+    m = problem.gamma0.shape[1]
+    phi, gamma0, gamma1 = problem.phi, problem.gamma0, problem.gamma1
+    eye_n = np.eye(n)
+
+    if not problem.augmented:
+        lx = gain
+        c_ctrl = -lx @ (eye_n - kf @ c)
+        d_ctrl = -lx @ kf
+        a_ctrl = phi @ (eye_n - kf @ c) + gamma0 @ c_ctrl
+        b_ctrl = phi @ kf + gamma0 @ d_ctrl
+        return StateSpace(a_ctrl, b_ctrl, c_ctrl, d_ctrl, dt=problem.h)
+
+    lx = gain[:, :n]
+    lu = gain[:, n:]
+    # Controller state: (xp, u_prev).
+    c_row = np.hstack([-lx @ (eye_n - kf @ c), -lu])
+    d_ctrl = -lx @ kf
+    a_ctrl = np.zeros((n + m, n + m))
+    a_ctrl[:n, :n] = phi @ (eye_n - kf @ c)
+    a_ctrl[:n, n:] = gamma1
+    a_ctrl += np.vstack([gamma0, np.eye(m)]) @ c_row
+    b_ctrl = np.vstack([phi @ kf, np.zeros((m, m))]) + np.vstack([gamma0, np.eye(m)]) @ d_ctrl
+    return StateSpace(a_ctrl, b_ctrl, c_row, d_ctrl, dt=problem.h)

@@ -1,0 +1,47 @@
+"""Discrete LQR helpers.
+
+Thin convenience layer over :func:`repro.linalg.riccati.dare_gain` used both
+directly (state-feedback experiments) and by the LQG pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.riccati import dare_gain
+from repro.lti.statespace import StateSpace
+from repro.control.lqg import sample_lq_problem
+
+
+def sampled_lqr_gain(
+    plant: StateSpace,
+    h: float,
+    delay: float,
+    q1: np.ndarray,
+    q12: np.ndarray,
+    q2: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """LQR gain for the exactly sampled continuous cost.
+
+    Returns ``(S, L)`` -- the Riccati solution and the feedback gain on the
+    sampled (and, with delay, augmented) state.  The continuous process
+    noise does not influence the optimal gain, so it is set to zero here.
+    """
+    n = plant.n_states
+    problem = sample_lq_problem(plant, h, delay, q1, q12, q2, np.zeros((n, n)))
+    return dare_gain(
+        problem.a_z, problem.b_z, problem.q1_z, problem.q2_z, problem.q12_z
+    )
+
+
+def dlqr(
+    a: np.ndarray,
+    b: np.ndarray,
+    q: np.ndarray,
+    r: np.ndarray,
+    n_cross: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain discrete LQR: returns ``(S, L)`` with ``u = -L x`` optimal."""
+    return dare_gain(a, b, q, r, n_cross)

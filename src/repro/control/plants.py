@@ -1,0 +1,206 @@
+"""Benchmark plant database.
+
+The paper's experiments draw their plants "from [4], [14]" -- Cervin et al.
+(the jitter-margin paper, whose running example is the DC servo
+``1000 / (s^2 + s)``) and Astrom & Wittenmark's *Computer-Controlled
+Systems* (integrators, lags, inverted pendulum, oscillatory plants).  This
+module collects those plants together with the design data each one needs:
+
+* the continuous transfer function,
+* LQG weights (state / input) and noise intensities,
+* a realistic sampling-period range used by the benchmark generator (rule
+  of thumb: ``omega_c * h`` in roughly ``[0.1, 0.6]`` where ``omega_c``
+  scales with the plant's dominant dynamics -- A&W sec. 4.4).
+
+Each :class:`Plant` is a frozen value object; controller design happens in
+:mod:`repro.control.lqg`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lti.statespace import StateSpace
+from repro.lti.transferfunction import TransferFunction
+
+
+@dataclass(frozen=True)
+class Plant:
+    """A controlled plant plus its LQG design data.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used by the benchmark generator and caches.
+    tf:
+        Continuous-time transfer function of the plant.
+    period_range:
+        ``(h_min, h_max)`` of sampling periods the benchmark generator may
+        assign to a control task of this plant.
+    output_weight:
+        Scalar weight on the squared plant output in the continuous cost
+        (the state weight is ``output_weight * C' C``).
+    input_weight:
+        Scalar weight on the squared control signal.
+    noise_intensity:
+        Intensity of white process noise entering at the plant input
+        (``R1 = noise_intensity * B B'``).
+    measurement_variance:
+        Variance of the discrete measurement noise.
+    description:
+        Human-readable provenance.
+    """
+
+    name: str
+    tf: TransferFunction
+    period_range: Tuple[float, float]
+    output_weight: float = 1.0
+    input_weight: float = 1e-4
+    noise_intensity: float = 1.0
+    measurement_variance: float = 1e-4
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        h_min, h_max = self.period_range
+        if not (0 < h_min <= h_max):
+            raise ModelError(
+                f"plant {self.name!r}: invalid period range {self.period_range}"
+            )
+        if self.input_weight <= 0 or self.measurement_variance <= 0:
+            raise ModelError(
+                f"plant {self.name!r}: input weight and measurement variance "
+                "must be positive for a well-posed LQG problem"
+            )
+
+    def state_space(self) -> StateSpace:
+        """Continuous controllable-canonical realisation."""
+        return self.tf.to_ss()
+
+    @property
+    def order(self) -> int:
+        return self.tf.order
+
+    def cost_weights(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(Q1, Q12, Q2)`` of the continuous quadratic cost."""
+        system = self.state_space()
+        q1 = self.output_weight * (system.c.T @ system.c)
+        q12 = np.zeros((system.n_states, system.n_inputs))
+        q2 = self.input_weight * np.eye(system.n_inputs)
+        return q1, q12, q2
+
+    def noise_model(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(R1, R2)``: process-noise intensity and measurement variance."""
+        system = self.state_space()
+        r1 = self.noise_intensity * (system.b @ system.b.T)
+        r2 = self.measurement_variance * np.eye(system.n_outputs)
+        return r1, r2
+
+
+def _build_library() -> Dict[str, Plant]:
+    omega_res = 4.0 * math.pi  # resonant mode at 2 Hz: pathological h = k/4 s
+    plants = [
+        Plant(
+            name="dc_servo",
+            tf=TransferFunction([1000.0], [1.0, 1.0, 0.0]),
+            period_range=(0.002, 0.010),
+            input_weight=0.02,
+            description=(
+                "DC servo 1000/(s^2+s); the running example of the jitter "
+                "margin paper [4] and of Fig. 4 of the reproduced paper."
+            ),
+        ),
+        Plant(
+            name="dc_servo_slow",
+            tf=TransferFunction([10.0], [1.0, 1.0, 0.0]),
+            period_range=(0.02, 0.12),
+            input_weight=0.2,
+            description="Slow DC servo variant (gain 10).",
+        ),
+        Plant(
+            name="motor_speed",
+            tf=TransferFunction([1.0], [1.0, 1.0]),
+            period_range=(0.05, 0.3),
+            input_weight=0.01,
+            description="First-order lag 1/(s+1): motor speed loop (A&W).",
+        ),
+        Plant(
+            name="integrator",
+            tf=TransferFunction([1.0], [1.0, 0.0]),
+            period_range=(0.05, 0.3),
+            input_weight=0.1,
+            description="Pure integrator 1/s (A&W).",
+        ),
+        Plant(
+            name="double_integrator",
+            tf=TransferFunction([1.0], [1.0, 0.0, 0.0]),
+            period_range=(0.02, 0.1),
+            input_weight=1e-3,
+            description="Double integrator 1/s^2 (A&W).",
+        ),
+        Plant(
+            name="inverted_pendulum",
+            tf=TransferFunction([9.0], [1.0, 0.0, -9.0]),
+            period_range=(0.01, 0.04),
+            description=(
+                "Inverted pendulum linearisation 9/(s^2-9): open-loop "
+                "unstable plant (A&W); needs fast sampling."
+            ),
+        ),
+        Plant(
+            name="resonant_servo",
+            tf=TransferFunction(
+                [omega_res**2],
+                [1.0, 2.0 * 0.0002 * omega_res, omega_res**2],
+            ),
+            period_range=(0.02, 0.2),
+            input_weight=1e-3,
+            description=(
+                "Very lightly damped resonance at 2 Hz.  Sampling at (near) "
+                "multiples of the half-oscillation period k/4 s makes the "
+                "sampled plant (almost) unreachable (Kalman-Ho-Narendra); "
+                "drives the pathological spikes of Fig. 2."
+            ),
+        ),
+        Plant(
+            name="harmonic_oscillator",
+            tf=TransferFunction([omega_res**2], [1.0, 0.0, omega_res**2]),
+            period_range=(0.02, 0.2),
+            input_weight=1e-3,
+            description=(
+                "Undamped oscillator at 2 Hz; exactly unreachable when "
+                "sampled at h = k/4 s, where the LQG problem has no "
+                "stabilising solution and the cost is infinite."
+            ),
+        ),
+    ]
+    return {plant.name: plant for plant in plants}
+
+
+PLANT_LIBRARY: Dict[str, Plant] = _build_library()
+
+#: Names of plants the benchmark generator samples from (Table I / Fig. 5).
+#: The deliberately pathological resonant plants are excluded -- the paper's
+#: benchmarks use ordinary plants, and the anomalies it studies come from
+#: *scheduling*, not from pathological sampling.
+BENCHMARK_PLANT_NAMES: Tuple[str, ...] = (
+    "dc_servo",
+    "dc_servo_slow",
+    "motor_speed",
+    "integrator",
+    "double_integrator",
+    "inverted_pendulum",
+)
+
+
+def get_plant(name: str) -> Plant:
+    """Look a plant up by name, with a helpful error message."""
+    try:
+        return PLANT_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(PLANT_LIBRARY))
+        raise ModelError(f"unknown plant {name!r}; known plants: {known}") from None

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch one base class.  Numerical failures (unsolvable Riccati equations,
+unstable closed loops with unbounded cost) are distinguished from modelling
+errors (ill-formed task sets, dimension mismatches) because experiment
+drivers treat them differently: a numerical failure of a *candidate* design
+is data (e.g. a pathological sampling period), while a modelling error is a
+bug in the caller.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class DimensionError(ReproError, ValueError):
+    """A matrix or signal has an incompatible shape."""
+
+
+class ModelError(ReproError, ValueError):
+    """A system, task, or task-set description is ill-formed."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical routine failed to converge or produced garbage."""
+
+
+class RiccatiError(NumericalError):
+    """The (discrete) algebraic Riccati equation has no stabilising solution.
+
+    This happens, in particular, at the *pathological sampling periods* of
+    Fig. 2 of the paper, where the sampled plant loses reachability or
+    observability (Kalman-Ho-Narendra).  Callers that sweep the sampling
+    period treat this as "cost = infinity", not as a crash.
+    """
+
+
+class UnstableLoopError(NumericalError):
+    """A closed loop required to be stable has spectral radius >= 1."""
+
+
+class ScheduleError(ReproError):
+    """A scheduling analysis cannot produce a meaningful answer.
+
+    Raised e.g. when the response-time fixed point diverges because the task
+    set over-utilises the processor.
+    """

@@ -1,0 +1,100 @@
+"""Figure 4: stability curve and its linear lower bound.
+
+The paper's Fig. 4 shows, for a DC servo (``1000/(s^2+s)``) under a
+discrete LQG controller at ``h = 6 ms``, the maximum tolerable
+response-time jitter as a function of the constant latency, together with
+the conservative linear bound ``L + a J <= b`` of eq. (5).
+
+The driver reproduces both curves and verifies the bound's safety (the
+line never exceeds the curve at any sampled latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.control.lqg import design_lqg
+from repro.control.plants import Plant, get_plant
+from repro.experiments.report import format_table
+from repro.jittermargin.curve import StabilityCurve, stability_curve
+from repro.jittermargin.linearbound import LinearStabilityBound, fit_linear_bound
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Sampled stability curve plus fitted linear bound."""
+
+    plant_name: str
+    h: float
+    curve: StabilityCurve
+    bound: LinearStabilityBound
+
+    def linear_bound_jitter(self, latency: float) -> float:
+        """Jitter allowed by the linear bound at a latency (>= 0 clipped)."""
+        return max(0.0, (self.bound.b - latency) / self.bound.a)
+
+    @property
+    def bound_is_safe(self) -> bool:
+        """Line below curve at every sampled latency (inside stable range)."""
+        for latency, margin in zip(self.curve.latencies, self.curve.margins):
+            allowed = self.linear_bound_jitter(float(latency))
+            if math.isnan(margin):
+                if allowed > 1e-12:
+                    return False
+                continue
+            if allowed > margin + 1e-9:
+                return False
+        return True
+
+    def render(self) -> str:
+        rows = []
+        for latency, margin in zip(self.curve.latencies, self.curve.margins):
+            rows.append(
+                (
+                    latency * 1e3,
+                    margin * 1e3 if not math.isnan(margin) else float("nan"),
+                    self.linear_bound_jitter(float(latency)) * 1e3,
+                )
+            )
+        table = format_table(
+            ["L (ms)", "J_max curve (ms)", "J linear bound (ms)"],
+            rows,
+            title=(
+                f"Figure 4 reproduction: stability curve, {self.plant_name}, "
+                f"h = {self.h * 1e3:g} ms"
+            ),
+        )
+        footer = (
+            f"\nlinear bound: L + {self.bound.a:.3f} * J <= "
+            f"{self.bound.b * 1e3:.3f} ms   (safe: {self.bound_is_safe})"
+        )
+        return table + footer
+
+
+def run_fig4(
+    *,
+    plant: Optional[Plant] = None,
+    h: float = 0.006,
+    nominal_delay: float = 0.0,
+    points: int = 41,
+    max_latency_factor: float = 2.0,
+) -> Fig4Result:
+    """Reproduce Fig. 4 (defaults: DC servo, h = 6 ms, as in the paper)."""
+    plant = plant or get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    design = design_lqg(plant.state_space(), h, nominal_delay, q1, q12, q2, r1, r2)
+    curve = stability_curve(
+        plant.state_space(),
+        design.controller,
+        h,
+        points=points,
+        max_latency_factor=max_latency_factor,
+        label=f"{plant.name} @ h={h:g}",
+    )
+    bound = fit_linear_bound(curve)
+    return Fig4Result(plant_name=plant.name, h=h, curve=curve, bound=bound)

@@ -1,0 +1,106 @@
+"""Extension experiment: expected cost vs jitter, against the margin.
+
+Not a figure of the paper, but the quantitative companion its discussion
+implies (and the reason jitter appears in the stability constraint with a
+weight ``a >= 1``): the expected LQG cost of a loop rises with
+response-time jitter and diverges as the jitter approaches the loop's
+tolerance.  The driver overlays three objects computed by entirely
+different parts of the library -- the cost curve (Kronecker-lifted jump
+system), the small-gain jitter margin, and the linear bound of eq. (5) --
+and checks they tell a consistent story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.control.jittercost import cost_vs_jitter
+from repro.control.lqg import design_lqg
+from repro.control.plants import Plant, get_plant
+from repro.experiments.report import format_table
+from repro.jittermargin.linearbound import fit_linear_bound
+from repro.jittermargin.curve import stability_curve
+from repro.jittermargin.margin import jitter_margin
+
+
+@dataclass(frozen=True)
+class JitterCurveResult:
+    """Cost-vs-jitter sweep plus both stability-side verdicts."""
+
+    plant_name: str
+    h: float
+    latency: float
+    jitters: np.ndarray
+    costs: np.ndarray
+    margin: float
+    linear_budget: float
+
+    @property
+    def consistent(self) -> bool:
+        """All jitters within the margin have finite expected cost."""
+        inside = self.jitters <= self.margin + 1e-12
+        return bool(np.all(np.isfinite(self.costs[inside])))
+
+    @property
+    def cost_blowup_factor(self) -> float:
+        """Cost at the last finite point relative to the jitter-free cost."""
+        finite = np.isfinite(self.costs)
+        if not np.any(finite):
+            return float("inf")
+        return float(self.costs[finite][-1] / self.costs[finite][0])
+
+    def render(self) -> str:
+        rows = []
+        for jitter, cost in zip(self.jitters, self.costs):
+            verdict = "stable" if jitter <= self.margin else "past margin"
+            rows.append((jitter * 1e3, cost, verdict))
+        table = format_table(
+            ["J (ms)", "expected cost", "small-gain verdict"],
+            rows,
+            title=(
+                f"Extension: expected LQG cost vs jitter "
+                f"({self.plant_name}, h = {self.h * 1e3:g} ms, "
+                f"L = {self.latency * 1e3:g} ms)"
+            ),
+        )
+        footer = (
+            f"\njitter margin = {self.margin * 1e3:.3f} ms; linear-bound "
+            f"budget = {self.linear_budget * 1e3:.3f} ms; margin-consistent: "
+            f"{self.consistent}; cost blow-up across sweep: "
+            f"x{self.cost_blowup_factor:.1f}"
+        )
+        return table + footer
+
+
+def run_jittercurve(
+    *,
+    plant: Optional[Plant] = None,
+    h: float = 0.006,
+    latency: float = 0.0,
+    points: int = 15,
+) -> JitterCurveResult:
+    """Sweep expected cost over jitter for one loop (default: Fig. 4's)."""
+    plant = plant or get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    ss = plant.state_space()
+    design = design_lqg(ss, h, latency, q1, q12, q2, r1, r2)
+    margin = jitter_margin(ss, design.controller, h, latency)
+    curve = stability_curve(ss, design.controller, h)
+    bound = fit_linear_bound(curve)
+    linear_budget = max(0.0, (bound.b - latency) / bound.a)
+    max_jitter = min(h - latency, 1.4 * margin if np.isfinite(margin) else h)
+    jitters = np.linspace(0.0, max_jitter, points)
+    costs = cost_vs_jitter(design, ss, latency, jitters, q1, q12, q2, r1)
+    return JitterCurveResult(
+        plant_name=plant.name,
+        h=h,
+        latency=latency,
+        jitters=jitters,
+        costs=costs,
+        margin=margin,
+        linear_budget=linear_budget,
+    )

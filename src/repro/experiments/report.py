@@ -1,0 +1,70 @@
+"""Plain-text rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "-"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_logplot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "log10(y)",
+) -> str:
+    """Crude log-scale bar rendering of a positive series (spikes -> 'INF')."""
+    finite = [y for y in ys if math.isfinite(y) and y > 0]
+    if not finite:
+        return f"{title}\n(no finite data)"
+    lo = math.log10(min(finite))
+    hi = math.log10(max(finite))
+    span = max(hi - lo, 1e-9)
+    lines = [title, f"{x_label:>10s} | {y_label}"]
+    for x, y in zip(xs, ys):
+        if not math.isfinite(y):
+            bar = "INF"
+        else:
+            frac = (math.log10(max(y, 10**lo)) - lo) / span
+            bar = "#" * max(1, int(round(frac * width)))
+        lines.append(f"{x:10.4g} | {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Run experiments by name; used by the CLI and by ad-hoc scripts."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments.census import run_census
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.jittercurve import run_jittercurve
+from repro.experiments.table1 import run_table1
+
+#: Registry: experiment id -> zero-config callable returning a result
+#: object with a ``render()`` method.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": run_fig2,
+    "fig4": run_fig4,
+    "table1": run_table1,
+    "fig5": run_fig5,
+    "census": run_census,
+    "jittercurve": run_jittercurve,
+}
+
+
+def run_experiment(name: str, **kwargs) -> str:
+    """Run one experiment and return its rendered report."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    start = time.perf_counter()
+    result = EXPERIMENTS[name](**kwargs)
+    elapsed = time.perf_counter() - start
+    return f"{result.render()}\n\n[{name} completed in {elapsed:.1f} s]"

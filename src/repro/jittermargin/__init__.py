@@ -1,0 +1,35 @@
+"""Jitter-margin stability analysis (Jitter Margin toolbox substitute).
+
+The paper certifies stability of each control task through the *stability
+curve* ``J_max(L)`` produced by the (closed-source, MATLAB) Jitter Margin
+toolbox of Cervin & Lincoln, and through its safe linear lower bound
+``L + a J <= b`` (paper eq. (5), Fig. 4).  This package rebuilds that
+analysis:
+
+* :mod:`~repro.jittermargin.margin` -- the maximum response-time jitter
+  ``J`` tolerated at a given constant latency ``L``, via the Kao-Lincoln
+  small-gain criterion on the sampled loop.
+* :mod:`~repro.jittermargin.curve` -- sweeping the latency gives the
+  stability curve of Fig. 4.
+* :mod:`~repro.jittermargin.linearbound` -- the safe linear
+  under-approximation ``L + a J <= b`` with ``a >= 1``, ``b >= 0``, which is
+  the constraint all priority-assignment algorithms in the paper check.
+"""
+
+from repro.jittermargin.curve import StabilityCurve, stability_curve
+from repro.jittermargin.linearbound import (
+    LinearStabilityBound,
+    fit_linear_bound,
+    stability_bound_for_plant,
+)
+from repro.jittermargin.margin import closed_loop_with_latency, jitter_margin
+
+__all__ = [
+    "jitter_margin",
+    "closed_loop_with_latency",
+    "StabilityCurve",
+    "stability_curve",
+    "LinearStabilityBound",
+    "fit_linear_bound",
+    "stability_bound_for_plant",
+]

@@ -1,0 +1,107 @@
+"""Stability curves: jitter margin as a function of latency (Fig. 4).
+
+A :class:`StabilityCurve` is the sampled graph of ``J_max(L)`` for one
+plant/controller pair at one sampling period -- the solid curve of Fig. 4
+of the paper.  The region on or below the curve (and left of the largest
+tolerable latency) is certified stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.jittermargin.margin import default_frequency_grid, jitter_margin
+from repro.lti.statespace import StateSpace
+
+
+@dataclass(frozen=True)
+class StabilityCurve:
+    """Sampled stability curve ``J_max(L)`` of one control loop.
+
+    Attributes
+    ----------
+    h:
+        Sampling period of the loop.
+    latencies:
+        Increasing latency grid (seconds), starting at 0.
+    margins:
+        ``J_max`` at each latency; ``inf`` where unconstrained, ``nan``
+        where the nominal loop is unstable (latency intolerable).
+    label:
+        Free-form description (plant/controller identification).
+    """
+
+    h: float
+    latencies: np.ndarray
+    margins: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latencies.shape != self.margins.shape:
+            raise ModelError("latency and margin grids must align")
+        if self.latencies.size < 2:
+            raise ModelError("a stability curve needs at least two samples")
+        if np.any(np.diff(self.latencies) <= 0):
+            raise ModelError("latencies must be strictly increasing")
+
+    @property
+    def max_stable_latency(self) -> float:
+        """Largest sampled latency whose nominal loop is stable."""
+        stable = ~np.isnan(self.margins)
+        if not np.any(stable):
+            return float("nan")
+        return float(self.latencies[np.flatnonzero(stable)[-1]])
+
+    def margin_at(self, latency: float) -> float:
+        """Conservative jitter margin at an arbitrary latency.
+
+        Piecewise-linear interpolation between samples, taking the *lower*
+        envelope convention at the boundaries: latencies beyond the stable
+        range return ``nan``; exact samples return the sampled value.
+        """
+        lat = float(latency)
+        if lat < self.latencies[0] or lat > self.max_stable_latency:
+            return float("nan")
+        finite = ~np.isnan(self.margins)
+        xs = self.latencies[finite]
+        ys = self.margins[finite]
+        if lat > xs[-1]:
+            return float("nan")
+        return float(np.interp(lat, xs, ys))
+
+    def is_stable(self, latency: float, jitter: float) -> bool:
+        """Exact-curve stability verdict for a ``(L, J)`` pair."""
+        margin = self.margin_at(latency)
+        if np.isnan(margin):
+            return False
+        return jitter <= margin
+
+
+def stability_curve(
+    plant: StateSpace,
+    controller: StateSpace,
+    h: float,
+    *,
+    latencies: Optional[Sequence[float]] = None,
+    max_latency_factor: float = 2.0,
+    points: int = 41,
+    label: str = "",
+) -> StabilityCurve:
+    """Sweep the latency and sample the stability curve.
+
+    By default latencies span ``[0, max_latency_factor * h]`` -- the same
+    window Fig. 4 uses (0 to 12 ms for h = 6 ms).  The frequency grid is
+    shared across the sweep for speed.
+    """
+    if latencies is None:
+        latencies = np.linspace(0.0, max_latency_factor * h, points)
+    lat = np.asarray(list(latencies), dtype=float)
+    omega = default_frequency_grid(h)
+    margins = np.array(
+        [jitter_margin(plant, controller, h, float(l), omega=omega) for l in lat]
+    )
+    return StabilityCurve(h=h, latencies=lat, margins=margins, label=label)

@@ -1,0 +1,144 @@
+"""Safe linear lower bounds of stability curves: ``L + a J <= b``.
+
+The paper (eq. (5), following [20]) replaces the true stability curve by a
+linear constraint ``L + a J <= b`` with ``a >= 1`` and ``b >= 0`` whose
+feasible region lies *inside* the true stable region.  All three priority
+assignment algorithms check exactly this constraint, so this module is the
+bridge between the control-theoretic layer and the scheduling layer.
+
+The fit: ``b`` is the latency axis intercept (largest latency tolerable at
+zero jitter, within the sampled window), and ``a`` is the smallest slope
+that keeps the line below every sampled point of the curve::
+
+    a = max over samples with J_i > 0 of (b - L_i) / J_i,   a >= 1.
+
+This is the maximal-latency conservative line, visually matching the
+"Linear lower bounds" of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.control.lqg import design_lqg
+from repro.control.plants import Plant
+from repro.errors import ModelError, NumericalError, RiccatiError
+from repro.jittermargin.curve import StabilityCurve, stability_curve
+
+
+@dataclass(frozen=True)
+class LinearStabilityBound:
+    """The stability constraint ``L + a J <= b`` of one control task.
+
+    ``a >= 1`` weighs jitter at least as heavily as constant latency
+    (jitter is harder to compensate); ``b >= 0`` is the latency budget.
+    ``b = 0`` encodes "never stable" (used for degenerate designs).
+    """
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if not (self.a >= 1.0):
+            raise ModelError(f"coefficient a must be >= 1, got {self.a}")
+        if not (self.b >= 0.0):
+            raise ModelError(f"coefficient b must be >= 0, got {self.b}")
+
+    def is_stable(self, latency: float, jitter: float) -> bool:
+        """Check ``L + a J <= b`` (paper eq. (5))."""
+        return latency + self.a * jitter <= self.b
+
+    def slack(self, latency: float, jitter: float) -> float:
+        """Signed margin ``b - L - a J``; negative means unstable."""
+        return self.b - latency - self.a * jitter
+
+
+def fit_linear_bound(curve: StabilityCurve) -> LinearStabilityBound:
+    """Fit the conservative linear bound to a sampled stability curve.
+
+    Samples with infinite margin impose no constraint on ``a``; samples
+    beyond the stable latency range simply truncate ``b``.  If even zero
+    latency is intolerable, the degenerate bound ``(a=1, b=0)`` results.
+    """
+    stable = ~np.isnan(curve.margins)
+    if not np.any(stable):
+        return LinearStabilityBound(a=1.0, b=0.0)
+    b = curve.max_stable_latency
+    slopes = []
+    for latency, margin in zip(curve.latencies, curve.margins):
+        if math.isnan(margin) or math.isinf(margin) or margin <= 0.0:
+            continue
+        if latency >= b:
+            continue
+        slopes.append((b - latency) / margin)
+    a = max(slopes, default=1.0)
+    return LinearStabilityBound(a=max(a, 1.0), b=float(b))
+
+
+# ----------------------------------------------------------------------
+# Plant-level convenience with caching
+# ----------------------------------------------------------------------
+
+#: Relative period quantum used by the cache: periods are bucketed to this
+#: resolution so the huge Table I / Fig. 5 sweeps reuse curve fits.
+_PERIOD_BUCKETS_PER_DECADE = 60
+
+
+def _bucket_period(h: float) -> float:
+    """Quantise ``h`` on a log grid (about 4% spacing)."""
+    if h <= 0:
+        raise ModelError(f"period must be positive, got {h}")
+    step = 1.0 / _PERIOD_BUCKETS_PER_DECADE
+    return float(10.0 ** (round(math.log10(h) / step) * step))
+
+
+@lru_cache(maxsize=4096)
+def _cached_bound(plant_name: str, h_bucket: float, nominal_delay_frac: float) -> LinearStabilityBound:
+    from repro.control.plants import get_plant
+
+    plant = get_plant(plant_name)
+    return _compute_bound(plant, h_bucket, nominal_delay_frac * h_bucket)
+
+
+def _compute_bound(plant: Plant, h: float, nominal_delay: float) -> LinearStabilityBound:
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    try:
+        design = design_lqg(plant.state_space(), h, nominal_delay, q1, q12, q2, r1, r2)
+    except (RiccatiError, NumericalError):
+        return LinearStabilityBound(a=1.0, b=0.0)
+    curve = stability_curve(
+        plant.state_space(),
+        design.controller,
+        h,
+        label=f"{plant.name} @ h={h:g}",
+    )
+    return fit_linear_bound(curve)
+
+
+def stability_bound_for_plant(
+    plant: Plant,
+    h: float,
+    *,
+    nominal_delay: float = 0.0,
+    exact_period: bool = False,
+) -> LinearStabilityBound:
+    """Design the plant's LQG controller at ``h`` and fit its linear bound.
+
+    With ``exact_period=False`` (default) the period is bucketed on a ~4%
+    log grid and results are cached -- the benchmark generator calls this
+    tens of thousands of times and nearby periods give nearly identical
+    bounds.  Use ``exact_period=True`` for figure-quality curves.
+
+    ``nominal_delay`` is the constant delay the controller is *designed*
+    for (as a fraction of ``h`` when caching, so buckets stay consistent).
+    """
+    if exact_period:
+        return _compute_bound(plant, h, nominal_delay)
+    frac = 0.0 if h == 0 else nominal_delay / h
+    return _cached_bound(plant.name, _bucket_period(h), round(frac, 6))

@@ -1,0 +1,116 @@
+"""Jitter margin of a sampled control loop at a given latency.
+
+Model (paper sec. III): the control task samples the plant every ``h``
+seconds and actuates through a zero-order hold after a *time-varying* delay
+``delta_k in [L, L + J]`` -- ``L`` is the constant latency (best-case
+response time) and ``J`` the response-time jitter.  The *jitter margin* is
+the largest ``J`` for which stability is guaranteed at latency ``L``.
+
+Criterion.  Write the actuation delay as ``L + eta(t)`` with
+``eta(t) in [0, J]``.  The deviation of the delayed control signal from the
+nominal (constant-delay-``L``) one is an uncertainty block whose frequency-
+domain gain is bounded by ``|e^{-j w eta} - 1| <= min(w J, 2)``.  By the
+small-gain theorem the loop is stable for every delay variation in
+``[0, J]`` if the *nominal* closed loop (with constant delay ``L``) is
+stable and::
+
+    |T_L(w)| * min(w J, 2)  <  1      for all w in (0, pi/h]
+
+where ``T_L`` is the complementary sensitivity of the sampled loop with
+delay ``L``, evaluated up to the Nyquist frequency.  This is the
+Kao-Lincoln criterion ("Simple stability criteria for systems with
+time-varying delays", Automatica 2004) that the Jitter Margin toolbox is
+built on; the toolbox's later versions sharpen it with sampled-data lifting,
+which only moves the curve slightly -- the *shape* used by the paper
+(monotone decreasing, nearly linear) is identical.
+
+Solving for ``J``::
+
+    J_max(L) = min over {w : |T_L(w)| > 1/2} of  1 / (w |T_L(w)|)
+
+with ``J_max = inf`` when ``|T_L| <= 1/2`` everywhere (the saturation of
+the gain bound at 2 makes those frequencies harmless for any ``J``), and
+``J_max`` undefined (``nan``) when the nominal loop itself is unstable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lti.discretize import c2d_zoh_delay
+from repro.lti.statespace import StateSpace
+
+#: Frequencies per decade of the default analysis grid.
+_GRID_POINTS = 1200
+
+
+def _negate(system: StateSpace) -> StateSpace:
+    return StateSpace(system.a, system.b, -system.c, -system.d, dt=system.dt)
+
+
+def closed_loop_with_latency(
+    plant: StateSpace,
+    controller: StateSpace,
+    h: float,
+    latency: float,
+) -> StateSpace:
+    """Complementary sensitivity of the sampled loop at constant latency.
+
+    ``plant`` is continuous, ``controller`` discrete at period ``h`` with
+    the negative-feedback sign folded in (``u = K(y)``, as produced by
+    :func:`repro.control.lqg.design_lqg`).  Returns the discrete closed
+    loop whose transfer function is ``T_L = P_L K~ / (1 + P_L K~)`` with
+    ``K~ = -K`` and ``P_L`` the ZOH discretisation of the plant with input
+    delay ``latency``.
+    """
+    if plant.is_discrete:
+        raise ModelError("plant must be continuous time")
+    if controller.is_continuous:
+        raise ModelError("controller must be discrete time")
+    if abs(controller.dt - h) > 1e-12:
+        raise ModelError(
+            f"controller period {controller.dt} does not match h = {h}"
+        )
+    plant_d = c2d_zoh_delay(plant, h, latency)
+    loop = plant_d.series(_negate(controller))
+    return loop.feedback()  # unity negative feedback
+
+
+def default_frequency_grid(h: float, points: int = _GRID_POINTS) -> np.ndarray:
+    """Log grid on ``(0, pi/h]``, dense enough to catch sensitivity peaks."""
+    nyquist = math.pi / h
+    return np.logspace(math.log10(nyquist) - 4.0, math.log10(nyquist), points)
+
+
+def jitter_margin(
+    plant: StateSpace,
+    controller: StateSpace,
+    h: float,
+    latency: float,
+    *,
+    omega: Optional[np.ndarray] = None,
+) -> float:
+    """Maximum tolerable response-time jitter at the given latency.
+
+    Returns
+    -------
+    float
+        ``J_max(L) >= 0``; ``inf`` if no frequency constrains the jitter;
+        ``nan`` if the nominal loop (jitter-free, constant latency) is
+        already unstable -- i.e. the latency itself is intolerable.
+    """
+    closed = closed_loop_with_latency(plant, controller, h, latency)
+    if not closed.is_stable(margin=1e-9):
+        return float("nan")
+    if omega is None:
+        omega = default_frequency_grid(h)
+    t_mag = np.abs(closed.frequency_response(omega)[:, 0, 0])
+    constraining = t_mag > 0.5
+    if not np.any(constraining):
+        return float("inf")
+    bounds = 1.0 / (omega[constraining] * t_mag[constraining])
+    return float(np.min(bounds))

@@ -1,0 +1,37 @@
+"""Numerical linear-algebra substrate.
+
+Everything the control and jitter-margin layers need is implemented here on
+top of plain :mod:`numpy`:
+
+* :func:`~repro.linalg.expm.expm` -- Pade scaling-and-squaring matrix
+  exponential (Higham 2005).
+* :func:`~repro.linalg.vanloan.vanloan_dynamics_noise` and
+  :func:`~repro.linalg.vanloan.vanloan_cost` -- Van Loan (1978) block
+  exponential integrals used to sample continuous-time dynamics, noise
+  intensity, and quadratic cost.
+* :func:`~repro.linalg.lyapunov.solve_dlyap` /
+  :func:`~repro.linalg.lyapunov.solve_clyap` -- Lyapunov solvers.
+* :func:`~repro.linalg.riccati.solve_dare` -- discrete algebraic Riccati
+  equation via the structure-preserving doubling algorithm, with cross-term
+  support, as needed by sampled-data LQG design.
+"""
+
+from repro.linalg.expm import expm
+from repro.linalg.lyapunov import solve_clyap, solve_dlyap
+from repro.linalg.riccati import dare_gain, solve_dare
+from repro.linalg.vanloan import (
+    vanloan_cost,
+    vanloan_double_integral,
+    vanloan_dynamics_noise,
+)
+
+__all__ = [
+    "expm",
+    "solve_clyap",
+    "solve_dlyap",
+    "solve_dare",
+    "dare_gain",
+    "vanloan_cost",
+    "vanloan_dynamics_noise",
+    "vanloan_double_integral",
+]

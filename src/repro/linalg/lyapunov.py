@@ -1,0 +1,94 @@
+"""Lyapunov equation solvers.
+
+* :func:`solve_dlyap` -- discrete-time equation ``X = A X A' + Q`` via the
+  Smith doubling iteration (quadratically convergent for Schur-stable ``A``).
+* :func:`solve_clyap` -- continuous-time equation ``A X + X A' + Q = 0`` via
+  the Kronecker-product linear system (exact, fine for the small state
+  dimensions of control plants).
+
+Both are used to evaluate stationary covariances of closed control loops,
+which is how the reproduction computes the quadratic control cost of Fig. 2
+without relying on easy-to-misstate textbook trace formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError, NumericalError
+
+
+def _check_pair(a: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    q = np.atleast_2d(np.asarray(q, dtype=float))
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(f"A must be square, got {a.shape}")
+    if q.shape != a.shape:
+        raise DimensionError(f"Q must match A: {q.shape} vs {a.shape}")
+    return a, q
+
+
+def solve_dlyap(
+    a: np.ndarray,
+    q: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> np.ndarray:
+    """Solve the discrete Lyapunov equation ``X = A X A' + Q``.
+
+    Uses Smith's doubling iteration: ``X <- X + A X A'; A <- A A``, which
+    converges quadratically when the spectral radius of ``A`` is below one.
+
+    Raises
+    ------
+    NumericalError
+        If the iteration fails to converge (``A`` not Schur stable).
+    """
+    a, q = _check_pair(a, q)
+    x = 0.5 * (q + q.T)
+    a_pow = a.copy()
+    # Max-abs norms: the Frobenius norm overflows to inf around 1e154 and
+    # would make the convergence test vacuously true on divergent iterates.
+    for _ in range(max_iter):
+        increment = a_pow @ x @ a_pow.T
+        x = x + increment
+        x = 0.5 * (x + x.T)
+        x_scale = float(np.max(np.abs(x))) if x.size else 0.0
+        if not np.all(np.isfinite(x)) or x_scale > 1e120:
+            raise NumericalError(
+                "dlyap doubling diverged: A is not Schur stable "
+                f"(spectral radius ~ {np.max(np.abs(np.linalg.eigvals(a))):.4g})"
+            )
+        if float(np.max(np.abs(increment))) <= tol * max(1.0, x_scale):
+            return x
+        a_pow = a_pow @ a_pow
+    raise NumericalError(
+        "dlyap doubling did not converge; the system matrix is likely "
+        "marginally stable or unstable"
+    )
+
+
+def solve_clyap(a: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Solve the continuous Lyapunov equation ``A X + X A' + Q = 0``.
+
+    Solved exactly through the Kronecker form
+    ``(I (x) A + A (x) I) vec(X) = -vec(Q)``; O(n^6) but the plants in this
+    reproduction have at most a handful of states.
+
+    Raises
+    ------
+    NumericalError
+        If the Kronecker operator is singular (eigenvalues of ``A`` summing
+        to zero, e.g. marginally stable plants).
+    """
+    a, q = _check_pair(a, q)
+    n = a.shape[0]
+    ident = np.eye(n)
+    operator = np.kron(ident, a) + np.kron(a, ident)
+    try:
+        vec_x = np.linalg.solve(operator, -q.reshape(n * n))
+    except np.linalg.LinAlgError as exc:
+        raise NumericalError(f"clyap operator is singular: {exc}") from exc
+    x = vec_x.reshape(n, n)
+    return 0.5 * (x + x.T)

@@ -1,0 +1,148 @@
+"""Van Loan block-exponential integrals.
+
+Van Loan ("Computing integrals involving the matrix exponential", IEEE TAC
+1978) showed that integrals of the form::
+
+    H(h)  = integral_0^h  e^{A s} B ds                      (input integral)
+    Q(h)  = integral_0^h  e^{A' s} Q_c e^{A s} ds            (Gramian/cost)
+    W(h)  = integral_0^h  integral_0^s e^{A r} R e^{A' r} dr ds   (double)
+
+all appear as blocks of the exponential of a single larger block-triangular
+matrix.  These are exactly the integrals needed to sample a continuous-time
+stochastic LQ problem (Astrom & Wittenmark, *Computer-Controlled Systems*,
+ch. 11):
+
+* the zero-order-hold discretisation ``Phi = e^{Ah}``, ``Gamma = H(h) B``;
+* the sampled process-noise covariance ``R1d = integral e^{As} R1 e^{A's} ds``;
+* the sampled quadratic cost matrices ``Q1d, Q12d, Q2d`` obtained by applying
+  the Gramian integral to the *augmented* dynamics ``[[A, B], [0, 0]]`` with
+  the continuous cost weight on ``(x, u)``;
+* the *inter-sample* cost floor contributed by process noise accumulating
+  between sampling instants (a double integral).
+
+All routines return real matrices and symmetrise where symmetry is exact in
+exact arithmetic, to keep downstream Riccati/Lyapunov solvers well posed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.linalg.expm import expm
+
+
+def _check_square(a: np.ndarray, name: str) -> np.ndarray:
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    if a.shape[0] != a.shape[1]:
+        raise DimensionError(f"{name} must be square, got shape {a.shape}")
+    return a
+
+
+def _symmetrise(m: np.ndarray) -> np.ndarray:
+    return 0.5 * (m + m.T)
+
+
+def vanloan_dynamics_noise(
+    a: np.ndarray, r1: np.ndarray, h: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample dynamics and process-noise intensity over one period.
+
+    For ``dx = A x dt + dv`` with incremental covariance ``R1 dt``, returns
+    ``(Phi, R1d)`` where ``Phi = e^{Ah}`` and
+    ``R1d = integral_0^h e^{As} R1 e^{A's} ds`` is the covariance of the
+    accumulated noise over one sampling period.
+
+    Uses the Van Loan embedding ``M = [[-A, R1], [0, A']] * h``; with
+    ``e^M = [[F11, F12], [0, F22]]`` one has ``Phi = F22'`` and
+    ``R1d = F22' F12``.
+    """
+    a = _check_square(a, "a")
+    r1 = _check_square(r1, "r1")
+    n = a.shape[0]
+    if r1.shape[0] != n:
+        raise DimensionError("a and r1 must have matching dimensions")
+    if h < 0:
+        raise DimensionError(f"sampling interval must be >= 0, got {h}")
+    block = np.zeros((2 * n, 2 * n))
+    block[:n, :n] = -a
+    block[:n, n:] = r1
+    block[n:, n:] = a.T
+    big = expm(block * h)
+    phi = big[n:, n:].T
+    r1d = phi @ big[:n, n:]
+    return phi, _symmetrise(r1d)
+
+
+def vanloan_cost(
+    a_bar: np.ndarray, q_bar: np.ndarray, h: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a quadratic cost along dynamics ``z' = A_bar z``.
+
+    Returns ``(Phi_bar, Q_bar_d)`` with ``Phi_bar = e^{A_bar h}`` and
+    ``Q_bar_d = integral_0^h e^{A_bar' s} Q_bar e^{A_bar s} ds``.
+
+    Feeding the ZOH-augmented dynamics ``A_bar = [[A, B], [0, 0]]`` and the
+    continuous cost weight on ``(x, u)`` yields the exact sampled cost
+    matrices of the continuous-time LQ problem (A&W eq. 11.6-11.8).
+    """
+    a_bar = _check_square(a_bar, "a_bar")
+    q_bar = _check_square(q_bar, "q_bar")
+    n = a_bar.shape[0]
+    if q_bar.shape[0] != n:
+        raise DimensionError("a_bar and q_bar must have matching dimensions")
+    if h < 0:
+        raise DimensionError(f"sampling interval must be >= 0, got {h}")
+    block = np.zeros((2 * n, 2 * n))
+    block[:n, :n] = -a_bar.T
+    block[:n, n:] = q_bar
+    block[n:, n:] = a_bar
+    big = expm(block * h)
+    phi_bar = big[n:, n:]
+    q_d = phi_bar.T @ big[:n, n:]
+    return phi_bar, _symmetrise(q_d)
+
+
+def vanloan_double_integral(
+    a: np.ndarray, q1: np.ndarray, r1: np.ndarray, h: float
+) -> float:
+    """Inter-sample noise cost ``integral_0^h tr(Q1 P(s)) ds``.
+
+    ``P(s) = integral_0^s e^{Ar} R1 e^{A'r} dr`` is the covariance of the
+    state noise accumulated ``s`` seconds after a sample.  The returned
+    scalar is the part of the continuous-time quadratic cost contributed by
+    process noise *between* sampling instants; it is independent of the
+    controller and provides the cost floor visible in Fig. 2 at small
+    sampling periods.
+
+    Implemented with the 3x3-block Van Loan embedding::
+
+        M = [[-A', I,  0 ],
+             [ 0, -A', Q1],
+             [ 0,  0,  A ]] * h
+
+    whose exponential has block structure ``[[F1, G1, H1], [0, F2, G2],
+    [0, 0, F3]]`` with (Van Loan 1978, Theorem 1) ``F3 = e^{Ah}`` and
+    ``F3' H1 = integral_0^h integral_0^s e^{A'r} Q1 e^{Ar} dr ds =: W``.
+    By Fubini and the cyclic trace property the desired scalar equals
+    ``tr(R1 W)``.
+    """
+    a = _check_square(a, "a")
+    q1 = _check_square(q1, "q1")
+    r1 = _check_square(r1, "r1")
+    n = a.shape[0]
+    if q1.shape[0] != n or r1.shape[0] != n:
+        raise DimensionError("a, q1, r1 must have matching dimensions")
+    if h < 0:
+        raise DimensionError(f"sampling interval must be >= 0, got {h}")
+    block = np.zeros((3 * n, 3 * n))
+    block[:n, :n] = -a.T
+    block[:n, n : 2 * n] = np.eye(n)
+    block[n : 2 * n, n : 2 * n] = -a.T
+    block[n : 2 * n, 2 * n :] = q1
+    block[2 * n :, 2 * n :] = a
+    big = expm(block * h)
+    f3 = big[2 * n :, 2 * n :]
+    h1 = big[:n, 2 * n :]
+    w = f3.T @ h1
+    return float(np.trace(r1 @ _symmetrise(w)))

@@ -1,0 +1,75 @@
+"""Pole/stability/frequency analysis helpers.
+
+Thin, well-tested wrappers used across the jitter-margin and cost layers so
+that stability conventions (strict inequalities, numerical margins) are
+decided in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.lti.statespace import StateSpace
+from repro.lti.transferfunction import TransferFunction
+
+SystemLike = Union[StateSpace, TransferFunction, np.ndarray]
+
+
+def poles(system: SystemLike) -> np.ndarray:
+    """Poles of a system, eigenvalues of a bare matrix."""
+    if isinstance(system, StateSpace):
+        return system.poles()
+    if isinstance(system, TransferFunction):
+        return system.poles()
+    return np.linalg.eigvals(np.atleast_2d(np.asarray(system, dtype=float)))
+
+
+def spectral_radius(a: np.ndarray) -> float:
+    """Largest eigenvalue magnitude of a square matrix."""
+    return float(np.max(np.abs(np.linalg.eigvals(np.atleast_2d(a)))))
+
+
+def is_schur_stable(a: np.ndarray, *, margin: float = 1e-9) -> bool:
+    """All eigenvalues strictly inside the unit circle."""
+    return spectral_radius(a) < 1.0 - margin
+
+
+def is_hurwitz_stable(a: np.ndarray, *, margin: float = 0.0) -> bool:
+    """All eigenvalues strictly in the open left half plane."""
+    eigenvalues = np.linalg.eigvals(np.atleast_2d(a))
+    return bool(np.all(eigenvalues.real < -margin))
+
+
+def frequency_response(system: SystemLike, omega: Iterable[float]) -> np.ndarray:
+    """SISO frequency response as a 1-D complex array.
+
+    Accepts a :class:`StateSpace` (continuous or discrete) or a
+    :class:`TransferFunction`; multivariable systems raise ``ValueError``
+    because every frequency sweep in this library is SISO.
+    """
+    if isinstance(system, TransferFunction):
+        return system.frequency_response(list(omega))
+    if isinstance(system, StateSpace):
+        response = system.frequency_response(omega)
+        if response.shape[1] != 1 or response.shape[2] != 1:
+            raise ValueError("frequency_response helper expects a SISO system")
+        return response[:, 0, 0]
+    raise TypeError(f"unsupported system type: {type(system)!r}")
+
+
+def dcgain(system: SystemLike) -> float:
+    """Steady-state gain (may be +/-inf for integrating systems)."""
+    if isinstance(system, TransferFunction):
+        return system.dcgain()
+    if isinstance(system, StateSpace):
+        point = 0.0 if system.is_continuous else 1.0
+        try:
+            value = system.evaluate(point)
+        except np.linalg.LinAlgError:
+            return float("inf")
+        if value.shape != (1, 1):
+            raise ValueError("dcgain helper expects a SISO system")
+        return float(value[0, 0].real)
+    raise TypeError(f"unsupported system type: {type(system)!r}")

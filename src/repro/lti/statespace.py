@@ -1,0 +1,267 @@
+"""State-space models, continuous and discrete.
+
+A :class:`StateSpace` is an immutable-by-convention container for
+``(A, B, C, D)`` plus a sampling period ``dt`` (``None`` marks a
+continuous-time model).  Interconnections (series, parallel, feedback) are
+provided because the jitter-margin analysis builds closed loops from plant
+and controller blocks, and the cost evaluation builds the full
+plant+estimator+feedback loop explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, ModelError
+
+
+def _to_matrix(value, rows: Optional[int] = None, cols: Optional[int] = None) -> np.ndarray:
+    m = np.atleast_2d(np.asarray(value, dtype=float))
+    if rows is not None and m.shape[0] != rows:
+        raise DimensionError(f"expected {rows} rows, got {m.shape[0]}")
+    if cols is not None and m.shape[1] != cols:
+        raise DimensionError(f"expected {cols} columns, got {m.shape[1]}")
+    return m
+
+
+class StateSpace:
+    """A (possibly MIMO) linear system ``dx = Ax + Bu``, ``y = Cx + Du``.
+
+    Parameters
+    ----------
+    a, b, c, d:
+        System matrices.  ``d`` may be omitted (zero).
+    dt:
+        ``None`` for continuous time, a positive float for discrete time
+        (the sampling period in seconds).
+    """
+
+    def __init__(self, a, b, c, d=None, *, dt: Optional[float] = None):
+        self.a = _to_matrix(a)
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise DimensionError(f"A must be square, got {self.a.shape}")
+        self.b = _to_matrix(b, rows=n)
+        self.c = _to_matrix(c, cols=n)
+        m = self.b.shape[1]
+        p = self.c.shape[0]
+        if d is None:
+            d = np.zeros((p, m))
+        self.d = _to_matrix(d, rows=p, cols=m)
+        if dt is not None and dt <= 0:
+            raise ModelError(f"sampling period must be positive, got {dt}")
+        self.dt = dt
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.dt is None
+
+    @property
+    def is_discrete(self) -> bool:
+        return self.dt is not None
+
+    def __repr__(self) -> str:
+        kind = "ct" if self.is_continuous else f"dt={self.dt:g}"
+        return (
+            f"StateSpace(n={self.n_states}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs}, {kind})"
+        )
+
+    def poles(self) -> np.ndarray:
+        """Eigenvalues of ``A``."""
+        return np.linalg.eigvals(self.a)
+
+    def is_stable(self, *, margin: float = 0.0) -> bool:
+        """Asymptotic stability: Hurwitz (ct) or Schur (dt) ``A``."""
+        eigenvalues = self.poles()
+        if self.is_continuous:
+            return bool(np.all(eigenvalues.real < -margin))
+        return bool(np.all(np.abs(eigenvalues) < 1.0 - margin))
+
+    # ------------------------------------------------------------------
+    # Frequency response
+    # ------------------------------------------------------------------
+    def frequency_response(self, omega: Iterable[float]) -> np.ndarray:
+        """Evaluate ``G`` on the imaginary axis / unit circle.
+
+        For continuous systems this is ``G(j w)``; for discrete systems
+        ``G(e^{j w dt})`` with ``w`` in rad/s (so continuous and discrete
+        blocks of a sampled loop are evaluated on a shared frequency axis).
+
+        Returns an array of shape ``(len(omega), n_outputs, n_inputs)``.
+        """
+        omega = np.asarray(list(omega), dtype=float)
+        n = self.n_states
+        ident = np.eye(n)
+        out = np.empty((omega.size, self.n_outputs, self.n_inputs), dtype=complex)
+        for i, w in enumerate(omega):
+            if self.is_continuous:
+                point = 1j * w
+            else:
+                point = np.exp(1j * w * self.dt)
+            try:
+                resolvent = np.linalg.solve(point * ident - self.a, self.b)
+            except np.linalg.LinAlgError:
+                # Evaluation exactly on a pole: return infinity gains.
+                out[i] = np.full((self.n_outputs, self.n_inputs), np.inf + 0j)
+                continue
+            out[i] = self.c @ resolvent + self.d
+        return out
+
+    def evaluate(self, point: complex) -> np.ndarray:
+        """Evaluate the transfer matrix at one complex point."""
+        ident = np.eye(self.n_states)
+        resolvent = np.linalg.solve(point * ident - self.a, self.b)
+        return self.c @ resolvent + self.d
+
+    # ------------------------------------------------------------------
+    # Interconnections
+    # ------------------------------------------------------------------
+    def _check_domain(self, other: "StateSpace") -> None:
+        if self.is_continuous != other.is_continuous:
+            raise ModelError("cannot interconnect continuous and discrete systems")
+        if self.is_discrete and abs(self.dt - other.dt) > 1e-12:
+            raise ModelError(
+                f"sampling periods differ: {self.dt} vs {other.dt}"
+            )
+
+    def series(self, other: "StateSpace") -> "StateSpace":
+        """Return ``other * self`` (signal flows self -> other)."""
+        self._check_domain(other)
+        if self.n_outputs != other.n_inputs:
+            raise DimensionError(
+                f"series: {self.n_outputs} outputs feed {other.n_inputs} inputs"
+            )
+        n1, n2 = self.n_states, other.n_states
+        a = np.block(
+            [
+                [self.a, np.zeros((n1, n2))],
+                [other.b @ self.c, other.a],
+            ]
+        )
+        b = np.vstack([self.b, other.b @ self.d])
+        c = np.hstack([other.d @ self.c, other.c])
+        d = other.d @ self.d
+        return StateSpace(a, b, c, d, dt=self.dt)
+
+    def parallel(self, other: "StateSpace") -> "StateSpace":
+        """Return the sum ``self + other`` (shared input, outputs added)."""
+        self._check_domain(other)
+        if (self.n_inputs, self.n_outputs) != (other.n_inputs, other.n_outputs):
+            raise DimensionError("parallel requires matching I/O dimensions")
+        n1, n2 = self.n_states, other.n_states
+        a = np.block(
+            [
+                [self.a, np.zeros((n1, n2))],
+                [np.zeros((n2, n1)), other.a],
+            ]
+        )
+        b = np.vstack([self.b, other.b])
+        c = np.hstack([self.c, other.c])
+        d = self.d + other.d
+        return StateSpace(a, b, c, d, dt=self.dt)
+
+    def feedback(self, other: Optional["StateSpace"] = None, sign: int = -1) -> "StateSpace":
+        """Close the loop ``u = r + sign * other(y)`` around ``self``.
+
+        With ``other=None`` unity feedback is used.  ``sign=-1`` (default)
+        is negative feedback.  Requires the algebraic loop to be well posed
+        (``I - sign * D1 D2`` invertible).
+        """
+        if other is None:
+            other = StateSpace(
+                np.zeros((0, 0)),
+                np.zeros((0, self.n_outputs)),
+                np.zeros((self.n_inputs, 0)),
+                np.eye(self.n_inputs),
+                dt=self.dt,
+            )
+        self._check_domain(other)
+        if self.n_outputs != other.n_inputs or other.n_outputs != self.n_inputs:
+            raise DimensionError("feedback: I/O dimensions are incompatible")
+        d1, d2 = self.d, other.d
+        loop = np.eye(self.n_inputs) - sign * (d2 @ d1)
+        try:
+            loop_inv = np.linalg.inv(loop)
+        except np.linalg.LinAlgError as exc:
+            raise ModelError(f"algebraic loop is ill posed: {exc}") from exc
+        n1, n2 = self.n_states, other.n_states
+        b1l = self.b @ loop_inv
+        a = np.block(
+            [
+                [self.a + sign * b1l @ d2 @ self.c, sign * b1l @ other.c],
+                [other.b @ (self.c + sign * d1 @ loop_inv @ d2 @ self.c),
+                 other.a + sign * other.b @ d1 @ loop_inv @ other.c],
+            ]
+        )
+        b = np.vstack([b1l, other.b @ d1 @ loop_inv])
+        c = np.hstack([self.c + sign * d1 @ loop_inv @ d2 @ self.c,
+                       sign * d1 @ loop_inv @ other.c])
+        d = d1 @ loop_inv
+        return StateSpace(a, b, c, d, dt=self.dt)
+
+    # ------------------------------------------------------------------
+    # Time-domain simulation (discrete systems)
+    # ------------------------------------------------------------------
+    def step_response(self, n_steps: int, x0: Optional[Sequence[float]] = None) -> np.ndarray:
+        """Unit-step response of a discrete system, shape ``(n_steps, ny)``."""
+        if self.is_continuous:
+            raise ModelError("step_response is defined for discrete systems; discretise first")
+        u = np.ones((n_steps, self.n_inputs))
+        return self.simulate(u, x0=x0)[1]
+
+    def simulate(
+        self,
+        u: np.ndarray,
+        x0: Optional[Sequence[float]] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run a discrete simulation driven by input sequence ``u``.
+
+        Parameters
+        ----------
+        u:
+            Array of shape ``(n_steps, n_inputs)`` (a 1-D array is accepted
+            for single-input systems).
+
+        Returns
+        -------
+        (states, outputs):
+            Arrays of shapes ``(n_steps + 1, n)`` and ``(n_steps, ny)``.
+        """
+        if self.is_continuous:
+            raise ModelError("simulate is defined for discrete systems; discretise first")
+        u = np.asarray(u, dtype=float)
+        if u.ndim == 1:
+            u = u[:, None]
+        if u.shape[1] != self.n_inputs:
+            raise DimensionError(
+                f"input sequence has {u.shape[1]} channels, system expects {self.n_inputs}"
+            )
+        n_steps = u.shape[0]
+        x = np.zeros(self.n_states) if x0 is None else np.asarray(x0, dtype=float)
+        if x.shape != (self.n_states,):
+            raise DimensionError(f"x0 must have shape ({self.n_states},)")
+        states = np.empty((n_steps + 1, self.n_states))
+        outputs = np.empty((n_steps, self.n_outputs))
+        states[0] = x
+        for k in range(n_steps):
+            outputs[k] = self.c @ states[k] + self.d @ u[k]
+            states[k + 1] = self.a @ states[k] + self.b @ u[k]
+        return states, outputs

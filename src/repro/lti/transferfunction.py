@@ -1,0 +1,111 @@
+"""SISO rational transfer functions.
+
+The paper (and the sources it draws plants from, Cervin et al. [4] and
+Astrom & Wittenmark [14]) specifies plants as transfer functions -- e.g. the
+DC servo ``1000 / (s^2 + s)`` behind Fig. 4.  This module provides the small
+amount of polynomial machinery needed: evaluation, poles/zeros, and the
+conversion to controllable-canonical state space that the sampled-data LQG
+pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lti.statespace import StateSpace
+
+
+def _trim_leading_zeros(coeffs: np.ndarray) -> np.ndarray:
+    nonzero = np.flatnonzero(np.abs(coeffs) > 0.0)
+    if nonzero.size == 0:
+        return coeffs[-1:]
+    return coeffs[nonzero[0]:]
+
+
+class TransferFunction:
+    """A SISO transfer function ``num(s) / den(s)``.
+
+    Coefficients are given highest power first, numpy-polynomial style:
+    ``TransferFunction([1000], [1, 1, 0])`` is ``1000 / (s^2 + s)``.
+
+    Only proper transfer functions (deg num <= deg den) are supported,
+    which covers every plant in the benchmark database.
+    """
+
+    def __init__(self, num: Sequence[float], den: Sequence[float]):
+        num_arr = _trim_leading_zeros(np.asarray(num, dtype=float).ravel())
+        den_arr = _trim_leading_zeros(np.asarray(den, dtype=float).ravel())
+        if den_arr.size == 0 or np.all(den_arr == 0.0):
+            raise ModelError("denominator polynomial is zero")
+        if num_arr.size > den_arr.size:
+            raise ModelError(
+                "improper transfer function: numerator degree "
+                f"{num_arr.size - 1} > denominator degree {den_arr.size - 1}"
+            )
+        # Normalise to monic denominator.
+        lead = den_arr[0]
+        self.num = num_arr / lead
+        self.den = den_arr / lead
+
+    @property
+    def order(self) -> int:
+        """Denominator degree (the McMillan degree for coprime num/den)."""
+        return self.den.size - 1
+
+    def __repr__(self) -> str:
+        return f"TransferFunction(num={self.num.tolist()}, den={self.den.tolist()})"
+
+    def evaluate(self, point: complex) -> complex:
+        """Evaluate the transfer function at a complex point."""
+        return complex(np.polyval(self.num, point) / np.polyval(self.den, point))
+
+    def frequency_response(self, omega: Sequence[float]) -> np.ndarray:
+        """Return ``G(j w)`` for an array of frequencies in rad/s."""
+        s = 1j * np.asarray(omega, dtype=float)
+        return np.polyval(self.num, s) / np.polyval(self.den, s)
+
+    def poles(self) -> np.ndarray:
+        return np.roots(self.den)
+
+    def zeros(self) -> np.ndarray:
+        if self.num.size <= 1:
+            return np.array([])
+        return np.roots(self.num)
+
+    def dcgain(self) -> float:
+        """Gain at ``s = 0`` (may be infinite for integrating plants)."""
+        num0 = self.num[-1] if self.num.size else 0.0
+        den0 = self.den[-1]
+        if den0 == 0.0:
+            return float("inf") if num0 != 0.0 else float("nan")
+        return float(num0 / den0)
+
+    def to_ss(self) -> StateSpace:
+        """Controllable-canonical continuous state-space realisation.
+
+        For ``num`` of degree < ``den`` degree (strictly proper, the common
+        case for physical plants) ``D = 0``; the bi-proper case splits off
+        the constant feed-through first.
+        """
+        n = self.order
+        if n == 0:
+            gain = self.num[0] if self.num.size else 0.0
+            return StateSpace(
+                np.zeros((0, 0)), np.zeros((0, 1)), np.zeros((1, 0)), [[gain]]
+            )
+        den_tail = self.den[1:]  # monic already
+        # Pad numerator to full length n+1 (same degree as denominator).
+        num_full = np.zeros(n + 1)
+        num_full[n + 1 - self.num.size:] = self.num
+        d_term = num_full[0]
+        num_sp = num_full[1:] - d_term * den_tail  # strictly-proper residue
+        a = np.zeros((n, n))
+        a[:-1, 1:] = np.eye(n - 1)
+        a[-1, :] = -den_tail[::-1]
+        b = np.zeros((n, 1))
+        b[-1, 0] = 1.0
+        c = num_sp[::-1][None, :]
+        return StateSpace(a, b, c, [[d_term]])

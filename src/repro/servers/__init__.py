@@ -1,0 +1,40 @@
+"""Real-time servers for control applications (paper ref [12]).
+
+Aminifar, Bini, Eles & Peng ("Analysis and design of real-time servers for
+control applications", IEEE TC 2015 -- the paper's reference [12]) host
+each control task inside a *bandwidth server* so that loops are isolated
+from each other.  The server's parameters (budget ``Theta`` every period
+``Pi``) then determine the latency/jitter interface of the control task,
+and the design question becomes: *what is the cheapest server that keeps
+the plant stable?*
+
+This package implements that pipeline on the periodic resource model
+(Shin & Lee):
+
+* :mod:`~repro.servers.model` -- the worst-case/best-case supply bound
+  functions of a periodic server and their inverses;
+* :mod:`~repro.servers.rta` -- exact best-/worst-case response times of
+  fixed-priority tasks *inside* a server, generalising eqs. (3)-(4)
+  (a full-bandwidth server reduces them to the plain analyses);
+* :mod:`~repro.servers.design` -- minimum-bandwidth server synthesis for
+  a control task's stability constraint, done anomaly-safely: candidate
+  budgets are *evaluated*, not extrapolated, because the jitter interface
+  is not monotone in the budget (the paper's theme, in server clothes).
+"""
+
+from repro.servers.design import ServerDesignResult, minimum_bandwidth_server
+from repro.servers.model import PeriodicServer
+from repro.servers.rta import (
+    server_best_case_response_time,
+    server_latency_jitter,
+    server_worst_case_response_time,
+)
+
+__all__ = [
+    "PeriodicServer",
+    "server_worst_case_response_time",
+    "server_best_case_response_time",
+    "server_latency_jitter",
+    "minimum_bandwidth_server",
+    "ServerDesignResult",
+]

@@ -1,0 +1,100 @@
+"""Minimum-bandwidth server synthesis for a control task (ref [12]).
+
+Design question: a control task (period, execution-time bounds, stability
+constraint) is to be hosted in its own periodic server with a given server
+period; what is the *smallest budget* that keeps the plant stable?
+
+The anomaly-aware subtlety -- the reason this module evaluates instead of
+bisecting -- concerns *shared* servers: when the control task has
+higher-priority companions inside the server, its jitter is **not**
+monotone in the budget (growing the budget shifts the interleaving of
+budget chunks and preemptions; a pinned counter-example lives in
+``tests/servers/test_rta.py``), so "more budget" can violate
+``L + aJ <= b`` where less budget satisfied it.  For a task running alone
+the interface is benign (``J = 2 (Pi - Theta)`` exactly, monotone), but
+the synthesis keeps one uniform, verified grid scan for both cases -- the
+paper's prescription: exploit trends for ordering, never for soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.rta.taskset import Task
+from repro.servers.model import PeriodicServer
+from repro.servers.rta import server_latency_jitter
+
+
+@dataclass(frozen=True)
+class ServerDesignResult:
+    """Outcome of the minimum-bandwidth search."""
+
+    server: PeriodicServer
+    latency: float
+    jitter: float
+    evaluations: int
+    stable_budgets: Tuple[float, ...]
+    anomalous: bool  # stability was non-monotone across the budget grid
+
+    @property
+    def bandwidth(self) -> float:
+        return self.server.bandwidth
+
+
+def minimum_bandwidth_server(
+    task: Task,
+    server_period: float,
+    *,
+    companions: Tuple[Task, ...] = (),
+    grid_points: int = 64,
+) -> Optional[ServerDesignResult]:
+    """Smallest-budget periodic server keeping ``task`` stable.
+
+    By default the task runs alone in the server (the isolation scenario
+    of [12]); ``companions`` adds higher-priority tasks sharing the same
+    server.  Stability means: deadline met (``R^w <= h``) and, if the task
+    carries a bound, ``L + aJ <= b``.  Returns ``None`` when no budget up
+    to the full server period works.
+    """
+    if task.stability is None:
+        raise ModelError(
+            f"task {task.name!r} has no stability bound; server sizing "
+            "needs the control constraint"
+        )
+    if server_period <= 0:
+        raise ModelError(f"server period must be positive, got {server_period}")
+    if grid_points < 2:
+        raise ModelError("need at least two candidate budgets")
+
+    budgets = np.linspace(0.0, server_period, grid_points + 1)[1:]
+    evaluations = 0
+    stable: List[Tuple[float, float, float]] = []  # (budget, L, J)
+    verdicts: List[bool] = []
+    for budget in budgets:
+        server = PeriodicServer(budget=float(budget), period=server_period)
+        evaluations += 1
+        times = server_latency_jitter(server, task, companions)
+        ok = times.finite and task.stability.is_stable(
+            times.latency, times.jitter
+        )
+        verdicts.append(ok)
+        if ok:
+            stable.append((float(budget), times.latency, times.jitter))
+    if not stable:
+        return None
+    # Non-monotone stability across the grid = a server-budget anomaly.
+    first_true = verdicts.index(True)
+    anomalous = not all(verdicts[first_true:])
+    budget, latency, jitter = stable[0]
+    return ServerDesignResult(
+        server=PeriodicServer(budget=budget, period=server_period),
+        latency=latency,
+        jitter=jitter,
+        evaluations=evaluations,
+        stable_budgets=tuple(b for b, _, _ in stable),
+        anomalous=anomalous,
+    )

@@ -1,0 +1,106 @@
+"""Periodic resource model: supply bound functions and inverses.
+
+A periodic server guarantees ``budget`` units of processor time in every
+window of length ``period`` (Shin & Lee's periodic resource model).  Two
+envelopes bracket the service a hosted task can receive in any interval of
+length ``t``:
+
+* **worst case** (``sbf``): the budget lands as late as possible -- an
+  initial blackout of ``2 (period - budget)`` followed by ``budget`` every
+  ``period``;
+* **best case** (``msf``, maximal supply): the budget lands immediately at
+  every period boundary.
+
+Both are piecewise linear, non-decreasing staircases; their *pseudo
+inverses* answer "how long until ``x`` units of service are guaranteed /
+can possibly be accumulated", which is all the response-time analyses
+need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class PeriodicServer:
+    """A periodic resource: ``budget`` units every ``period`` seconds."""
+
+    budget: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ModelError(f"server period must be positive, got {self.period}")
+        if not 0 < self.budget <= self.period:
+            raise ModelError(
+                f"server budget must lie in (0, period]: "
+                f"budget={self.budget}, period={self.period}"
+            )
+
+    @property
+    def bandwidth(self) -> float:
+        """Long-run fraction of the processor, ``Theta / Pi``."""
+        return self.budget / self.period
+
+    @property
+    def is_full_bandwidth(self) -> bool:
+        return abs(self.budget - self.period) <= 1e-15 * self.period
+
+    @property
+    def worst_case_blackout(self) -> float:
+        """Longest interval with zero guaranteed service: ``2 (Pi - Theta)``."""
+        return 2.0 * (self.period - self.budget)
+
+    # ------------------------------------------------------------------
+    # Worst-case envelope
+    # ------------------------------------------------------------------
+    def sbf(self, t: float) -> float:
+        """Guaranteed service in *any* interval of length ``t >= 0``."""
+        if t <= 0:
+            return 0.0
+        if self.is_full_bandwidth:
+            return t
+        start = self.worst_case_blackout
+        if t <= start:
+            return 0.0
+        since = t - start
+        complete = math.floor(since / self.period)
+        residual = since - complete * self.period
+        return complete * self.budget + min(self.budget, residual)
+
+    def inverse_sbf(self, x: float) -> float:
+        """Smallest ``t`` with ``sbf(t) >= x`` (``x >= 0``)."""
+        if x <= 0:
+            return 0.0
+        if self.is_full_bandwidth:
+            return x
+        chunks = math.ceil(x / self.budget - 1e-12) - 1
+        remainder = x - chunks * self.budget
+        return self.worst_case_blackout + chunks * self.period + remainder
+
+    # ------------------------------------------------------------------
+    # Best-case envelope
+    # ------------------------------------------------------------------
+    def msf(self, t: float) -> float:
+        """Maximal possible service in an interval of length ``t >= 0``."""
+        if t <= 0:
+            return 0.0
+        if self.is_full_bandwidth:
+            return t
+        complete = math.floor(t / self.period)
+        residual = t - complete * self.period
+        return complete * self.budget + min(self.budget, residual)
+
+    def inverse_msf(self, x: float) -> float:
+        """Smallest ``t`` with ``msf(t) >= x`` (``x >= 0``)."""
+        if x <= 0:
+            return 0.0
+        if self.is_full_bandwidth:
+            return x
+        chunks = math.ceil(x / self.budget - 1e-12) - 1
+        remainder = x - chunks * self.budget
+        return chunks * self.period + remainder

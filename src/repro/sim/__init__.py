@@ -1,0 +1,42 @@
+"""Discrete-event simulation of fixed-priority preemptive scheduling.
+
+The analyses of :mod:`repro.rta` predict best/worst response times; this
+package *observes* them.  It is used to
+
+* cross-validate eq. (3)/(4) against actual schedules (tests),
+* render Fig. 3 of the paper (the graphical meaning of latency and jitter)
+  as an executable trace,
+* demonstrate the scheduling anomalies as concrete executions, and
+* co-simulate plant dynamics under the schedule (TrueTime-style), showing
+  a control loop actually destabilising when its stability constraint is
+  violated.
+
+Modules: :mod:`~repro.sim.engine` (event queue),
+:mod:`~repro.sim.workload` (execution-time models),
+:mod:`~repro.sim.fpps` (the scheduler), :mod:`~repro.sim.trace` (job
+records and response-time statistics), :mod:`~repro.sim.cosim`
+(plant-in-the-loop co-simulation).
+"""
+
+from repro.sim.fpps import simulate_fpps
+from repro.sim.trace import JobRecord, Trace
+from repro.sim.workload import (
+    BestCaseExecution,
+    ConstantExecution,
+    ExecutionTimeModel,
+    UniformExecution,
+    WorstCaseExecution,
+    per_task_execution,
+)
+
+__all__ = [
+    "simulate_fpps",
+    "Trace",
+    "JobRecord",
+    "ExecutionTimeModel",
+    "WorstCaseExecution",
+    "BestCaseExecution",
+    "ConstantExecution",
+    "UniformExecution",
+    "per_task_execution",
+]

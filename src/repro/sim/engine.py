@@ -1,0 +1,52 @@
+"""Minimal discrete-event core: a stable, deterministic event queue.
+
+The scheduler needs a priority queue over (time, tie-break) pairs with
+deterministic ordering when events coincide -- releases at the same instant
+must be processed in a fixed order for reproducible traces.  ``heapq`` with
+an explicit sequence number provides exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    order: int
+    tie: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered queue with deterministic tie-breaking.
+
+    Events pushed with the same timestamp pop in (priority-class, push)
+    order: ``order`` groups event kinds (e.g. completions before releases
+    at the same instant, or vice versa -- the scheduler chooses), and the
+    running sequence number breaks remaining ties by insertion.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any, *, order: int = 0) -> None:
+        heapq.heappush(self._heap, _Entry(time, order, next(self._counter), payload))
+
+    def pop(self) -> Tuple[float, Any]:
+        entry = heapq.heappop(self._heap)
+        return entry.time, entry.payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,100 @@
+"""Schedule traces: per-job records and response-time statistics.
+
+A :class:`Trace` is the complete outcome of one simulator run.  Its
+statistics are the empirical counterparts of the paper's analysis
+quantities: observed worst/best response times bound ``R^w`` from below
+and ``R^b`` from above (any finite simulation sees a subset of behaviours),
+and observed ``latency = min response``, ``jitter = max - min response``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One completed (or still-running) job of a task."""
+
+    task_name: str
+    job_index: int
+    release: float
+    execution_time: float
+    start: Optional[float]
+    finish: Optional[float]
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus release; ``None`` while unfinished."""
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+
+@dataclass
+class Trace:
+    """All job records of one simulation run, with derived statistics."""
+
+    duration: float
+    records: List[JobRecord] = field(default_factory=list)
+
+    def jobs_of(self, task_name: str) -> List[JobRecord]:
+        return [r for r in self.records if r.task_name == task_name]
+
+    def completed_jobs_of(self, task_name: str) -> List[JobRecord]:
+        return [r for r in self.jobs_of(task_name) if r.completed]
+
+    def response_times(self, task_name: str) -> List[float]:
+        return [r.response_time for r in self.completed_jobs_of(task_name)]
+
+    def observed_worst_response(self, task_name: str) -> float:
+        times = self.response_times(task_name)
+        if not times:
+            raise ModelError(f"no completed jobs of {task_name!r} in trace")
+        return max(times)
+
+    def observed_best_response(self, task_name: str) -> float:
+        times = self.response_times(task_name)
+        if not times:
+            raise ModelError(f"no completed jobs of {task_name!r} in trace")
+        return min(times)
+
+    def observed_latency_jitter(self, task_name: str) -> Tuple[float, float]:
+        """Empirical ``(L, J)`` per the paper's eq. (2) definitions."""
+        best = self.observed_best_response(task_name)
+        worst = self.observed_worst_response(task_name)
+        return best, worst - best
+
+    def deadline_misses(self, task_name: str, deadline: float) -> int:
+        """Jobs finishing after ``release + deadline`` (or never)."""
+        missed = 0
+        for record in self.jobs_of(task_name):
+            if record.finish is None or record.finish > record.release + deadline + 1e-12:
+                missed += 1
+        return missed
+
+    def busy_time(self) -> float:
+        """Total processor time consumed by completed jobs."""
+        return sum(r.execution_time for r in self.records if r.completed)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-task response-time statistics (min/max/mean/count)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted({r.task_name for r in self.records}):
+            times = self.response_times(name)
+            if not times:
+                continue
+            out[name] = {
+                "count": float(len(times)),
+                "min": min(times),
+                "max": max(times),
+                "mean": sum(times) / len(times),
+            }
+        return out

@@ -1,0 +1,94 @@
+"""Execution-time models for the scheduler simulator.
+
+The paper's task model bounds each task's execution time to
+``[c^b_i, c^w_i]``; which value each *job* actually takes is what creates
+response-time jitter.  An :class:`ExecutionTimeModel` decides that value
+per job.  The extremal models are the important ones analytically:
+
+* all-worst-case drives every response time toward ``R^w`` (synchronous
+  release gives exactly the critical instant of eq. (3));
+* the task under analysis at best case with minimal interference
+  approaches ``R^b``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.rta.taskset import Task
+
+
+class ExecutionTimeModel(abc.ABC):
+    """Strategy deciding the execution time of each job."""
+
+    @abc.abstractmethod
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        """Execution time of job ``job_index`` of ``task`` (seconds)."""
+
+    def _validate(self, task: Task, value: float) -> float:
+        if not (task.bcet - 1e-12 <= value <= task.wcet + 1e-12):
+            raise ModelError(
+                f"execution model produced {value} outside "
+                f"[{task.bcet}, {task.wcet}] for task {task.name!r}"
+            )
+        return min(max(value, task.bcet), task.wcet)
+
+
+class WorstCaseExecution(ExecutionTimeModel):
+    """Every job takes ``c^w`` -- the analysis-side worst case."""
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        return task.wcet
+
+
+class BestCaseExecution(ExecutionTimeModel):
+    """Every job takes ``c^b``."""
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        return task.bcet
+
+
+class ConstantExecution(ExecutionTimeModel):
+    """A fixed execution time within ``[c^b, c^w]`` for every job."""
+
+    def __init__(self, value: float):
+        self._value = value
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        return self._validate(task, self._value)
+
+
+class UniformExecution(ExecutionTimeModel):
+    """Execution times drawn uniformly from ``[c^b, c^w]`` per job."""
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        if task.wcet == task.bcet:
+            return task.wcet
+        return float(rng.uniform(task.bcet, task.wcet))
+
+
+class _PerTask(ExecutionTimeModel):
+    def __init__(self, models: Dict[str, ExecutionTimeModel], default: ExecutionTimeModel):
+        self._models = dict(models)
+        self._default = default
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        model = self._models.get(task.name, self._default)
+        return model.sample(task, job_index, rng)
+
+
+def per_task_execution(
+    models: Dict[str, ExecutionTimeModel],
+    default: Optional[ExecutionTimeModel] = None,
+) -> ExecutionTimeModel:
+    """Combine per-task models (e.g. one task at best case, rest at worst).
+
+    This is how the extremal schedules behind the latency/jitter metrics
+    are produced: ``per_task_execution({"tau_1": BestCaseExecution()},
+    default=WorstCaseExecution())``.
+    """
+    return _PerTask(models, default or WorstCaseExecution())

@@ -1,0 +1,76 @@
+"""Tests of the anomaly detectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anomalies.detectors import (
+    jitter_after_priority_raise,
+    period_increase_anomalies,
+    priority_raise_anomalies,
+    wcet_decrease_anomalies,
+)
+from repro.anomalies.scenarios import priority_raise_anomaly_example
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+@pytest.fixture
+def anomaly_instance():
+    return priority_raise_anomaly_example()
+
+
+class TestPriorityRaiseDetector:
+    def test_pinned_instance_detected(self, anomaly_instance):
+        taskset, name = anomaly_instance
+        events = priority_raise_anomalies(taskset)
+        assert any(e.task_name == name for e in events)
+
+    def test_pinned_instance_exact_numbers(self, anomaly_instance):
+        taskset, name = anomaly_instance
+        before, after = jitter_after_priority_raise(taskset, name)
+        assert before.latency == pytest.approx(10.19)
+        assert before.jitter == pytest.approx(3.16)
+        assert after.latency == pytest.approx(8.58)
+        assert after.jitter == pytest.approx(3.73)
+
+    def test_pinned_instance_is_destabilising(self, anomaly_instance):
+        taskset, name = anomaly_instance
+        event = next(
+            e for e in priority_raise_anomalies(taskset) if e.task_name == name
+        )
+        assert event.destabilising
+        assert event.slack_before == pytest.approx(0.03, abs=1e-9)
+        assert event.slack_after == pytest.approx(-0.07, abs=1e-9)
+
+    def test_monotone_instance_has_no_anomaly(self, three_task_set):
+        # Constant-rate trio: raising priorities behaves intuitively.
+        assert priority_raise_anomalies(three_task_set) == []
+
+    def test_raising_top_task_rejected(self, three_task_set):
+        with pytest.raises(ModelError):
+            jitter_after_priority_raise(three_task_set, "hi")
+
+
+class TestOtherDetectors:
+    def test_wcet_decrease_on_plain_set_is_quiet(self, three_task_set):
+        assert wcet_decrease_anomalies(three_task_set) == []
+
+    def test_period_increase_on_plain_set_is_quiet(self, three_task_set):
+        assert period_increase_anomalies(three_task_set, stretch=1.05) == []
+
+    def test_wcet_decrease_validates_shrink_factor(self, three_task_set):
+        with pytest.raises(ModelError):
+            wcet_decrease_anomalies(three_task_set, shrink=1.5)
+
+    def test_period_increase_validates_stretch(self, three_task_set):
+        with pytest.raises(ModelError):
+            period_increase_anomalies(three_task_set, stretch=0.9)
+
+    def test_anomaly_event_fields(self, anomaly_instance):
+        taskset, name = anomaly_instance
+        event = priority_raise_anomalies(taskset)[0]
+        assert event.kind == "priority_raise"
+        assert event.jitter_increase > 0
+        assert "swap above" in event.change

@@ -1,0 +1,105 @@
+"""Tests of the sensitivity analysis (scaling margins, level profiles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anomalies.scenarios import priority_raise_anomaly_example
+from repro.anomalies.sensitivity import (
+    priority_level_margin,
+    sensitivity_report,
+    wcet_scaling_margin,
+)
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+@pytest.fixture
+def working_set():
+    return TaskSet(
+        [
+            Task(name="hi", period=4.0, wcet=1.0, bcet=0.5, priority=2,
+                 stability=LinearStabilityBound(a=1.0, b=2.5)),
+            Task(name="lo", period=12.0, wcet=2.0, bcet=1.0, priority=1,
+                 stability=LinearStabilityBound(a=1.0, b=9.0)),
+        ]
+    )
+
+
+class TestWcetScalingMargin:
+    def test_margin_exceeds_one_for_working_set(self, working_set):
+        margin = wcet_scaling_margin(working_set, "hi")
+        assert margin.factor > 1.0
+
+    def test_scaled_at_margin_is_valid_and_past_is_not(self, working_set):
+        from repro.anomalies.sensitivity import (
+            _first_violation,
+            _taskset_with_scaled_task,
+        )
+
+        margin = wcet_scaling_margin(working_set, "hi", tolerance=1e-5)
+        at = _taskset_with_scaled_task(working_set, "hi", margin.factor)
+        assert _first_violation(at) is None
+        past = _taskset_with_scaled_task(working_set, "hi", margin.factor * 1.01)
+        assert past is None or _first_violation(past) is not None
+
+    def test_binding_task_reported(self, working_set):
+        margin = wcet_scaling_margin(working_set, "hi", tolerance=1e-5)
+        assert margin.binding_task in {"hi", "lo"}
+
+    def test_bisection_is_cheap(self, working_set):
+        # log2(bracket / tolerance) evaluations, not a linear scan.
+        margin = wcet_scaling_margin(working_set, "hi", tolerance=1e-4)
+        assert margin.evaluations < 40
+
+    def test_invalid_design_rejected(self, working_set):
+        broken = working_set.with_priorities({"hi": 1, "lo": 2})
+        with pytest.raises(ModelError):
+            wcet_scaling_margin(broken, "hi")
+
+    def test_unknown_task_rejected(self, working_set):
+        with pytest.raises(ModelError):
+            wcet_scaling_margin(working_set, "nope")
+
+    def test_unconstrained_task_hits_cap(self):
+        ts = TaskSet(
+            [Task(name="solo", period=10.0, wcet=0.01, bcet=0.01, priority=1)]
+        )
+        margin = wcet_scaling_margin(ts, "solo", max_factor=16.0)
+        # Only its own period caps the growth; bracket stops at the cap.
+        assert margin.factor >= 16.0 or margin.binding_task == "solo"
+
+    def test_report_covers_all_tasks(self, working_set):
+        report = sensitivity_report(working_set)
+        assert set(report) == {"hi", "lo"}
+        assert all(m.factor >= 1.0 for m in report.values())
+
+
+class TestPriorityLevelProfile:
+    def test_profile_shape(self, working_set):
+        profile = priority_level_margin(working_set, "lo")
+        assert profile.levels == (1, 2)
+        assert len(profile.slacks) == 2
+
+    def test_monotone_for_plain_sets(self, working_set):
+        # Both tasks have constant-ish interfaces here: higher level never
+        # hurts, so the profile is monotone.
+        profile = priority_level_margin(working_set, "lo")
+        assert profile.is_monotone
+
+    def test_anomalous_instance_is_non_monotone(self):
+        """On the pinned anomaly instance the slack profile of the control
+        task DECREASES when moving up a level -- bisection over levels
+        would be unsound, which is the paper's design-complexity point."""
+        taskset, victim = priority_raise_anomaly_example()
+        profile = priority_level_margin(taskset, victim)
+        assert not profile.is_monotone
+        # Level 1 (current, stable) beats level 2 (the 'improvement').
+        assert profile.slacks[0] > profile.slacks[1]
+
+    def test_best_level_maximises_slack(self, working_set):
+        profile = priority_level_margin(working_set, "hi")
+        best_index = profile.levels.index(profile.best_level)
+        assert profile.slacks[best_index] == max(profile.slacks)

@@ -1,0 +1,59 @@
+"""Fixtures for the priority-assignment tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+@pytest.fixture
+def easy_taskset():
+    """Generously bounded set: any priority order is valid."""
+    return TaskSet(
+        [
+            Task(name="a", period=4.0, wcet=0.4, bcet=0.2,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+            Task(name="b", period=8.0, wcet=0.8, bcet=0.4,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+            Task(name="c", period=16.0, wcet=1.6, bcet=0.8,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def rm_only_taskset():
+    """Feasible only with rate-monotonic-like orders: tight bounds force
+    the short-period task to the top."""
+    return TaskSet(
+        [
+            Task(name="fast", period=2.0, wcet=0.8, bcet=0.8,
+                 stability=LinearStabilityBound(a=1.0, b=1.0)),
+            Task(name="slow", period=10.0, wcet=2.0, bcet=2.0,
+                 stability=LinearStabilityBound(a=1.0, b=7.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def infeasible_taskset():
+    """No priority order satisfies both stability bounds."""
+    return TaskSet(
+        [
+            Task(name="x", period=4.0, wcet=2.0, bcet=2.0,
+                 stability=LinearStabilityBound(a=1.0, b=2.5)),
+            Task(name="y", period=4.0, wcet=2.0, bcet=2.0,
+                 stability=LinearStabilityBound(a=1.0, b=2.5)),
+        ]
+    )
+
+
+@pytest.fixture
+def benchmark_taskset():
+    """A realistic generated benchmark (deterministic seed)."""
+    rng = np.random.default_rng([99, 6, 0])
+    return generate_control_taskset(6, rng, config=BenchmarkConfig())

@@ -1,0 +1,71 @@
+"""Tests of the benchmark task-set generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.taskgen import (
+    BenchmarkConfig,
+    generate_benchmark_suite,
+    generate_control_taskset,
+)
+from repro.control.plants import PLANT_LIBRARY
+from repro.errors import ModelError
+
+
+class TestConfig:
+    def test_default_config_is_valid(self):
+        BenchmarkConfig()
+
+    def test_rejects_bad_utilization_range(self):
+        with pytest.raises(ModelError):
+            BenchmarkConfig(utilization_range=(0.5, 1.5))
+
+    def test_rejects_bad_bcet_range(self):
+        with pytest.raises(ModelError):
+            BenchmarkConfig(bcet_fraction_range=(0.0, 0.5))
+
+
+class TestGenerateTaskSet:
+    def test_shape_and_wellformedness(self, rng):
+        ts = generate_control_taskset(6, rng)
+        assert len(ts) == 6
+        for task in ts:
+            assert 0 < task.bcet <= task.wcet <= task.period
+            assert task.stability is not None
+            assert task.plant_name in PLANT_LIBRARY
+            lo, hi = PLANT_LIBRARY[task.plant_name].period_range
+            assert lo <= task.period <= hi
+
+    def test_total_utilization_in_range(self, rng):
+        config = BenchmarkConfig(utilization_range=(0.4, 0.6))
+        for _ in range(10):
+            ts = generate_control_taskset(5, rng, config=config)
+            assert 0.39 <= ts.utilization <= 0.61
+
+    def test_explicit_utilization(self, rng):
+        ts = generate_control_taskset(4, rng, utilization=0.5)
+        assert ts.utilization == pytest.approx(0.5, abs=1e-6)
+
+    def test_priorities_left_unassigned(self, rng):
+        ts = generate_control_taskset(4, rng)
+        assert all(t.priority is None for t in ts)
+
+
+class TestSuite:
+    def test_deterministic_per_index(self):
+        first = list(generate_benchmark_suite([4], 3, seed=11))
+        second = list(generate_benchmark_suite([4], 3, seed=11))
+        for (n1, i1, ts1), (n2, i2, ts2) in zip(first, second):
+            assert (n1, i1) == (n2, i2)
+            assert [t.wcet for t in ts1] == [t.wcet for t in ts2]
+
+    def test_covers_all_counts(self):
+        seen = {n for n, _, _ in generate_benchmark_suite([4, 8], 2, seed=1)}
+        assert seen == {4, 8}
+
+    def test_different_seeds_differ(self):
+        a = next(iter(generate_benchmark_suite([4], 1, seed=1)))[2]
+        b = next(iter(generate_benchmark_suite([4], 1, seed=2)))[2]
+        assert [t.wcet for t in a] != [t.wcet for t in b]

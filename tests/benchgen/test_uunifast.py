@@ -1,0 +1,49 @@
+"""Tests of the UUniFast utilisation generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen.uunifast import uunifast
+from repro.errors import ModelError
+
+
+class TestUUniFast:
+    def test_sums_to_total(self, rng):
+        for n in (1, 2, 5, 20):
+            us = uunifast(n, 0.7, rng)
+            assert len(us) == n
+            assert sum(us) == pytest.approx(0.7)
+
+    def test_all_positive(self, rng):
+        for _ in range(50):
+            assert all(u > 0 for u in uunifast(8, 0.9, rng))
+
+    def test_single_task_gets_everything(self, rng):
+        assert uunifast(1, 0.42, rng) == [pytest.approx(0.42)]
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ModelError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ModelError):
+            uunifast(3, 0.0, rng)
+
+    def test_distribution_is_exchangeable(self, rng):
+        # Mean share of each index must be total/n (uniform simplex).
+        n, total, reps = 4, 0.8, 4000
+        sums = np.zeros(n)
+        for _ in range(reps):
+            sums += uunifast(n, total, rng)
+        means = sums / reps
+        assert np.allclose(means, total / n, atol=0.01)
+
+    @given(st.integers(1, 15), st.floats(0.05, 0.99), st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_property_sum_and_positivity(self, n, total, seed):
+        rng = np.random.default_rng(seed)
+        us = uunifast(n, total, rng)
+        assert sum(us) == pytest.approx(total, rel=1e-9)
+        assert all(u >= 0 for u in us)

@@ -1,0 +1,117 @@
+"""Tests of assignment control-quality evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.assignment.backtracking import assign_backtracking
+from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
+from repro.codesign.quality import (
+    assignment_control_cost,
+    best_quality_assignment,
+    task_control_cost,
+)
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import stability_bound_for_plant
+from repro.control.plants import get_plant
+from repro.rta.taskset import Task, TaskSet
+
+
+def _control_task(name, plant_name, period, wcet, bcet, priority=None):
+    plant = get_plant(plant_name)
+    return Task(
+        name=name,
+        period=period,
+        wcet=wcet,
+        bcet=bcet,
+        priority=priority,
+        stability=stability_bound_for_plant(plant, period),
+        plant_name=plant_name,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    return TaskSet(
+        [
+            _control_task("servo", "dc_servo", 0.006, 0.0010, 0.0004, priority=2),
+            _control_task("pend", "inverted_pendulum", 0.020, 0.0030, 0.0015, priority=1),
+        ]
+    )
+
+
+class TestTaskControlCost:
+    def test_finite_for_modest_interface(self, small_system):
+        task = small_system.by_name("servo")
+        cost = task_control_cost(task, 0.0005, 0.0005)
+        assert math.isfinite(cost) and cost > 0
+
+    def test_monotone_in_jitter(self, small_system):
+        task = small_system.by_name("servo")
+        low = task_control_cost(task, 0.0005, 0.0005)
+        high = task_control_cost(task, 0.0005, 0.003)
+        assert high > low
+
+    def test_infinite_past_the_period(self, small_system):
+        task = small_system.by_name("servo")
+        assert task_control_cost(task, 0.004, 0.004) == float("inf")
+
+    def test_requires_plant(self):
+        bare = Task(name="x", period=1.0, wcet=0.1, priority=1)
+        with pytest.raises(ModelError):
+            task_control_cost(bare, 0.0, 0.0)
+
+
+class TestAssignmentQuality:
+    def test_valid_assignment_has_finite_total(self, small_system):
+        quality = assignment_control_cost(small_system)
+        assert quality.feasible
+        assert set(quality.per_task) == {"servo", "pend"}
+        assert quality.total == pytest.approx(sum(quality.per_task.values()))
+
+    def test_priority_changes_quality(self, small_system):
+        flipped = small_system.with_priorities({"servo": 1, "pend": 2})
+        base = assignment_control_cost(small_system)
+        alt = assignment_control_cost(flipped)
+        # Both may be feasible, but the costs must differ: priorities move
+        # the (L, J) interfaces, and the loops are not symmetric.
+        if alt.feasible and base.feasible:
+            assert alt.total != pytest.approx(base.total)
+
+    def test_unstable_assignment_is_infinite(self):
+        # A hog delays the servo beyond its stability budget at h = 12 ms.
+        hog = Task(name="hog", period=0.012, wcet=0.009, bcet=0.009, priority=2)
+        servo = _control_task("servo", "dc_servo", 0.012, 0.0005, 0.0005, priority=1)
+        quality = assignment_control_cost(TaskSet([hog, servo]))
+        assert not quality.feasible
+        assert quality.per_task["servo"] == float("inf")
+
+
+class TestBestQualityAssignment:
+    def test_matches_feasibility_of_backtracking(self):
+        rng = np.random.default_rng([505, 4, 1])
+        ts = generate_control_taskset(4, rng, config=BenchmarkConfig())
+        best = best_quality_assignment(ts)
+        feasible_by_search = assign_backtracking(ts).priorities is not None
+        assert (best is not None) == feasible_by_search
+
+    def test_optimal_beats_or_ties_heuristic(self, small_system):
+        unassigned = TaskSet(t.with_priority(None) for t in small_system)
+        best = best_quality_assignment(unassigned)
+        assert best is not None
+        result = assign_backtracking(unassigned)
+        heuristic_quality = assignment_control_cost(result.apply_to(unassigned))
+        assert best[1].total <= heuristic_quality.total + 1e-12
+
+    def test_size_cap(self):
+        tasks = TaskSet(
+            [
+                Task(name=f"t{i}", period=1.0 + i, wcet=0.01, priority=None)
+                for i in range(8)
+            ]
+        )
+        with pytest.raises(ModelError):
+            best_quality_assignment(tasks)

@@ -1,0 +1,112 @@
+"""Tests of the stationary closed-loop cost (the Fig. 2 engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.cost import (
+    closed_loop_cost,
+    closed_loop_matrices,
+    control_input_maps,
+    cost_vs_period,
+    plant_lqg_cost,
+)
+from repro.control.lqg import design_lqg
+from repro.control.plants import get_plant
+
+
+@pytest.fixture
+def servo_design():
+    plant = get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    return design_lqg(plant.state_space(), 0.006, 0.002, q1, q12, q2, r1, r2)
+
+
+def _monte_carlo_cost(design, n_steps=120_000, seed=9):
+    """Empirical per-period cost of the simulated closed loop."""
+    problem = design.problem
+    a_cl, b_w, b_e = closed_loop_matrices(design)
+    u_x, u_e = control_input_maps(design)
+    n = problem.n_plant
+    m = problem.gamma0.shape[1]
+    nz = n + m if problem.augmented else n
+    rng = np.random.default_rng(seed)
+    chol_w = np.linalg.cholesky(problem.r1_d + 1e-15 * np.eye(n))
+    chol_e = np.linalg.cholesky(design.r2_d)
+    q_big = np.block([[problem.q1_z, problem.q12_z], [problem.q12_z.T, problem.q2_z]])
+    xi = np.zeros(a_cl.shape[0])
+    total = 0.0
+    for _ in range(n_steps):
+        e = chol_e @ rng.standard_normal(1)
+        w = chol_w @ rng.standard_normal(n)
+        u = u_x @ xi + u_e @ e
+        v = np.concatenate([xi[:nz], u])
+        total += v @ q_big @ v
+        xi = a_cl @ xi + b_w @ w + b_e @ e
+    return (total / n_steps + problem.noise_floor) / problem.h
+
+
+class TestClosedLoopCost:
+    def test_positive(self, servo_design):
+        assert closed_loop_cost(servo_design) > 0.0
+
+    def test_matches_monte_carlo(self, servo_design):
+        analytic = closed_loop_cost(servo_design)
+        empirical = _monte_carlo_cost(servo_design)
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_no_delay_case_matches_monte_carlo(self):
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        design = design_lqg(plant.state_space(), 0.006, 0.0, q1, q12, q2, r1, r2)
+        analytic = closed_loop_cost(design)
+        empirical = _monte_carlo_cost(design)
+        assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_delay_increases_cost(self):
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        h = 0.006
+        costs = []
+        for delay in (0.0, 0.3 * h, 0.8 * h):
+            design = design_lqg(plant.state_space(), h, delay, q1, q12, q2, r1, r2)
+            costs.append(closed_loop_cost(design))
+        assert costs[0] < costs[1] < costs[2]
+
+
+class TestPlantCostSweep:
+    def test_pathological_period_reports_infinity(self):
+        plant = get_plant("harmonic_oscillator")
+        omega = 4.0 * np.pi
+        pathological_h = np.pi / omega
+        assert plant_lqg_cost(plant, pathological_h) == float("inf")
+
+    def test_regular_period_is_finite(self):
+        plant = get_plant("harmonic_oscillator")
+        omega = 4.0 * np.pi
+        assert np.isfinite(plant_lqg_cost(plant, 0.6 * np.pi / omega))
+
+    def test_fig2_phenomenology(self):
+        """The three Fig. 2 phenomena on the resonant plant."""
+        plant = get_plant("resonant_servo")
+        periods = np.linspace(0.05, 0.6, 45)
+        costs = cost_vs_period(plant, periods)
+        finite = np.isfinite(costs)
+        assert np.all(costs[finite] > 0)
+        # (2) non-monotone: some shorter period has higher cost...
+        diffs = np.diff(costs[finite])
+        assert np.any(diffs < 0)
+        # (3) ...yet the overall trend increases by a large factor.
+        assert costs[finite][-1] > 10.0 * costs[finite][0]
+
+    def test_cost_aligned_with_periods(self):
+        plant = get_plant("dc_servo")
+        periods = [0.002, 0.004, 0.008]
+        costs = cost_vs_period(plant, periods)
+        assert costs.shape == (3,)
+        # For this well-behaved servo, slower sampling costs more.
+        assert costs[0] < costs[1] < costs[2]

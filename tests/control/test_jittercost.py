@@ -1,0 +1,155 @@
+"""Tests of the expected-cost-under-jitter analysis (Jitterbug-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.cost import closed_loop_cost
+from repro.control.jittercost import (
+    cost_vs_jitter,
+    expected_cost_under_jitter,
+)
+from repro.control.lqg import design_lqg
+from repro.control.plants import get_plant
+from repro.errors import ModelError, UnstableLoopError
+
+
+@pytest.fixture(scope="module")
+def servo_setup():
+    plant = get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    ss = plant.state_space()
+    design = design_lqg(ss, 0.006, 0.0, q1, q12, q2, r1, r2)
+    return ss, design, (q1, q12, q2, r1)
+
+
+class TestConsistencyWithDeterministicCost:
+    @pytest.mark.parametrize("tau", [0.0, 0.002, 0.004])
+    def test_zero_jitter_matches_closed_loop_cost(self, tau):
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        ss = plant.state_space()
+        design = design_lqg(ss, 0.006, tau, q1, q12, q2, r1, r2)
+        reference = closed_loop_cost(design)
+        result = expected_cost_under_jitter(
+            design, ss, tau, 0.0, q1, q12, q2, r1
+        )
+        assert result.expected_cost == pytest.approx(reference, rel=1e-9)
+        assert result.mean_square_stable
+
+    def test_off_design_constant_delay_costs_more(self, servo_setup):
+        # Actuating later than designed for degrades performance.
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        nominal = expected_cost_under_jitter(design, ss, 0.0, 0.0, q1, q12, q2, r1)
+        late = expected_cost_under_jitter(design, ss, 0.003, 0.0, q1, q12, q2, r1)
+        assert late.expected_cost > nominal.expected_cost
+
+
+class TestJitterSweep:
+    def test_cost_increases_with_jitter(self, servo_setup):
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        jitters = [0.0, 0.001, 0.002, 0.004]
+        costs = cost_vs_jitter(design, ss, 0.0, jitters, q1, q12, q2, r1)
+        finite = costs[np.isfinite(costs)]
+        assert np.all(np.diff(finite) > 0)
+
+    def test_sweep_reports_inf_past_ms_stability(self):
+        # At h = 12 ms the servo's latency budget is ~6.6 ms (< h), so a
+        # 10 ms constant actuation delay is within the period yet fatal.
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        ss = plant.state_space()
+        design = design_lqg(ss, 0.012, 0.0, q1, q12, q2, r1, r2)
+        with pytest.raises(UnstableLoopError):
+            expected_cost_under_jitter(design, ss, 0.010, 0.0, q1, q12, q2, r1)
+        costs = cost_vs_jitter(
+            design, ss, 0.005, [0.0, 0.006], q1, q12, q2, r1
+        )
+        assert np.isfinite(costs[0])
+        assert costs[1] == float("inf")
+
+    def test_margin_consistency(self, servo_setup):
+        """Inside half the jitter margin the loop must be MS stable with
+        finite cost -- the quantitative and binary analyses agree."""
+        from repro.jittermargin import jitter_margin
+
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        margin = jitter_margin(ss, design.controller, 0.006, 0.0)
+        result = expected_cost_under_jitter(
+            design, ss, 0.0, 0.5 * margin, q1, q12, q2, r1
+        )
+        assert result.mean_square_stable
+        assert np.isfinite(result.expected_cost)
+
+
+class TestValidation:
+    def test_rejects_delays_beyond_period(self, servo_setup):
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        with pytest.raises(ModelError):
+            expected_cost_under_jitter(design, ss, 0.004, 0.004, q1, q12, q2, r1)
+
+    def test_rejects_negative_jitter(self, servo_setup):
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        with pytest.raises(ModelError):
+            expected_cost_under_jitter(design, ss, 0.0, -0.001, q1, q12, q2, r1)
+
+    def test_rejects_bad_weights(self, servo_setup):
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        with pytest.raises(ModelError):
+            expected_cost_under_jitter(
+                design, ss, 0.0, 0.001, q1, q12, q2, r1,
+                delay_points=3, weights=[0.5, 0.5],
+            )
+
+    def test_custom_weights_accepted(self, servo_setup):
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        result = expected_cost_under_jitter(
+            design, ss, 0.0, 0.002, q1, q12, q2, r1,
+            delay_points=3, weights=[0.25, 0.5, 0.25],
+        )
+        assert np.isfinite(result.expected_cost)
+
+    def test_monte_carlo_agreement(self, servo_setup):
+        """The Kronecker-lifted covariance matches a direct jump-system
+        simulation of the jittery loop."""
+        ss, design, weights = servo_setup
+        q1, q12, q2, r1 = weights
+        latency, jitter, points = 0.001, 0.002, 3
+        result = expected_cost_under_jitter(
+            design, ss, latency, jitter, q1, q12, q2, r1, delay_points=points
+        )
+        from repro.control.jittercost import _delay_closed_loop
+
+        delays = np.linspace(latency, latency + jitter, points)
+        pieces = [
+            _delay_closed_loop(design, ss, float(d), q1, q12, q2, r1)
+            for d in delays
+        ]
+        rng = np.random.default_rng(11)
+        n = design.problem.n_plant
+        chol_w = np.linalg.cholesky(design.problem.r1_d + 1e-15 * np.eye(n))
+        chol_e = np.linalg.cholesky(design.r2_d)
+        xi = np.zeros(pieces[0][0].shape[0])
+        total = 0.0
+        steps = 60_000
+        for _ in range(steps):
+            idx = rng.integers(points)
+            a_cl, b_w, b_e, m_xi, m_e, q_big, floor = pieces[idx]
+            e = chol_e @ rng.standard_normal(1)
+            w = chol_w @ rng.standard_normal(n)
+            v = m_xi @ xi + m_e @ e
+            total += v @ q_big @ v + floor
+            xi = a_cl @ xi + b_w @ w + b_e @ e
+        empirical = total / steps / design.problem.h
+        assert empirical == pytest.approx(result.expected_cost, rel=0.08)

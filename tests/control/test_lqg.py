@@ -1,0 +1,136 @@
+"""Tests of the sampled-data LQG pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.lqg import design_lqg, sample_lq_problem
+from repro.control.plants import get_plant
+from repro.errors import ModelError, RiccatiError
+from repro.lti.analysis import spectral_radius
+
+
+@pytest.fixture
+def servo_data():
+    plant = get_plant("dc_servo")
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    return plant.state_space(), q1, q12, q2, r1, r2
+
+
+class TestSampleLqProblem:
+    def test_no_delay_keeps_plant_dimension(self, servo_data):
+        ss, q1, q12, q2, r1, _ = servo_data
+        problem = sample_lq_problem(ss, 0.006, 0.0, q1, q12, q2, r1)
+        assert not problem.augmented
+        assert problem.a_z.shape == (2, 2)
+        assert np.allclose(problem.gamma1, 0.0)
+
+    def test_delay_augments_with_previous_input(self, servo_data):
+        ss, q1, q12, q2, r1, _ = servo_data
+        problem = sample_lq_problem(ss, 0.006, 0.003, q1, q12, q2, r1)
+        assert problem.augmented
+        assert problem.a_z.shape == (3, 3)
+        # Bottom row of A_z clears u_prev; B_z routes the new input there.
+        assert np.allclose(problem.a_z[2, :], 0.0)
+        assert problem.b_z[2, 0] == pytest.approx(1.0)
+
+    def test_cost_matrices_integrate_continuous_cost(self, servo_data):
+        # For a constant state/input over one period (A = 0 plants), the
+        # sampled cost must equal h * continuous cost.  Use a synthetic
+        # integrator with zero dynamics to check the normalisation.
+        from repro.lti.statespace import StateSpace
+
+        plant = StateSpace(np.zeros((1, 1)), np.zeros((1, 1)), [[1.0]])
+        q1 = np.array([[2.0]])
+        q12 = np.zeros((1, 1))
+        q2 = np.array([[3.0]])
+        problem = sample_lq_problem(plant, 0.5, 0.0, q1, q12, q2, np.zeros((1, 1)))
+        # x and u constant: cost over one period = 0.5 * (2 x^2 + 3 u^2).
+        assert problem.q1_z[0, 0] == pytest.approx(1.0)
+        assert problem.q2_z[0, 0] == pytest.approx(1.5)
+
+    def test_delay_cost_split_is_consistent(self, servo_data):
+        # Cost of (x0, u, u) with delay tau must equal cost of (x0, u)
+        # without delay: if old and new inputs coincide, the split is moot.
+        ss, q1, q12, q2, r1, _ = servo_data
+        h, tau = 0.006, 0.0025
+        plain = sample_lq_problem(ss, h, 0.0, q1, q12, q2, r1)
+        delayed = sample_lq_problem(ss, h, tau, q1, q12, q2, r1)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x0 = rng.standard_normal(2)
+            u = rng.standard_normal(1)
+            z_plain = np.concatenate([x0, u])
+            q_plain = np.block(
+                [[plain.q1_z, plain.q12_z], [plain.q12_z.T, plain.q2_z]]
+            )
+            cost_plain = z_plain @ q_plain @ z_plain
+            zeta = np.concatenate([x0, u, u])
+            q_delay = np.block(
+                [[delayed.q1_z, delayed.q12_z], [delayed.q12_z.T, delayed.q2_z]]
+            )
+            cost_delay = zeta @ q_delay @ zeta
+            assert np.isclose(cost_plain, cost_delay, rtol=1e-9)
+
+    def test_rejects_delay_beyond_period(self, servo_data):
+        ss, q1, q12, q2, r1, _ = servo_data
+        with pytest.raises(ModelError):
+            sample_lq_problem(ss, 0.006, 0.012, q1, q12, q2, r1)
+
+    def test_noise_floor_positive_with_noise(self, servo_data):
+        ss, q1, q12, q2, r1, _ = servo_data
+        problem = sample_lq_problem(ss, 0.006, 0.0, q1, q12, q2, r1)
+        assert problem.noise_floor > 0.0
+
+
+class TestDesignLqg:
+    @pytest.mark.parametrize("delay_frac", [0.0, 0.3, 0.7, 1.0])
+    def test_controller_stabilises_the_sampled_loop(self, servo_data, delay_frac):
+        ss, q1, q12, q2, r1, r2 = servo_data
+        h = 0.006
+        design = design_lqg(ss, h, delay_frac * h, q1, q12, q2, r1, r2)
+        from repro.control.cost import closed_loop_matrices
+
+        a_cl, _, _ = closed_loop_matrices(design)
+        assert spectral_radius(a_cl) < 1.0
+
+    def test_controller_periods_match(self, servo_data):
+        ss, q1, q12, q2, r1, r2 = servo_data
+        design = design_lqg(ss, 0.004, 0.001, q1, q12, q2, r1, r2)
+        assert design.controller.dt == pytest.approx(0.004)
+
+    def test_controller_dimensions(self, servo_data):
+        ss, q1, q12, q2, r1, r2 = servo_data
+        no_delay = design_lqg(ss, 0.006, 0.0, q1, q12, q2, r1, r2)
+        assert no_delay.controller.n_states == 2
+        with_delay = design_lqg(ss, 0.006, 0.002, q1, q12, q2, r1, r2)
+        assert with_delay.controller.n_states == 3
+
+    def test_kalman_covariance_is_psd(self, servo_data):
+        ss, q1, q12, q2, r1, r2 = servo_data
+        design = design_lqg(ss, 0.006, 0.0, q1, q12, q2, r1, r2)
+        assert np.all(np.linalg.eigvalsh(design.error_covariance) >= -1e-12)
+
+    def test_pathological_period_raises(self):
+        # Undamped oscillator sampled at half its period: unreachable.
+        plant = get_plant("harmonic_oscillator")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        omega = 4.0 * np.pi
+        pathological_h = np.pi / omega
+        with pytest.raises(RiccatiError):
+            design_lqg(
+                plant.state_space(), pathological_h, 0.0, q1, q12, q2, r1, r2
+            )
+
+    def test_unstable_plant_is_stabilised(self):
+        plant = get_plant("inverted_pendulum")
+        q1, q12, q2 = plant.cost_weights()
+        r1, r2 = plant.noise_model()
+        design = design_lqg(plant.state_space(), 0.02, 0.005, q1, q12, q2, r1, r2)
+        from repro.control.cost import closed_loop_matrices
+
+        a_cl, _, _ = closed_loop_matrices(design)
+        assert spectral_radius(a_cl) < 1.0

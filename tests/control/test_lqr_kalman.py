@@ -1,0 +1,96 @@
+"""Tests of the LQR and Kalman helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.kalman import kalman_gain
+from repro.control.lqr import dlqr, sampled_lqr_gain
+from repro.control.plants import get_plant
+from repro.errors import RiccatiError
+
+
+class TestSampledLqr:
+    def test_gain_stabilises_sampled_plant(self):
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        _, gain = sampled_lqr_gain(plant.state_space(), 0.006, 0.0, q1, q12, q2)
+        from repro.control.lqg import sample_lq_problem
+
+        problem = sample_lq_problem(
+            plant.state_space(), 0.006, 0.0, q1, q12, q2, np.zeros((2, 2))
+        )
+        closed = problem.a_z - problem.b_z @ gain
+        assert np.max(np.abs(np.linalg.eigvals(closed))) < 1.0
+
+    def test_faster_sampling_gives_lower_riccati_cost(self):
+        # S (cost-to-go per unit state) decreases with finer control.
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        s_fast, _ = sampled_lqr_gain(plant.state_space(), 0.002, 0.0, q1, q12, q2)
+        s_slow, _ = sampled_lqr_gain(plant.state_space(), 0.010, 0.0, q1, q12, q2)
+        # Compare quadratic forms on a few directions.
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(2)
+            assert x @ s_fast @ x <= x @ s_slow @ x * (1 + 1e-6)
+
+
+class TestDlqr:
+    def test_matches_scipy(self):
+        import scipy.linalg as sla
+
+        a = np.array([[1.0, 0.2], [0.0, 1.0]])
+        b = np.array([[0.02], [0.2]])
+        q, r = np.eye(2), np.array([[0.5]])
+        s, k = dlqr(a, b, q, r)
+        s_ref = sla.solve_discrete_are(a, b, q, r)
+        assert np.allclose(s, s_ref, rtol=1e-8)
+        k_ref = np.linalg.solve(r + b.T @ s_ref @ b, b.T @ s_ref @ a)
+        assert np.allclose(k, k_ref, rtol=1e-8)
+
+
+class TestKalman:
+    def test_covariance_solves_filter_dare(self):
+        phi = np.array([[0.9, 0.1], [0.0, 0.8]])
+        c = np.array([[1.0, 0.0]])
+        r1 = np.diag([0.1, 0.2])
+        r2 = np.array([[0.05]])
+        p, kf = kalman_gain(phi, c, r1, r2)
+        innovation = c @ p @ c.T + r2
+        expected = phi @ p @ phi.T + r1 - phi @ p @ c.T @ np.linalg.solve(
+            innovation, c @ p @ phi.T
+        )
+        assert np.allclose(p, expected, atol=1e-9)
+
+    def test_gain_formula(self):
+        phi = np.array([[0.95]])
+        c = np.array([[2.0]])
+        r1 = np.array([[0.1]])
+        r2 = np.array([[0.3]])
+        p, kf = kalman_gain(phi, c, r1, r2)
+        assert np.isclose(kf[0, 0], (p @ c.T / (c @ p @ c.T + r2))[0, 0])
+
+    def test_filter_error_dynamics_stable(self):
+        phi = np.array([[1.05, 0.1], [0.0, 0.9]])  # unstable plant
+        c = np.array([[1.0, 0.5]])
+        r1 = 0.1 * np.eye(2)
+        r2 = np.array([[0.2]])
+        p, kf = kalman_gain(phi, c, r1, r2)
+        error_dynamics = phi @ (np.eye(2) - kf @ c)
+        assert np.max(np.abs(np.linalg.eigvals(error_dynamics))) < 1.0
+
+    def test_undetectable_pair_raises(self):
+        phi = np.diag([1.2, 0.5])
+        c = np.array([[0.0, 1.0]])  # unstable mode invisible
+        with pytest.raises(RiccatiError):
+            kalman_gain(phi, c, np.eye(2), np.array([[1.0]]))
+
+    def test_perfect_measurements_shrink_covariance(self):
+        phi = np.array([[0.9]])
+        c = np.array([[1.0]])
+        r1 = np.array([[1.0]])
+        p_noisy, _ = kalman_gain(phi, c, r1, np.array([[10.0]]))
+        p_sharp, _ = kalman_gain(phi, c, r1, np.array([[0.01]]))
+        assert p_sharp[0, 0] < p_noisy[0, 0]

@@ -1,0 +1,88 @@
+"""Tests of the benchmark plant database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plants import (
+    BENCHMARK_PLANT_NAMES,
+    PLANT_LIBRARY,
+    Plant,
+    get_plant,
+)
+from repro.errors import ModelError
+from repro.lti.transferfunction import TransferFunction
+
+
+class TestLibrary:
+    def test_contains_the_papers_dc_servo(self):
+        servo = get_plant("dc_servo")
+        # Fig. 4's transfer function 1000/(s^2 + s).
+        assert np.allclose(servo.tf.num, [1000.0])
+        assert np.allclose(servo.tf.den, [1.0, 1.0, 0.0])
+
+    def test_all_benchmark_plants_exist(self):
+        for name in BENCHMARK_PLANT_NAMES:
+            assert name in PLANT_LIBRARY
+
+    def test_benchmark_plants_exclude_pathological_ones(self):
+        assert "harmonic_oscillator" not in BENCHMARK_PLANT_NAMES
+        assert "resonant_servo" not in BENCHMARK_PLANT_NAMES
+
+    def test_unknown_plant_raises_with_suggestions(self):
+        with pytest.raises(ModelError, match="known plants"):
+            get_plant("warp_drive")
+
+    def test_period_ranges_are_sane(self):
+        for plant in PLANT_LIBRARY.values():
+            lo, hi = plant.period_range
+            assert 0 < lo <= hi < 1.0
+
+
+class TestPlantObject:
+    def test_state_space_matches_tf(self):
+        plant = get_plant("inverted_pendulum")
+        ss = plant.state_space()
+        w = np.logspace(-1, 2, 20)
+        assert np.allclose(
+            ss.frequency_response(w)[:, 0, 0], plant.tf.frequency_response(w)
+        )
+
+    def test_cost_weights_shapes(self):
+        plant = get_plant("dc_servo")
+        q1, q12, q2 = plant.cost_weights()
+        n = plant.order
+        assert q1.shape == (n, n)
+        assert q12.shape == (n, 1)
+        assert q2.shape == (1, 1)
+        assert np.all(np.linalg.eigvalsh(q1) >= 0)
+        assert q2[0, 0] > 0
+
+    def test_noise_model_shapes(self):
+        plant = get_plant("integrator")
+        r1, r2 = plant.noise_model()
+        assert r1.shape == (1, 1)
+        assert r2.shape == (1, 1)
+        assert r2[0, 0] > 0
+
+    def test_invalid_period_range_rejected(self):
+        with pytest.raises(ModelError):
+            Plant(
+                name="bad",
+                tf=TransferFunction([1.0], [1.0, 1.0]),
+                period_range=(0.1, 0.05),
+            )
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ModelError):
+            Plant(
+                name="bad",
+                tf=TransferFunction([1.0], [1.0, 1.0]),
+                period_range=(0.01, 0.1),
+                input_weight=0.0,
+            )
+
+    def test_unstable_plant_flagged_by_poles(self):
+        pendulum = get_plant("inverted_pendulum")
+        assert np.max(pendulum.tf.poles().real) > 0

@@ -1,0 +1,56 @@
+"""Tests of the Figure 2 driver (cost vs sampling period)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plants import get_plant
+from repro.experiments.fig2 import Fig2Result, run_fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Window around the first pathological period (0.25 s for the 2 Hz
+    # resonance) keeps the test fast while exercising all phenomena; the
+    # 0.01 s grid spacing places a sample exactly on the resonance.
+    return run_fig2(h_min=0.05, h_max=0.45, points=41)
+
+
+class TestFig2:
+    def test_costs_aligned_with_periods(self, result):
+        assert result.costs.shape == result.periods.shape
+
+    def test_phenomenon_1_pathological_spike(self, result):
+        # A spike cluster near h = 0.25 s.
+        assert any(0.2 < s < 0.3 for s in result.spike_periods)
+
+    def test_phenomenon_2_non_monotonicity(self, result):
+        assert result.monotonicity_violations > 0
+
+    def test_phenomenon_3_increasing_trend(self, result):
+        assert result.trend_correlation > 0.5
+
+    def test_render_mentions_all_three(self, result):
+        text = result.render()
+        assert "monotonicity violations" in text
+        assert "rank correlation" in text
+        assert "spikes" in text
+
+    def test_exact_pathological_period_is_infinite(self):
+        plant = get_plant("harmonic_oscillator")
+        omega = 4.0 * np.pi
+        res = run_fig2(
+            plant=plant,
+            h_min=np.pi / omega,
+            h_max=np.pi / omega,
+            points=1,
+        )
+        assert res.costs[0] == float("inf")
+
+    def test_well_behaved_plant_has_no_spikes(self):
+        res = run_fig2(
+            plant=get_plant("dc_servo"), h_min=0.002, h_max=0.01, points=25
+        )
+        assert res.spike_periods == ()
+        assert res.monotonicity_violations == 0

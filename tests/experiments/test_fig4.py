@@ -1,0 +1,45 @@
+"""Tests of the Figure 4 driver (stability curve + linear bound)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4(points=25)
+
+
+class TestFig4:
+    def test_defaults_match_paper_setup(self, result):
+        assert result.plant_name == "dc_servo"
+        assert result.h == pytest.approx(0.006)
+
+    def test_curve_decreasing(self, result):
+        finite = ~np.isnan(result.curve.margins)
+        assert np.all(np.diff(result.curve.margins[finite]) <= 1e-12)
+
+    def test_linear_bound_is_safe(self, result):
+        assert result.bound_is_safe
+
+    def test_bound_coefficients_in_paper_regime(self, result):
+        assert result.bound.a >= 1.0
+        assert result.bound.b > 0.0
+        # The servo tolerates latency on the order of its period.
+        assert 0.5 * result.h < result.bound.b < 3.0 * result.h
+
+    def test_margin_at_zero_latency_is_milliseconds(self, result):
+        assert 0.001 < result.curve.margins[0] < 0.03
+
+    def test_render_contains_constraint(self, result):
+        text = result.render()
+        assert "L + " in text
+        assert "safe: True" in text
+
+    def test_linear_bound_jitter_clips_at_zero(self, result):
+        assert result.linear_bound_jitter(result.bound.b + 1.0) == 0.0

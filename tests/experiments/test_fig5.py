@@ -1,0 +1,39 @@
+"""Tests of the Figure 5 driver (runtime comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5(task_counts=(4, 8, 12), benchmarks=12, seed=3)
+
+
+class TestFig5:
+    def test_series_cover_all_counts(self, result):
+        for n in (4, 8, 12):
+            assert n in result.unsafe.mean_seconds
+            assert n in result.backtracking.mean_seconds
+
+    def test_unsafe_quadratic_eval_count_is_exact(self, result):
+        for n in (4, 8, 12):
+            assert result.unsafe.mean_evaluations[n] == pytest.approx(
+                n * (n + 1) / 2
+            )
+
+    def test_backtracking_growth_is_near_quadratic(self, result):
+        # Average-case thesis of the paper: ~n^2 evaluations.  Allow a
+        # wide but sub-exponential corridor on small samples.
+        exponent = result.quadratic_fit_exponent("backtracking")
+        assert 1.3 < exponent < 3.0
+
+    def test_backtracking_rarely_backtracks(self, result):
+        total_runs = 12 * 3
+        total_backtracked = sum(result.backtracking.backtrack_runs.values())
+        assert total_backtracked <= 0.2 * total_runs
+
+    def test_render_mentions_enumeration_strawman(self, result):
+        assert "20!" in result.render() or "1e18" in result.render()

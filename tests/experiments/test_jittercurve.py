@@ -1,0 +1,38 @@
+"""Tests of the extension experiment: expected cost vs jitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.jittercurve import run_jittercurve
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_jittercurve(points=8)
+
+
+class TestJitterCurve:
+    def test_default_loop_is_fig4s(self, result):
+        assert result.plant_name == "dc_servo"
+        assert result.h == pytest.approx(0.006)
+
+    def test_cost_is_increasing_in_jitter(self, result):
+        finite = np.isfinite(result.costs)
+        assert np.all(np.diff(result.costs[finite]) > 0)
+
+    def test_margin_consistency(self, result):
+        # Everything the small-gain margin certifies must be MS stable.
+        assert result.consistent
+
+    def test_linear_budget_inside_margin(self, result):
+        assert result.linear_budget <= result.margin + 1e-12
+
+    def test_cost_grows_materially(self, result):
+        assert result.cost_blowup_factor > 1.2
+
+    def test_render(self, result):
+        text = result.render()
+        assert "expected LQG cost vs jitter" in text
+        assert "margin-consistent: True" in text

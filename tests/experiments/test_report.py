@@ -1,0 +1,56 @@
+"""Tests of the plain-text rendering helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.report import ascii_logplot, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].endswith("long_header")
+        # Right alignment: all rows same width.
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")], [0.0]])
+        assert "inf" in text
+        assert "-" in text
+        assert "0" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["v"], [[1.23e8], [4.56e-7]])
+        assert "e+08" in text
+        assert "e-07" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["s"], [["hello"]])
+        assert "hello" in text
+
+
+class TestAsciiLogplot:
+    def test_renders_bars(self):
+        text = ascii_logplot([1.0, 2.0], [10.0, 1000.0], title="t")
+        assert "#" in text
+        assert text.splitlines()[0] == "t"
+
+    def test_inf_marked(self):
+        text = ascii_logplot([1.0, 2.0], [10.0, float("inf")])
+        assert "INF" in text
+
+    def test_all_infinite_degenerates_gracefully(self):
+        text = ascii_logplot([1.0], [float("inf")])
+        assert "no finite data" in text
+
+    def test_larger_values_get_longer_bars(self):
+        text = ascii_logplot([1.0, 2.0], [1.0, 10000.0], width=40)
+        rows = text.splitlines()[2:]
+        assert rows[1].count("#") > rows[0].count("#")

@@ -1,0 +1,45 @@
+"""Tests of the experiment runner and the CLI wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        assert {"fig2", "fig4", "table1", "fig5", "census"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_renders(self):
+        report = run_experiment("fig4", points=9)
+        assert "Figure 4" in report
+        assert "completed in" in report
+
+
+class TestCli:
+    def test_fig4_subcommand(self, capsys):
+        assert main(["fig4", "--points", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "stability curve" in out
+
+    def test_fig2_subcommand(self, capsys):
+        assert main(["fig2", "--points", "12", "--h-min", "0.05", "--h-max", "0.2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_table1_subcommand(self, capsys):
+        assert main(["table1", "--benchmarks", "5"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_census_subcommand(self, capsys):
+        assert main(["census", "--benchmarks", "5"]) == 0
+        assert "census" in capsys.readouterr().out.lower()
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,43 @@
+"""Tests of the Table I driver (invalid solutions of Unsafe Quadratic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result, run_table1
+
+
+class TestTable1Result:
+    def test_percentages(self):
+        result = Table1Result(
+            benchmarks_per_count=100,
+            totals={4: 100, 8: 100},
+            invalid={4: 2, 8: 0},
+        )
+        assert result.invalid_percent(4) == pytest.approx(2.0)
+        assert result.invalid_percent(8) == 0.0
+
+    def test_render_includes_paper_column(self):
+        result = Table1Result(
+            benchmarks_per_count=10, totals={4: 10}, invalid={4: 0}
+        )
+        assert "paper %" in result.render()
+
+    def test_paper_reference_values(self):
+        assert PAPER_TABLE1[4] == pytest.approx(0.38)
+        assert PAPER_TABLE1[20] == 0.0
+
+
+class TestTable1Run:
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        return run_table1(task_counts=(4, 8), benchmarks=60, seed=77)
+
+    def test_totals_match_request(self, small_run):
+        assert small_run.totals == {4: 60, 8: 60}
+
+    def test_invalid_rate_is_small(self, small_run):
+        # The calibrated generator keeps failures rare (paper: <= 0.38%);
+        # with 60 samples we only assert the right order of magnitude.
+        for n in (4, 8):
+            assert small_run.invalid_percent(n) <= 5.0

@@ -1,0 +1,88 @@
+"""Tests of stability-curve construction and queries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.jittermargin.curve import StabilityCurve, stability_curve
+
+
+@pytest.fixture
+def servo_curve(dc_servo_plant, dc_servo_design):
+    return stability_curve(
+        dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, points=25
+    )
+
+
+class TestStabilityCurveObject:
+    def test_validation_rejects_misaligned_grids(self):
+        with pytest.raises(ModelError):
+            StabilityCurve(
+                h=0.01, latencies=np.array([0.0, 1.0]), margins=np.array([1.0])
+            )
+
+    def test_validation_rejects_non_increasing_latencies(self):
+        with pytest.raises(ModelError):
+            StabilityCurve(
+                h=0.01,
+                latencies=np.array([0.0, 0.0, 1.0]),
+                margins=np.array([1.0, 1.0, 1.0]),
+            )
+
+    def test_margin_interpolation(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0, 2.0]),
+            margins=np.array([4.0, 2.0, 0.0]),
+        )
+        assert curve.margin_at(0.5) == pytest.approx(3.0)
+        assert curve.margin_at(2.0) == pytest.approx(0.0)
+
+    def test_margin_beyond_stable_range_is_nan(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0, 2.0]),
+            margins=np.array([2.0, 0.5, float("nan")]),
+        )
+        assert math.isnan(curve.margin_at(1.5))
+        assert curve.max_stable_latency == pytest.approx(1.0)
+
+    def test_is_stable_uses_curve(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0]),
+            margins=np.array([2.0, 1.0]),
+        )
+        assert curve.is_stable(0.5, 1.4)
+        assert not curve.is_stable(0.5, 1.6)
+        assert not curve.is_stable(3.0, 0.0)
+
+
+class TestStabilityCurveSweep:
+    def test_monotone_decreasing_margins(self, servo_curve):
+        finite = ~np.isnan(servo_curve.margins)
+        values = servo_curve.margins[finite]
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_curve_starts_stable(self, servo_curve):
+        assert not math.isnan(servo_curve.margins[0])
+        assert servo_curve.margins[0] > 0
+
+    def test_curve_eventually_dies(self, servo_curve):
+        # Within 2h of latency the servo loop must lose stability.
+        assert np.any(np.isnan(servo_curve.margins))
+
+    def test_custom_latency_grid(self, dc_servo_plant, dc_servo_design):
+        lats = [0.0, 0.001, 0.002]
+        curve = stability_curve(
+            dc_servo_plant.state_space(),
+            dc_servo_design.controller,
+            0.006,
+            latencies=lats,
+        )
+        assert np.allclose(curve.latencies, lats)
+        assert curve.label == ""

@@ -1,0 +1,110 @@
+"""Tests of the linear stability bound (eq. (5)) and its fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plants import get_plant
+from repro.errors import ModelError
+from repro.jittermargin.curve import StabilityCurve
+from repro.jittermargin.linearbound import (
+    LinearStabilityBound,
+    fit_linear_bound,
+    stability_bound_for_plant,
+)
+
+
+class TestLinearStabilityBound:
+    def test_constraint_check(self):
+        bound = LinearStabilityBound(a=2.0, b=10.0)
+        assert bound.is_stable(4.0, 3.0)       # 4 + 6 = 10 <= 10
+        assert not bound.is_stable(4.0, 3.01)
+
+    def test_slack_sign(self):
+        bound = LinearStabilityBound(a=1.5, b=6.0)
+        assert bound.slack(3.0, 1.0) == pytest.approx(1.5)
+        assert bound.slack(6.0, 1.0) == pytest.approx(-1.5)
+
+    def test_paper_requires_a_at_least_one(self):
+        with pytest.raises(ModelError):
+            LinearStabilityBound(a=0.5, b=1.0)
+
+    def test_paper_requires_b_nonnegative(self):
+        with pytest.raises(ModelError):
+            LinearStabilityBound(a=1.0, b=-0.1)
+
+    def test_never_stable_bound(self):
+        bound = LinearStabilityBound(a=1.0, b=0.0)
+        assert not bound.is_stable(1e-9, 0.0)
+        assert bound.is_stable(0.0, 0.0)
+
+
+class TestFitLinearBound:
+    def test_fitted_line_is_below_curve(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0, 2.0, 3.0]),
+            margins=np.array([3.0, 2.2, 1.0, float("nan")]),
+        )
+        bound = fit_linear_bound(curve)
+        assert bound.b == pytest.approx(2.0)
+        for latency, margin in zip(curve.latencies, curve.margins):
+            if np.isnan(margin) or latency >= bound.b:
+                continue
+            line = (bound.b - latency) / bound.a
+            assert line <= margin + 1e-12
+
+    def test_unstable_everywhere_gives_degenerate_bound(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0]),
+            margins=np.array([float("nan"), float("nan")]),
+        )
+        bound = fit_linear_bound(curve)
+        assert bound.b == 0.0
+
+    def test_infinite_margins_do_not_constrain_slope(self):
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0, 2.0]),
+            margins=np.array([float("inf"), 0.9, 0.0]),
+        )
+        bound = fit_linear_bound(curve)
+        assert bound.a == pytest.approx((2.0 - 1.0) / 0.9)
+
+    def test_slope_respects_minimum_one(self):
+        # A very shallow curve still produces a >= 1 (paper's convention).
+        curve = StabilityCurve(
+            h=0.01,
+            latencies=np.array([0.0, 1.0, 2.0]),
+            margins=np.array([100.0, 50.0, 0.0]),
+        )
+        assert fit_linear_bound(curve).a == 1.0
+
+
+class TestPlantLevelBound:
+    def test_dc_servo_bound_matches_fig4_ballpark(self):
+        plant = get_plant("dc_servo")
+        bound = stability_bound_for_plant(plant, 0.006, exact_period=True)
+        # Fig. 4: a slightly above 1, latency budget around one period.
+        assert 1.0 <= bound.a < 2.0
+        assert 0.004 < bound.b < 0.02
+
+    def test_bucketing_caches_nearby_periods(self):
+        plant = get_plant("dc_servo")
+        b1 = stability_bound_for_plant(plant, 0.00600)
+        b2 = stability_bound_for_plant(plant, 0.00603)  # same 4% bucket
+        assert b1 is b2  # identical cached object
+
+    def test_exact_period_bypasses_cache(self):
+        plant = get_plant("dc_servo")
+        b1 = stability_bound_for_plant(plant, 0.006, exact_period=True)
+        b2 = stability_bound_for_plant(plant, 0.006, exact_period=True)
+        assert b1 is not b2
+        assert b1.a == pytest.approx(b2.a)
+
+    def test_rejects_nonpositive_period(self):
+        plant = get_plant("dc_servo")
+        with pytest.raises(ModelError):
+            stability_bound_for_plant(plant, 0.0)

@@ -1,0 +1,128 @@
+"""Tests of the jitter-margin computation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.jittermargin.margin import (
+    closed_loop_with_latency,
+    default_frequency_grid,
+    jitter_margin,
+)
+
+
+class TestClosedLoop:
+    def test_nominal_loop_is_stable_at_zero_latency(self, dc_servo_plant, dc_servo_design):
+        closed = closed_loop_with_latency(
+            dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, 0.0
+        )
+        assert closed.is_stable()
+
+    def test_loop_destabilises_at_huge_latency(self, dc_servo_plant, dc_servo_design):
+        closed = closed_loop_with_latency(
+            dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, 0.05
+        )
+        assert not closed.is_stable()
+
+    def test_dc_value_is_near_one(self, dc_servo_plant, dc_servo_design):
+        # Integrating plant + LQG -> complementary sensitivity ~ 1 at DC.
+        closed = closed_loop_with_latency(
+            dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, 0.0
+        )
+        t0 = abs(closed.frequency_response([1.0])[0, 0, 0])
+        assert t0 == pytest.approx(1.0, abs=0.1)
+
+    def test_rejects_mismatched_period(self, dc_servo_plant, dc_servo_design):
+        with pytest.raises(ModelError):
+            closed_loop_with_latency(
+                dc_servo_plant.state_space(), dc_servo_design.controller, 0.004, 0.0
+            )
+
+    def test_rejects_discrete_plant(self, dc_servo_plant, dc_servo_design):
+        from repro.lti.discretize import c2d_zoh
+
+        discrete = c2d_zoh(dc_servo_plant.state_space(), 0.006)
+        with pytest.raises(ModelError):
+            closed_loop_with_latency(discrete, dc_servo_design.controller, 0.006, 0.0)
+
+
+class TestJitterMargin:
+    def test_positive_at_zero_latency(self, dc_servo_plant, dc_servo_design):
+        margin = jitter_margin(
+            dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, 0.0
+        )
+        assert margin > 0.0
+        # Fig. 4 ballpark: a few milliseconds for the 6 ms servo loop.
+        assert 0.001 < margin < 0.05
+
+    def test_decreases_with_latency(self, dc_servo_plant, dc_servo_design):
+        grid = default_frequency_grid(0.006)
+        margins = [
+            jitter_margin(
+                dc_servo_plant.state_space(),
+                dc_servo_design.controller,
+                0.006,
+                latency,
+                omega=grid,
+            )
+            for latency in (0.0, 0.002, 0.004, 0.006)
+        ]
+        assert all(np.isfinite(margins))
+        assert margins == sorted(margins, reverse=True)
+
+    def test_nan_when_nominal_loop_unstable(self, dc_servo_plant, dc_servo_design):
+        margin = jitter_margin(
+            dc_servo_plant.state_space(), dc_servo_design.controller, 0.006, 0.05
+        )
+        assert math.isnan(margin)
+
+    def test_small_gain_verdict_validated_by_cosimulation(
+        self, dc_servo_plant, dc_servo_design
+    ):
+        """A jitter well inside the margin must not destabilise the
+        co-simulated loop (the margin is sufficient, not necessary)."""
+        from repro.rta.taskset import Task, TaskSet
+        from repro.sim.cosim import cosimulate_control_task
+        from repro.sim.workload import UniformExecution
+
+        h = 0.006
+        margin = jitter_margin(
+            dc_servo_plant.state_space(), dc_servo_design.controller, h, 0.0
+        )
+        safe_jitter = 0.5 * margin
+        tasks = TaskSet(
+            [
+                Task(
+                    name="ctl",
+                    period=h,
+                    wcet=max(safe_jitter, 1e-5),
+                    bcet=1e-6 if safe_jitter > 1e-6 else 5e-7,
+                    priority=1,
+                )
+            ]
+        )
+        result = cosimulate_control_task(
+            tasks,
+            "ctl",
+            dc_servo_plant.state_space(),
+            dc_servo_design,
+            duration=3.0,
+            execution_model=UniformExecution(),
+            x0=[0.01, 0.0],
+        )
+        assert not result.diverged
+
+
+class TestFrequencyGrid:
+    def test_grid_ends_at_nyquist(self):
+        grid = default_frequency_grid(0.01)
+        assert grid[-1] == pytest.approx(math.pi / 0.01)
+
+    def test_grid_is_increasing_positive(self):
+        grid = default_frequency_grid(0.004)
+        assert np.all(grid > 0)
+        assert np.all(np.diff(grid) > 0)

@@ -1,0 +1,108 @@
+"""Tests of the Pade scaling-and-squaring matrix exponential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DimensionError
+from repro.linalg.expm import expm
+
+
+class TestExpmBasics:
+    def test_zero_matrix_gives_identity(self):
+        assert np.allclose(expm(np.zeros((3, 3))), np.eye(3))
+
+    def test_scalar_matrix(self):
+        assert np.allclose(expm(np.array([[2.0]])), [[np.exp(2.0)]])
+
+    def test_empty_matrix(self):
+        assert expm(np.zeros((0, 0))).shape == (0, 0)
+
+    def test_diagonal_matrix(self):
+        d = np.diag([1.0, -2.0, 0.5])
+        assert np.allclose(expm(d), np.diag(np.exp([1.0, -2.0, 0.5])))
+
+    def test_nilpotent_matrix_exact(self):
+        # exp([[0,1],[0,0]]) = [[1,1],[0,1]] exactly.
+        n = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert np.allclose(expm(n), [[1.0, 1.0], [0.0, 1.0]])
+
+    def test_rotation_generator(self):
+        # exp(theta * J) is a rotation matrix.
+        theta = 0.7
+        j = np.array([[0.0, -theta], [theta, 0.0]])
+        expected = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        assert np.allclose(expm(j), expected)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            expm(np.zeros((2, 3)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(DimensionError):
+            expm(np.array([[np.inf, 0.0], [0.0, 1.0]]))
+
+
+class TestExpmAgainstScipy:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("scale", [0.01, 1.0, 30.0])
+    def test_random_matrices(self, n, scale, rng):
+        a = rng.standard_normal((n, n)) * scale
+        assert np.allclose(expm(a), sla.expm(a), rtol=1e-8, atol=1e-8)
+
+    def test_stiff_matrix(self, rng):
+        # Widely separated eigenvalues exercise the squaring phase.
+        a = np.diag([-1000.0, -1.0, -0.001]) + 0.1 * rng.standard_normal((3, 3))
+        assert np.allclose(expm(a), sla.expm(a), rtol=1e-7, atol=1e-9)
+
+    def test_defective_matrix(self):
+        # Jordan block: exp has polynomial off-diagonal terms.
+        a = np.array([[2.0, 1.0, 0.0], [0.0, 2.0, 1.0], [0.0, 0.0, 2.0]])
+        assert np.allclose(expm(a), sla.expm(a), rtol=1e-10)
+
+
+class TestExpmProperties:
+    @given(
+        arrays(
+            np.float64,
+            (3, 3),
+            elements=st.floats(-3.0, 3.0, allow_nan=False),
+        )
+    )
+    def test_inverse_property(self, a):
+        # e^A e^{-A} = I for any square A.
+        product = expm(a) @ expm(-a)
+        assert np.allclose(product, np.eye(3), atol=1e-8)
+
+    @given(
+        arrays(
+            np.float64,
+            (3, 3),
+            elements=st.floats(-2.0, 2.0, allow_nan=False),
+        ),
+        st.floats(0.1, 2.0),
+    )
+    def test_semigroup_property(self, a, t):
+        # e^{A(t+s)} = e^{At} e^{As} when the exponents commute (same A).
+        left = expm(a * (t + 1.0))
+        right = expm(a * t) @ expm(a * 1.0)
+        assert np.allclose(left, right, rtol=1e-7, atol=1e-7)
+
+    @given(
+        arrays(
+            np.float64,
+            (4, 4),
+            elements=st.floats(-2.0, 2.0, allow_nan=False),
+        )
+    )
+    def test_determinant_is_exp_trace(self, a):
+        # det(e^A) = e^{tr A} (Jacobi's formula).
+        det = np.linalg.det(expm(a))
+        assert np.isclose(det, np.exp(np.trace(a)), rtol=1e-6)

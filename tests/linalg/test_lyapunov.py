@@ -1,0 +1,95 @@
+"""Tests of the discrete/continuous Lyapunov solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DimensionError, NumericalError
+from repro.linalg.lyapunov import solve_clyap, solve_dlyap
+
+
+class TestDlyap:
+    def test_residual_is_zero(self, rng):
+        a = 0.9 * _random_contraction(rng, 4)
+        q = _random_psd(rng, 4)
+        x = solve_dlyap(a, q)
+        assert np.allclose(x, a @ x @ a.T + q, atol=1e-9)
+
+    def test_scalar_case(self):
+        # x = a^2 x + q  ->  x = q / (1 - a^2).
+        x = solve_dlyap(np.array([[0.5]]), np.array([[3.0]]))
+        assert np.isclose(x[0, 0], 3.0 / (1 - 0.25))
+
+    def test_solution_is_symmetric_psd(self, rng):
+        a = 0.8 * _random_contraction(rng, 5)
+        q = _random_psd(rng, 5)
+        x = solve_dlyap(a, q)
+        assert np.allclose(x, x.T)
+        assert np.all(np.linalg.eigvalsh(x) >= -1e-10)
+
+    def test_unstable_matrix_raises(self):
+        with pytest.raises(NumericalError):
+            solve_dlyap(np.array([[1.5]]), np.array([[1.0]]))
+
+    def test_marginally_stable_raises(self):
+        with pytest.raises(NumericalError):
+            solve_dlyap(np.array([[1.0]]), np.array([[1.0]]))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            solve_dlyap(np.eye(2), np.eye(3))
+
+    @given(st.floats(-0.95, 0.95), st.floats(0.1, 10.0))
+    def test_scalar_closed_form(self, a, q):
+        x = solve_dlyap(np.array([[a]]), np.array([[q]]))
+        assert np.isclose(x[0, 0], q / (1 - a * a), rtol=1e-9)
+
+
+class TestClyap:
+    def test_residual_is_zero(self, rng):
+        a = _random_hurwitz(rng, 4)
+        q = _random_psd(rng, 4)
+        x = solve_clyap(a, q)
+        assert np.allclose(a @ x + x @ a.T + q, 0.0, atol=1e-9)
+
+    def test_scalar_case(self):
+        # a x + x a + q = 0 -> x = -q / (2a).
+        x = solve_clyap(np.array([[-2.0]]), np.array([[4.0]]))
+        assert np.isclose(x[0, 0], 1.0)
+
+    def test_observability_gramian_interpretation(self, rng):
+        # For stable A, X = integral e^{As} Q e^{A's} ds solves the equation.
+        import scipy.linalg as sla
+
+        a = _random_hurwitz(rng, 3)
+        q = _random_psd(rng, 3)
+        x = solve_clyap(a, q)
+        grid = np.linspace(0.0, 60.0, 12001)
+        vals = np.array([sla.expm(a * s) @ q @ sla.expm(a.T * s) for s in grid])
+        estimate = np.trapezoid(vals, grid, axis=0)
+        assert np.allclose(x, estimate, atol=1e-4)
+
+    def test_singular_operator_raises(self):
+        # Eigenvalues +1 and -1 sum to zero: operator singular.
+        a = np.diag([1.0, -1.0])
+        with pytest.raises(NumericalError):
+            solve_clyap(a, np.eye(2))
+
+
+def _random_contraction(rng, n):
+    a = rng.standard_normal((n, n))
+    return a / (np.max(np.abs(np.linalg.eigvals(a))) + 1e-9)
+
+
+def _random_psd(rng, n):
+    m = rng.standard_normal((n, n))
+    return m @ m.T + 0.1 * np.eye(n)
+
+
+def _random_hurwitz(rng, n):
+    a = rng.standard_normal((n, n))
+    return a - (np.max(np.linalg.eigvals(a).real) + 0.5) * np.eye(n)

@@ -1,0 +1,137 @@
+"""Tests of the Van Loan block-exponential integrals against quadrature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.errors import DimensionError
+from repro.linalg.vanloan import (
+    vanloan_cost,
+    vanloan_double_integral,
+    vanloan_dynamics_noise,
+)
+
+
+def _gramian_quadrature(a, q, h, transpose_left=True, points=4001):
+    """integral_0^h e^{A' s} Q e^{A s} ds by trapezoid rule."""
+    grid = np.linspace(0.0, h, points)
+    vals = np.array(
+        [
+            (sla.expm(a.T * s) if transpose_left else sla.expm(a * s))
+            @ q
+            @ (sla.expm(a * s) if transpose_left else sla.expm(a.T * s))
+            for s in grid
+        ]
+    )
+    return np.trapezoid(vals, grid, axis=0)
+
+
+@pytest.fixture
+def stable_pair():
+    a = np.array([[-0.3, 1.0], [0.0, -0.5]])
+    r1 = np.array([[1.0, 0.2], [0.2, 2.0]])
+    return a, r1
+
+
+class TestDynamicsNoise:
+    def test_transition_matrix(self, stable_pair):
+        a, r1 = stable_pair
+        phi, _ = vanloan_dynamics_noise(a, r1, 0.7)
+        assert np.allclose(phi, sla.expm(a * 0.7))
+
+    def test_noise_integral_matches_quadrature(self, stable_pair):
+        a, r1 = stable_pair
+        _, r1d = vanloan_dynamics_noise(a, r1, 0.7)
+        expected = _gramian_quadrature(a, r1, 0.7, transpose_left=False)
+        assert np.allclose(r1d, expected, atol=1e-6)
+
+    def test_zero_interval(self, stable_pair):
+        a, r1 = stable_pair
+        phi, r1d = vanloan_dynamics_noise(a, r1, 0.0)
+        assert np.allclose(phi, np.eye(2))
+        assert np.allclose(r1d, 0.0)
+
+    def test_result_is_symmetric_psd(self, stable_pair):
+        a, r1 = stable_pair
+        _, r1d = vanloan_dynamics_noise(a, r1, 2.0)
+        assert np.allclose(r1d, r1d.T)
+        assert np.all(np.linalg.eigvalsh(r1d) >= -1e-12)
+
+    def test_additivity_over_intervals(self, stable_pair):
+        # R1d(t+s) = R1d(t) + Phi(t) R1d(s) Phi(t)'.
+        a, r1 = stable_pair
+        phi_t, r_t = vanloan_dynamics_noise(a, r1, 0.4)
+        _, r_s = vanloan_dynamics_noise(a, r1, 0.3)
+        _, r_total = vanloan_dynamics_noise(a, r1, 0.7)
+        assert np.allclose(r_total, r_t + phi_t @ r_s @ phi_t.T, atol=1e-10)
+
+    def test_rejects_mismatched_shapes(self, stable_pair):
+        a, _ = stable_pair
+        with pytest.raises(DimensionError):
+            vanloan_dynamics_noise(a, np.eye(3), 0.5)
+
+    def test_rejects_negative_interval(self, stable_pair):
+        a, r1 = stable_pair
+        with pytest.raises(DimensionError):
+            vanloan_dynamics_noise(a, r1, -0.1)
+
+
+class TestCostSampling:
+    def test_cost_matches_quadrature(self):
+        a_bar = np.array([[0.0, 1.0, 0.0], [0.0, -1.0, 1.0], [0.0, 0.0, 0.0]])
+        q_bar = np.diag([1.0, 0.5, 0.2])
+        _, q_d = vanloan_cost(a_bar, q_bar, 0.7)
+        expected = _gramian_quadrature(a_bar, q_bar, 0.7)
+        assert np.allclose(q_d, expected, atol=1e-6)
+
+    def test_returns_transition_of_augmented_system(self):
+        a_bar = np.array([[0.0, 1.0], [0.0, 0.0]])
+        phi_bar, _ = vanloan_cost(a_bar, np.eye(2), 0.5)
+        assert np.allclose(phi_bar, sla.expm(a_bar * 0.5))
+
+    def test_cost_monotone_in_interval(self):
+        # Integrand is PSD, so the integral grows with h.
+        a_bar = np.array([[0.0, 1.0], [-1.0, -0.2]])
+        q_bar = np.eye(2)
+        _, q_small = vanloan_cost(a_bar, q_bar, 0.3)
+        _, q_large = vanloan_cost(a_bar, q_bar, 0.9)
+        assert np.all(np.linalg.eigvalsh(q_large - q_small) >= -1e-10)
+
+
+class TestDoubleIntegral:
+    def test_matches_nested_quadrature(self, stable_pair):
+        a, r1 = stable_pair
+        q1 = np.diag([1.0, 0.5])
+        h = 0.7
+        value = vanloan_double_integral(a, q1, r1, h)
+        outer = np.linspace(0.0, h, 201)
+        inner_vals = []
+        for s in outer:
+            grid = np.linspace(0.0, s, 201)
+            vals = np.array(
+                [sla.expm(a * r) @ r1 @ sla.expm(a.T * r) for r in grid]
+            )
+            p_s = np.trapezoid(vals, grid, axis=0)
+            inner_vals.append(np.trace(q1 @ p_s))
+        expected = np.trapezoid(inner_vals, outer)
+        assert np.isclose(value, expected, rtol=1e-3)
+
+    def test_zero_noise_gives_zero(self, stable_pair):
+        a, _ = stable_pair
+        assert vanloan_double_integral(a, np.eye(2), np.zeros((2, 2)), 1.0) == 0.0
+
+    def test_scales_linearly_in_noise(self, stable_pair):
+        a, r1 = stable_pair
+        q1 = np.eye(2)
+        one = vanloan_double_integral(a, q1, r1, 0.5)
+        three = vanloan_double_integral(a, q1, 3.0 * r1, 0.5)
+        assert np.isclose(three, 3.0 * one, rtol=1e-10)
+
+    def test_grows_with_interval(self, stable_pair):
+        a, r1 = stable_pair
+        q1 = np.eye(2)
+        assert vanloan_double_integral(a, q1, r1, 1.0) > vanloan_double_integral(
+            a, q1, r1, 0.5
+        )

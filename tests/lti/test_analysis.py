@@ -1,0 +1,70 @@
+"""Tests of the pole/stability/frequency analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lti.analysis import (
+    dcgain,
+    frequency_response,
+    is_hurwitz_stable,
+    is_schur_stable,
+    poles,
+    spectral_radius,
+)
+from repro.lti.statespace import StateSpace
+from repro.lti.transferfunction import TransferFunction
+
+
+class TestPoles:
+    def test_statespace_poles(self):
+        ss = StateSpace([[-1.0, 0.0], [0.0, -2.0]], [[1.0], [1.0]], [[1.0, 0.0]])
+        assert sorted(poles(ss).real) == pytest.approx([-2.0, -1.0])
+
+    def test_transfer_function_poles(self):
+        tf = TransferFunction([1.0], [1.0, 3.0, 2.0])
+        assert sorted(poles(tf).real) == pytest.approx([-2.0, -1.0])
+
+    def test_bare_matrix(self):
+        assert sorted(poles(np.diag([1.0, 5.0])).real) == pytest.approx([1.0, 5.0])
+
+
+class TestStabilityPredicates:
+    def test_spectral_radius(self):
+        assert spectral_radius(np.diag([0.5, -0.9])) == pytest.approx(0.9)
+
+    def test_schur(self):
+        assert is_schur_stable(np.diag([0.99]))
+        assert not is_schur_stable(np.diag([1.0]))
+
+    def test_hurwitz(self):
+        assert is_hurwitz_stable(np.diag([-0.01, -5.0]))
+        assert not is_hurwitz_stable(np.diag([0.0, -1.0]))
+
+
+class TestFrequencyHelpers:
+    def test_siso_response_from_tf_and_ss_agree(self):
+        tf = TransferFunction([10.0], [1.0, 2.0, 10.0])
+        ss = tf.to_ss()
+        w = np.logspace(-1, 2, 30)
+        assert np.allclose(frequency_response(tf, w), frequency_response(ss, w))
+
+    def test_mimo_rejected(self):
+        mimo = StateSpace(np.eye(2) * -1.0, np.eye(2), np.eye(2))
+        with pytest.raises(ValueError):
+            frequency_response(mimo, [1.0])
+
+    def test_dcgain_continuous(self):
+        tf = TransferFunction([4.0], [1.0, 2.0])
+        assert dcgain(tf) == pytest.approx(2.0)
+        assert dcgain(tf.to_ss()) == pytest.approx(2.0)
+
+    def test_dcgain_discrete(self):
+        # y+ = 0.5 y + u -> dc gain 1/(1-0.5) = 2.
+        sys_d = StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.1)
+        assert dcgain(sys_d) == pytest.approx(2.0)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            frequency_response("not a system", [1.0])

@@ -1,0 +1,131 @@
+"""Tests of ZOH discretisation with and without input delay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+import scipy.signal as sig
+
+from repro.errors import ModelError
+from repro.lti.discretize import c2d_zoh, c2d_zoh_delay, held_input_weights
+from repro.lti.transferfunction import TransferFunction
+
+
+@pytest.fixture
+def servo_ss():
+    return TransferFunction([1000.0], [1.0, 1.0, 0.0]).to_ss()
+
+
+def _brute_force_delayed(ss, h, delay, u, n_steps):
+    """Reference simulation: continuous flow with exactly delayed ZOH input."""
+    d_steps = max(1, int(np.ceil(delay / h - 1e-12)))
+    tau_p = delay - (d_steps - 1) * h
+    if tau_p <= 0:
+        tau_p = h
+
+    def gamma(t):
+        grid = np.linspace(0.0, t, 2001)
+        vals = np.array([sla.expm(ss.a * s) @ ss.b for s in grid])
+        return np.trapezoid(vals, grid, axis=0)
+
+    x = np.zeros(ss.n_states)
+    outputs = []
+    for k in range(n_steps):
+        outputs.append(float((ss.c @ x)[0]))
+        u_head = u[k - d_steps] if k >= d_steps else 0.0
+        u_tail = u[k - d_steps + 1] if k >= d_steps - 1 else 0.0
+        x = sla.expm(ss.a * tau_p) @ x + (gamma(tau_p) @ [u_head]).ravel()
+        x = sla.expm(ss.a * (h - tau_p)) @ x + (gamma(h - tau_p) @ [u_tail]).ravel()
+    return np.array(outputs)
+
+
+class TestC2dZoh:
+    def test_matches_scipy(self, servo_ss):
+        h = 0.006
+        ours = c2d_zoh(servo_ss, h)
+        ad, bd, cd, dd, _ = sig.cont2discrete(
+            (servo_ss.a, servo_ss.b, servo_ss.c, servo_ss.d), h
+        )
+        assert np.allclose(ours.a, ad)
+        assert np.allclose(ours.b, bd)
+        assert np.allclose(ours.c, cd)
+
+    def test_preserves_dt(self, servo_ss):
+        assert c2d_zoh(servo_ss, 0.01).dt == pytest.approx(0.01)
+
+    def test_rejects_discrete_input(self, servo_ss):
+        once = c2d_zoh(servo_ss, 0.01)
+        with pytest.raises(ModelError):
+            c2d_zoh(once, 0.01)
+
+    def test_rejects_nonpositive_period(self, servo_ss):
+        with pytest.raises(ModelError):
+            c2d_zoh(servo_ss, 0.0)
+
+
+class TestC2dZohDelay:
+    def test_zero_delay_reduces_to_plain_zoh(self, servo_ss):
+        plain = c2d_zoh(servo_ss, 0.01)
+        delayed = c2d_zoh_delay(servo_ss, 0.01, 0.0)
+        assert np.allclose(plain.a, delayed.a)
+        assert np.allclose(plain.b, delayed.b)
+
+    @pytest.mark.parametrize("delay_frac", [0.25, 0.5, 0.99])
+    def test_fractional_delay_matches_brute_force(self, servo_ss, rng, delay_frac):
+        h = 0.006
+        delay = delay_frac * h
+        augmented = c2d_zoh_delay(servo_ss, h, delay)
+        u = rng.standard_normal(30)
+        _, ys = augmented.simulate(u)
+        expected = _brute_force_delayed(servo_ss, h, delay, u, 30)
+        assert np.allclose(ys[:, 0], expected, atol=1e-6)
+
+    @pytest.mark.parametrize("delay_frac", [1.0, 1.5, 2.3])
+    def test_multi_period_delay_matches_brute_force(self, servo_ss, rng, delay_frac):
+        h = 0.006
+        delay = delay_frac * h
+        augmented = c2d_zoh_delay(servo_ss, h, delay)
+        u = rng.standard_normal(30)
+        _, ys = augmented.simulate(u)
+        expected = _brute_force_delayed(servo_ss, h, delay, u, 30)
+        assert np.allclose(ys[:, 0], expected, atol=1e-6)
+
+    def test_state_dimension_grows_with_delay(self, servo_ss):
+        h = 0.01
+        assert c2d_zoh_delay(servo_ss, h, 0.5 * h).n_states == 3
+        assert c2d_zoh_delay(servo_ss, h, 1.5 * h).n_states == 4
+        assert c2d_zoh_delay(servo_ss, h, 2.5 * h).n_states == 5
+
+    def test_rejects_negative_delay(self, servo_ss):
+        with pytest.raises(ModelError):
+            c2d_zoh_delay(servo_ss, 0.01, -0.001)
+
+    def test_rejects_feedthrough_plant(self):
+        from repro.lti.statespace import StateSpace
+
+        direct = StateSpace([[-1.0]], [[1.0]], [[1.0]], [[1.0]])
+        with pytest.raises(ModelError):
+            c2d_zoh_delay(direct, 0.1, 0.05)
+
+
+class TestHeldInputWeights:
+    def test_head_tail_sum_is_full_gamma(self, servo_ss):
+        # Gamma1 + Gamma0 must equal the plain ZOH Gamma when u_head = u_tail.
+        h, delay = 0.01, 0.004
+        phi, gamma1, gamma0 = held_input_weights(servo_ss.a, servo_ss.b, h, delay)
+        plain = c2d_zoh(servo_ss, h)
+        assert np.allclose(gamma1 + gamma0, plain.b, atol=1e-12)
+        assert np.allclose(phi, plain.a)
+
+    def test_zero_delay_puts_everything_in_tail(self, servo_ss):
+        _, gamma1, gamma0 = held_input_weights(servo_ss.a, servo_ss.b, 0.01, 0.0)
+        assert np.allclose(gamma1, 0.0)
+        plain = c2d_zoh(servo_ss, 0.01)
+        assert np.allclose(gamma0, plain.b)
+
+    def test_full_delay_puts_everything_in_head(self, servo_ss):
+        _, gamma1, gamma0 = held_input_weights(servo_ss.a, servo_ss.b, 0.01, 0.01)
+        assert np.allclose(gamma0, 0.0)
+        plain = c2d_zoh(servo_ss, 0.01)
+        assert np.allclose(gamma1, plain.b, atol=1e-12)

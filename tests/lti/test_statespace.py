@@ -1,0 +1,159 @@
+"""Tests of StateSpace construction, interconnection, and simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ModelError
+from repro.lti.statespace import StateSpace
+
+
+@pytest.fixture
+def servo():
+    # DC servo 1000/(s^2+s), companion form.
+    return StateSpace([[0.0, 1.0], [0.0, -1.0]], [[0.0], [1.0]], [[1000.0, 0.0]])
+
+
+@pytest.fixture
+def lag():
+    return StateSpace([[-2.0]], [[1.0]], [[3.0]])
+
+
+class TestConstruction:
+    def test_dimensions(self, servo):
+        assert servo.n_states == 2
+        assert servo.n_inputs == 1
+        assert servo.n_outputs == 1
+        assert servo.is_continuous and not servo.is_discrete
+
+    def test_default_d_is_zero(self, servo):
+        assert np.allclose(servo.d, 0.0)
+
+    def test_rejects_non_square_a(self):
+        with pytest.raises(DimensionError):
+            StateSpace([[1.0, 2.0]], [[1.0]], [[1.0]])
+
+    def test_rejects_mismatched_b(self):
+        with pytest.raises(DimensionError):
+            StateSpace([[1.0]], [[1.0], [2.0]], [[1.0]])
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ModelError):
+            StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.0)
+
+    def test_repr_mentions_domain(self, servo):
+        assert "ct" in repr(servo)
+
+
+class TestPolesStability:
+    def test_continuous_poles(self, servo):
+        assert sorted(servo.poles().real) == pytest.approx([-1.0, 0.0])
+
+    def test_marginally_stable_is_not_stable(self, servo):
+        assert not servo.is_stable()
+
+    def test_stable_lag(self, lag):
+        assert lag.is_stable()
+
+    def test_discrete_stability_uses_unit_circle(self):
+        stable = StateSpace([[0.9]], [[1.0]], [[1.0]], dt=0.1)
+        unstable = StateSpace([[1.1]], [[1.0]], [[1.0]], dt=0.1)
+        assert stable.is_stable()
+        assert not unstable.is_stable()
+
+
+class TestFrequencyResponse:
+    def test_lag_response(self, lag):
+        omega = np.array([0.0, 2.0, 20.0])
+        response = lag.frequency_response(omega)[:, 0, 0]
+        expected = 3.0 / (1j * omega + 2.0)
+        assert np.allclose(response, expected)
+
+    def test_discrete_response_periodicity(self):
+        sys_d = StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.5)
+        w = 1.3
+        two_pi_over_dt = 2 * np.pi / 0.5
+        r1 = sys_d.frequency_response([w])[0, 0, 0]
+        r2 = sys_d.frequency_response([w + two_pi_over_dt])[0, 0, 0]
+        assert np.isclose(r1, r2)
+
+    def test_evaluate_matches_frequency_response(self, lag):
+        w = 3.7
+        assert np.isclose(
+            lag.evaluate(1j * w)[0, 0], lag.frequency_response([w])[0, 0, 0]
+        )
+
+
+class TestInterconnections:
+    def test_series_transfer_function(self, lag):
+        # (3/(s+2)) in series with itself = 9/(s+2)^2.
+        cascade = lag.series(lag)
+        w = np.array([0.5, 1.0, 4.0])
+        expected = (3.0 / (1j * w + 2.0)) ** 2
+        assert np.allclose(cascade.frequency_response(w)[:, 0, 0], expected)
+
+    def test_parallel_adds_responses(self, lag):
+        doubled = lag.parallel(lag)
+        w = np.array([0.5, 3.0])
+        expected = 2 * (3.0 / (1j * w + 2.0))
+        assert np.allclose(doubled.frequency_response(w)[:, 0, 0], expected)
+
+    def test_unity_feedback_closed_loop(self, lag):
+        closed = lag.feedback()
+        w = np.array([0.0, 1.0, 5.0])
+        g = 3.0 / (1j * w + 2.0)
+        assert np.allclose(
+            closed.frequency_response(w)[:, 0, 0], g / (1 + g), atol=1e-12
+        )
+
+    def test_feedback_with_dynamic_controller(self, lag):
+        controller = StateSpace([[-1.0]], [[1.0]], [[2.0]])
+        closed = lag.feedback(controller)
+        w = np.array([0.3, 2.0])
+        g = 3.0 / (1j * w + 2.0)
+        k = 2.0 / (1j * w + 1.0)
+        assert np.allclose(
+            closed.frequency_response(w)[:, 0, 0], g / (1 + g * k), atol=1e-12
+        )
+
+    def test_positive_feedback_sign(self, lag):
+        closed = lag.feedback(sign=+1)
+        w = np.array([1.0])
+        g = 3.0 / (1j * w + 2.0)
+        assert np.allclose(closed.frequency_response(w)[:, 0, 0], g / (1 - g))
+
+    def test_domain_mismatch_rejected(self, lag):
+        digital = StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.1)
+        with pytest.raises(ModelError):
+            lag.series(digital)
+
+
+class TestSimulation:
+    def test_continuous_simulation_rejected(self, lag):
+        with pytest.raises(ModelError):
+            lag.simulate(np.ones(5))
+
+    def test_discrete_step_response_converges_to_dcgain(self):
+        sys_d = StateSpace([[0.5]], [[1.0]], [[1.0]], dt=0.1)
+        outputs = sys_d.step_response(60)
+        assert np.isclose(outputs[-1, 0], 1.0 / (1 - 0.5), rtol=1e-6)
+
+    def test_simulation_matches_recursion(self, rng):
+        a = np.array([[0.7, 0.1], [0.0, 0.4]])
+        b = np.array([[1.0], [0.5]])
+        c = np.array([[1.0, -1.0]])
+        sys_d = StateSpace(a, b, c, dt=1.0)
+        u = rng.standard_normal(10)
+        states, outputs = sys_d.simulate(u)
+        x = np.zeros(2)
+        for k in range(10):
+            assert np.allclose(states[k], x)
+            assert np.isclose(outputs[k, 0], (c @ x)[0])
+            x = a @ x + b @ [u[k]]
+        assert np.allclose(states[10], x)
+
+    def test_initial_state(self):
+        sys_d = StateSpace([[1.0]], [[0.0]], [[1.0]], dt=1.0)
+        _, outputs = sys_d.simulate(np.zeros(3), x0=[5.0])
+        assert np.allclose(outputs[:, 0], 5.0)

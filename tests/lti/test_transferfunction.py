@@ -1,0 +1,93 @@
+"""Tests of TransferFunction arithmetic and state-space conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.lti.transferfunction import TransferFunction
+
+
+class TestConstruction:
+    def test_normalises_to_monic_denominator(self):
+        tf = TransferFunction([2.0], [2.0, 4.0])
+        assert np.allclose(tf.den, [1.0, 2.0])
+        assert np.allclose(tf.num, [1.0])
+
+    def test_trims_leading_zeros(self):
+        tf = TransferFunction([0.0, 0.0, 5.0], [0.0, 1.0, 1.0])
+        assert tf.order == 1
+        assert np.allclose(tf.num, [5.0])
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ModelError):
+            TransferFunction([1.0], [0.0])
+
+    def test_rejects_improper(self):
+        with pytest.raises(ModelError):
+            TransferFunction([1.0, 0.0, 0.0], [1.0, 1.0])
+
+    def test_order(self):
+        assert TransferFunction([1000.0], [1.0, 1.0, 0.0]).order == 2
+
+
+class TestEvaluation:
+    def test_dc_servo_at_point(self):
+        tf = TransferFunction([1000.0], [1.0, 1.0, 0.0])
+        s = 2.0 + 1.0j
+        assert np.isclose(tf.evaluate(s), 1000.0 / (s**2 + s))
+
+    def test_frequency_response_shape_and_values(self):
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        omega = np.array([0.0, 1.0, 10.0])
+        response = tf.frequency_response(omega)
+        assert np.allclose(response, 1.0 / (1j * omega + 1.0))
+
+    def test_poles_and_zeros(self):
+        tf = TransferFunction([1.0, 3.0], [1.0, 5.0, 6.0])
+        assert sorted(tf.poles().real) == pytest.approx([-3.0, -2.0])
+        assert tf.zeros().real == pytest.approx([-3.0])
+
+    def test_dcgain_finite(self):
+        assert TransferFunction([4.0], [1.0, 2.0]).dcgain() == pytest.approx(2.0)
+
+    def test_dcgain_integrating_plant_is_infinite(self):
+        assert TransferFunction([1.0], [1.0, 0.0]).dcgain() == float("inf")
+
+
+class TestToStateSpace:
+    @pytest.mark.parametrize(
+        "num, den",
+        [
+            ([1000.0], [1.0, 1.0, 0.0]),      # DC servo
+            ([1.0], [1.0, 0.0]),              # integrator
+            ([9.0], [1.0, 0.0, -9.0]),        # pendulum
+            ([1.0, 2.0], [1.0, 3.0, 2.0]),    # with a zero
+            ([2.0, 1.0, 0.5], [1.0, 1.0, 4.0]),  # bi-proper
+        ],
+    )
+    def test_frequency_responses_agree(self, num, den):
+        tf = TransferFunction(num, den)
+        ss = tf.to_ss()
+        omega = np.logspace(-2, 2, 40)
+        assert np.allclose(
+            ss.frequency_response(omega)[:, 0, 0],
+            tf.frequency_response(omega),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+
+    def test_poles_preserved(self):
+        tf = TransferFunction([1.0], [1.0, 3.0, 2.0])
+        assert sorted(tf.to_ss().poles().real) == pytest.approx([-2.0, -1.0])
+
+    def test_biproper_feedthrough(self):
+        tf = TransferFunction([2.0, 0.0], [1.0, 1.0])  # 2s/(s+1): D = 2
+        ss = tf.to_ss()
+        assert ss.d[0, 0] == pytest.approx(2.0)
+
+    def test_static_gain(self):
+        ss = TransferFunction([3.0], [1.0]).to_ss()
+        assert ss.n_states == 0
+        assert ss.d[0, 0] == pytest.approx(3.0)

@@ -1,0 +1,78 @@
+"""Tests of the exact best-case response-time analysis (eq. (4))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rta.bcrt import best_case_response_time
+from repro.rta.taskset import Task
+from repro.rta.wcrt import worst_case_response_time
+
+
+def _task(name, period, wcet, bcet=None):
+    return Task(name=name, period=period, wcet=wcet, bcet=bcet)
+
+
+class TestBcrt:
+    def test_no_interference_gives_bcet(self):
+        task = _task("t", 10.0, 3.0, 2.0)
+        assert best_case_response_time(task, []) == pytest.approx(2.0)
+
+    def test_short_task_sees_no_best_case_interference(self):
+        # A job finishing within every interferer's first period sees, in
+        # the best case (releases just after it), zero preemptions.
+        hi = _task("hi", 4.0, 1.0, 1.0)
+        task = _task("t", 10.0, 2.0, 2.0)
+        assert best_case_response_time(task, [hi]) == pytest.approx(2.0)
+
+    def test_redell_sanfridson_example_shape(self):
+        # Long task spanning several interferer periods: (ceil(R/T)-1)
+        # preemptions in the best case.
+        hi = _task("hi", 2.0, 0.5, 0.5)
+        task = _task("t", 50.0, 6.0, 6.0)
+        # R = 6 + (ceil(R/2)-1)*0.5: try R = 8: 6 + 3*0.5 = 7.5;
+        # R = 7.5: 6 + (4-1)*0.5 = 7.5. Fixed point 7.5.
+        assert best_case_response_time(task, [hi]) == pytest.approx(7.5)
+
+    def test_bcrt_never_exceeds_wcrt(self):
+        hi = _task("hi", 3.0, 1.0, 0.4)
+        me = _task("me", 7.0, 2.0, 1.0)
+        task = _task("t", 40.0, 5.0, 3.0)
+        best = best_case_response_time(task, [hi, me])
+        worst = worst_case_response_time(task, [hi, me], limit=1e9)
+        assert best <= worst
+
+    def test_saturated_best_case_returns_inf(self):
+        hi = _task("hi", 1.0, 1.0, 1.0)
+        task = _task("t", 100.0, 1.0)
+        assert best_case_response_time(task, [hi]) == float("inf")
+
+    def test_uses_bcets_not_wcets(self):
+        # Same structure, tighter bcets -> smaller best case.
+        hi_tight = _task("hi", 2.0, 1.0, 0.1)
+        hi_loose = _task("hi", 2.0, 1.0, 1.0)
+        task = _task("t", 50.0, 6.0, 6.0)
+        tight = best_case_response_time(task, [hi_tight])
+        loose = best_case_response_time(task, [hi_loose])
+        assert tight < loose
+
+    @given(
+        st.floats(0.05, 0.4),
+        st.floats(0.05, 0.4),
+        st.floats(0.1, 0.99),
+    )
+    def test_bcrt_leq_wcrt_property(self, u1, u2, bcet_frac):
+        hi1 = _task("h1", 3.0, 3.0 * u1, 3.0 * u1 * bcet_frac)
+        hi2 = _task("h2", 11.0, 11.0 * u2, 11.0 * u2 * bcet_frac)
+        task = _task("t", 60.0, 8.0, 8.0 * bcet_frac)
+        best = best_case_response_time(task, [hi1, hi2])
+        worst = worst_case_response_time(task, [hi1, hi2], limit=1e9)
+        assert best <= worst + 1e-9
+
+    @given(st.floats(0.05, 0.45))
+    def test_bcrt_at_least_bcet(self, u_hi):
+        hi = _task("hi", 5.0, 5.0 * u_hi, 5.0 * u_hi / 2)
+        task = _task("t", 30.0, 4.0, 2.0)
+        assert best_case_response_time(task, [hi]) >= 2.0 - 1e-12

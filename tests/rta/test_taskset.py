@@ -1,0 +1,105 @@
+"""Tests of the task model and task-set container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+class TestTask:
+    def test_bcet_defaults_to_wcet(self):
+        task = Task(name="t", period=1.0, wcet=0.2)
+        assert task.bcet == pytest.approx(0.2)
+
+    def test_utilizations(self):
+        task = Task(name="t", period=2.0, wcet=0.5, bcet=0.25)
+        assert task.utilization == pytest.approx(0.25)
+        assert task.best_case_utilization == pytest.approx(0.125)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ModelError):
+            Task(name="t", period=0.0, wcet=0.1)
+
+    def test_rejects_bcet_above_wcet(self):
+        with pytest.raises(ModelError):
+            Task(name="t", period=1.0, wcet=0.1, bcet=0.2)
+
+    def test_rejects_wcet_above_period(self):
+        with pytest.raises(ModelError):
+            Task(name="t", period=1.0, wcet=1.5)
+
+    def test_with_priority_is_a_copy(self):
+        task = Task(name="t", period=1.0, wcet=0.1)
+        copy = task.with_priority(5)
+        assert copy.priority == 5
+        assert task.priority is None
+
+    def test_stability_bound_attached(self):
+        bound = LinearStabilityBound(a=1.0, b=0.5)
+        task = Task(name="t", period=1.0, wcet=0.1, stability=bound)
+        assert task.stability.is_stable(0.1, 0.1)
+
+
+class TestTaskSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            TaskSet([
+                Task(name="a", period=1.0, wcet=0.1),
+                Task(name="a", period=2.0, wcet=0.1),
+            ])
+
+    def test_by_name(self, three_task_set):
+        assert three_task_set.by_name("me").period == pytest.approx(8.0)
+        with pytest.raises(ModelError):
+            three_task_set.by_name("nobody")
+
+    def test_higher_priority_follows_paper_convention(self, three_task_set):
+        # rho_i > rho_j means tau_i has higher priority.
+        lo = three_task_set.by_name("lo")
+        names = {t.name for t in three_task_set.higher_priority(lo)}
+        assert names == {"hi", "me"}
+        hi = three_task_set.by_name("hi")
+        assert three_task_set.higher_priority(hi) == ()
+
+    def test_sorted_by_priority(self, three_task_set):
+        ordered = three_task_set.sorted_by_priority()
+        assert [t.name for t in ordered] == ["hi", "me", "lo"]
+
+    def test_with_priorities_copy(self, three_task_set):
+        remapped = three_task_set.with_priorities({"hi": 1, "me": 2, "lo": 3})
+        assert remapped.by_name("hi").priority == 1
+        assert three_task_set.by_name("hi").priority == 3  # original intact
+
+    def test_with_priorities_requires_all_names(self, three_task_set):
+        with pytest.raises(ModelError):
+            three_task_set.with_priorities({"hi": 1})
+
+    def test_check_distinct_priorities(self):
+        clashing = TaskSet([
+            Task(name="a", period=1.0, wcet=0.1, priority=1),
+            Task(name="b", period=2.0, wcet=0.1, priority=1),
+        ])
+        with pytest.raises(ModelError):
+            clashing.check_distinct_priorities()
+
+    def test_utilization_sum(self, three_task_set):
+        expected = 1.0 / 4 + 2.0 / 8 + 3.0 / 16
+        assert three_task_set.utilization == pytest.approx(expected)
+
+    def test_hyperperiod_integer_periods(self, three_task_set):
+        assert three_task_set.hyperperiod() == pytest.approx(16.0)
+
+    def test_hyperperiod_fractional_periods(self):
+        ts = TaskSet([
+            Task(name="a", period=0.004, wcet=0.001),
+            Task(name="b", period=0.006, wcet=0.001),
+        ])
+        assert ts.hyperperiod() == pytest.approx(0.012)
+
+    def test_copy_is_deep_for_priorities(self, three_task_set):
+        clone = three_task_set.copy()
+        clone.by_name("hi").priority = 99
+        assert three_task_set.by_name("hi").priority == 3

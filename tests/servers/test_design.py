@@ -1,0 +1,100 @@
+"""Tests of minimum-bandwidth server synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plants import get_plant
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound, stability_bound_for_plant
+from repro.rta.taskset import Task
+from repro.servers.design import minimum_bandwidth_server
+from repro.servers.model import PeriodicServer
+from repro.servers.rta import server_latency_jitter
+
+
+def _servo_task(h=0.006, wcet=0.001, bcet=0.0004):
+    plant = get_plant("dc_servo")
+    return Task(
+        name="servo",
+        period=h,
+        wcet=wcet,
+        bcet=bcet,
+        stability=stability_bound_for_plant(plant, h, exact_period=True),
+        plant_name="dc_servo",
+    )
+
+
+class TestMinimumBandwidthServer:
+    def test_finds_a_server(self):
+        task = _servo_task()
+        result = minimum_bandwidth_server(task, server_period=0.002)
+        assert result is not None
+        assert 0 < result.bandwidth <= 1.0
+
+    def test_result_is_actually_stable(self):
+        task = _servo_task()
+        result = minimum_bandwidth_server(task, server_period=0.002)
+        times = server_latency_jitter(result.server, task)
+        assert times.finite
+        assert task.stability.is_stable(times.latency, times.jitter)
+
+    def test_result_is_grid_minimal(self):
+        task = _servo_task()
+        result = minimum_bandwidth_server(
+            task, server_period=0.002, grid_points=32
+        )
+        assert result.server.budget == pytest.approx(min(result.stable_budgets))
+
+    def test_tighter_constraint_needs_more_bandwidth(self):
+        plant = get_plant("dc_servo")
+        loose = _servo_task()
+        tight = Task(
+            name="servo",
+            period=loose.period,
+            wcet=loose.wcet,
+            bcet=loose.bcet,
+            stability=LinearStabilityBound(
+                a=loose.stability.a, b=0.5 * loose.stability.b
+            ),
+            plant_name="dc_servo",
+        )
+        bw_loose = minimum_bandwidth_server(loose, 0.002).bandwidth
+        bw_tight = minimum_bandwidth_server(tight, 0.002).bandwidth
+        assert bw_tight >= bw_loose
+
+    def test_impossible_constraint_returns_none(self):
+        task = Task(
+            name="x",
+            period=0.01,
+            wcet=0.005,
+            bcet=0.005,
+            stability=LinearStabilityBound(a=1.0, b=0.001),
+        )
+        # Even the full processor cannot beat b < c^b.
+        assert minimum_bandwidth_server(task, 0.005) is None
+
+    def test_requires_stability_bound(self):
+        bare = Task(name="x", period=1.0, wcet=0.1)
+        with pytest.raises(ModelError):
+            minimum_bandwidth_server(bare, 0.5)
+
+    def test_long_server_period_needs_more_bandwidth(self):
+        # Coarser replenishment means longer blackouts: the same loop
+        # needs a fatter slice of a slower server.
+        task = _servo_task()
+        fine = minimum_bandwidth_server(task, server_period=0.001)
+        coarse = minimum_bandwidth_server(task, server_period=0.003)
+        assert fine is not None and coarse is not None
+        assert coarse.bandwidth >= fine.bandwidth
+
+    def test_companions_raise_the_required_bandwidth(self):
+        task = _servo_task()
+        alone = minimum_bandwidth_server(task, 0.002)
+        noisy = minimum_bandwidth_server(
+            task,
+            0.002,
+            companions=(Task(name="c", period=0.01, wcet=0.0008, bcet=0.0008),),
+        )
+        assert noisy is None or noisy.bandwidth >= alone.bandwidth

@@ -1,0 +1,101 @@
+"""Tests of the periodic resource model (supply bound functions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.servers.model import PeriodicServer
+
+
+@pytest.fixture
+def half_server():
+    return PeriodicServer(budget=2.0, period=4.0)
+
+
+class TestConstruction:
+    def test_bandwidth(self, half_server):
+        assert half_server.bandwidth == pytest.approx(0.5)
+
+    def test_blackout(self, half_server):
+        assert half_server.worst_case_blackout == pytest.approx(4.0)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ModelError):
+            PeriodicServer(budget=0.0, period=1.0)
+
+    def test_rejects_budget_above_period(self):
+        with pytest.raises(ModelError):
+            PeriodicServer(budget=2.0, period=1.0)
+
+    def test_full_bandwidth_flag(self):
+        assert PeriodicServer(budget=1.0, period=1.0).is_full_bandwidth
+
+
+class TestSbf:
+    def test_zero_during_blackout(self, half_server):
+        assert half_server.sbf(0.0) == 0.0
+        assert half_server.sbf(3.99) == 0.0
+        assert half_server.sbf(4.0) == 0.0
+
+    def test_staircase_values(self, half_server):
+        # After the 4.0 blackout: 2 units over [4, 6], flat over [6, 8]...
+        assert half_server.sbf(5.0) == pytest.approx(1.0)
+        assert half_server.sbf(6.0) == pytest.approx(2.0)
+        assert half_server.sbf(7.5) == pytest.approx(2.0)
+        assert half_server.sbf(9.0) == pytest.approx(3.0)
+
+    def test_full_bandwidth_is_identity(self):
+        server = PeriodicServer(budget=3.0, period=3.0)
+        for t in (0.0, 0.5, 2.0, 10.0):
+            assert server.sbf(t) == pytest.approx(t)
+
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    def test_monotone(self, t1, t2):
+        server = PeriodicServer(budget=1.0, period=3.0)
+        lo, hi = sorted((t1, t2))
+        assert server.sbf(lo) <= server.sbf(hi) + 1e-12
+
+    @given(st.floats(0.0, 100.0))
+    def test_linear_lower_bound(self, t):
+        # sbf(t) >= alpha (t - 2(Pi - Theta)) -- Shin & Lee's lsbf.
+        server = PeriodicServer(budget=1.0, period=3.0)
+        lsbf = max(0.0, server.bandwidth * (t - server.worst_case_blackout))
+        assert server.sbf(t) >= lsbf - 1e-9
+
+    @given(st.floats(0.0, 100.0))
+    def test_sbf_below_msf(self, t):
+        server = PeriodicServer(budget=1.5, period=4.0)
+        assert server.sbf(t) <= server.msf(t) + 1e-12
+
+
+class TestInverses:
+    @given(st.floats(0.01, 50.0))
+    def test_inverse_sbf_is_left_inverse(self, x):
+        server = PeriodicServer(budget=1.0, period=3.0)
+        t = server.inverse_sbf(x)
+        assert server.sbf(t) >= x - 1e-9
+        assert server.sbf(t - 1e-6) < x
+
+    @given(st.floats(0.01, 50.0))
+    def test_inverse_msf_is_left_inverse(self, x):
+        server = PeriodicServer(budget=1.0, period=3.0)
+        t = server.inverse_msf(x)
+        assert server.msf(t) >= x - 1e-9
+        assert server.msf(t - 1e-6) < x
+
+    def test_inverse_sbf_exact_chunks(self, half_server):
+        # 2 units served by t = 6 (blackout 4 + one budget).
+        assert half_server.inverse_sbf(2.0) == pytest.approx(6.0)
+        assert half_server.inverse_sbf(3.0) == pytest.approx(9.0)
+
+    def test_inverse_msf_exact_chunks(self, half_server):
+        assert half_server.inverse_msf(2.0) == pytest.approx(2.0)
+        assert half_server.inverse_msf(3.0) == pytest.approx(5.0)
+
+    def test_inverse_of_zero(self, half_server):
+        assert half_server.inverse_sbf(0.0) == 0.0
+        assert half_server.inverse_msf(0.0) == 0.0

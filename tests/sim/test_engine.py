@@ -1,0 +1,38 @@
+"""Tests of the deterministic event queue."""
+
+from __future__ import annotations
+
+from repro.sim.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_order_class_then_insertion(self):
+        q = EventQueue()
+        q.push(1.0, "late-class", order=1)
+        q.push(1.0, "early-class", order=0)
+        q.push(1.0, "early-class-2", order=0)
+        assert q.pop()[1] == "early-class"
+        assert q.pop()[1] == "early-class-2"
+        assert q.pop()[1] == "late-class"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_empty_queue_peek(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "x")
+        assert q and len(q) == 1

@@ -1,0 +1,106 @@
+"""Property-based cross-validation: the simulator against eqs. (3)-(4).
+
+These are the load-bearing integration tests of the scheduling layer:
+
+* under all-WCET execution with synchronous release, the first job of
+  every task attains *exactly* the analytic worst-case response time
+  (critical instant theorem);
+* no simulated response time ever leaves the analytic ``[R^b, R^w]``
+  envelope, under any execution-time model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rta.bcrt import best_case_response_time
+from repro.rta.taskset import Task, TaskSet
+from repro.rta.wcrt import worst_case_response_time
+from repro.sim.fpps import simulate_fpps
+from repro.sim.workload import BestCaseExecution, UniformExecution, WorstCaseExecution
+
+
+@st.composite
+def schedulable_task_sets(draw):
+    """Random task sets with harmonic-ish periods and moderate load."""
+    n = draw(st.integers(2, 5))
+    periods = draw(
+        st.lists(
+            st.sampled_from([2.0, 4.0, 5.0, 8.0, 10.0, 16.0, 20.0]),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    periods.sort()
+    total_u = draw(st.floats(0.2, 0.8))
+    weights = [draw(st.floats(0.1, 1.0)) for _ in range(n)]
+    scale = total_u / sum(weights)
+    tasks = []
+    for i in range(n):
+        wcet = max(weights[i] * scale * periods[i], 1e-3)
+        bcet_frac = draw(st.floats(0.2, 1.0))
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                period=periods[i],
+                wcet=wcet,
+                bcet=max(wcet * bcet_frac, 5e-4),
+                priority=n - i,  # rate monotonic
+            )
+        )
+    return TaskSet(tasks)
+
+
+def _analysis(ts):
+    out = {}
+    for task in ts:
+        hp = ts.higher_priority(task)
+        out[task.name] = (
+            best_case_response_time(task, hp),
+            worst_case_response_time(task, hp, limit=float("inf")),
+        )
+    return out
+
+
+@settings(max_examples=25)
+@given(schedulable_task_sets())
+def test_critical_instant_attains_wcrt(ts):
+    bounds = _analysis(ts)
+    horizon = min(2.0 * ts.hyperperiod(), 2000.0)
+    trace = simulate_fpps(ts, horizon, execution_model=WorstCaseExecution())
+    for task in ts:
+        jobs = trace.completed_jobs_of(task.name)
+        if not jobs:
+            continue
+        first = jobs[0]
+        assert first.response_time == pytest.approx(bounds[task.name][1], abs=1e-9)
+
+
+@settings(max_examples=25)
+@given(schedulable_task_sets(), st.integers(0, 1000))
+def test_simulated_responses_stay_in_analytic_envelope(ts, seed):
+    bounds = _analysis(ts)
+    horizon = min(2.0 * ts.hyperperiod(), 2000.0)
+    trace = simulate_fpps(
+        ts, horizon, execution_model=UniformExecution(), seed=seed
+    )
+    for task in ts:
+        best, worst = bounds[task.name]
+        for response in trace.response_times(task.name):
+            assert best - 1e-9 <= response <= worst + 1e-9
+
+
+@settings(max_examples=25)
+@given(schedulable_task_sets())
+def test_best_case_model_never_beats_bcrt(ts):
+    bounds = _analysis(ts)
+    horizon = min(2.0 * ts.hyperperiod(), 2000.0)
+    trace = simulate_fpps(ts, horizon, execution_model=BestCaseExecution())
+    for task in ts:
+        jobs = trace.response_times(task.name)
+        if jobs:
+            assert min(jobs) >= bounds[task.name][0] - 1e-9

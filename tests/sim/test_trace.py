@@ -1,0 +1,66 @@
+"""Tests of trace statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.trace import JobRecord, Trace
+
+
+def _record(task, idx, release, exec_time, start, finish):
+    return JobRecord(
+        task_name=task,
+        job_index=idx,
+        release=release,
+        execution_time=exec_time,
+        start=start,
+        finish=finish,
+    )
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        duration=10.0,
+        records=[
+            _record("a", 0, 0.0, 1.0, 0.0, 1.0),
+            _record("a", 1, 4.0, 1.0, 4.0, 5.5),
+            _record("a", 2, 8.0, 1.0, 8.5, None),  # unfinished
+            _record("b", 0, 0.0, 2.0, 1.0, 3.0),
+        ],
+    )
+
+
+class TestTrace:
+    def test_response_times(self, trace):
+        assert trace.response_times("a") == pytest.approx([1.0, 1.5])
+
+    def test_observed_extremes(self, trace):
+        assert trace.observed_best_response("a") == pytest.approx(1.0)
+        assert trace.observed_worst_response("a") == pytest.approx(1.5)
+
+    def test_observed_latency_jitter(self, trace):
+        latency, jitter = trace.observed_latency_jitter("a")
+        assert latency == pytest.approx(1.0)
+        assert jitter == pytest.approx(0.5)
+
+    def test_unfinished_jobs_excluded_from_statistics(self, trace):
+        assert len(trace.completed_jobs_of("a")) == 2
+
+    def test_deadline_misses_count_unfinished(self, trace):
+        # deadline 1.2: job 1 (resp 1.5) and unfinished job 2 both miss.
+        assert trace.deadline_misses("a", 1.2) == 2
+
+    def test_no_jobs_raises(self, trace):
+        with pytest.raises(ModelError):
+            trace.observed_worst_response("zzz")
+
+    def test_busy_time(self, trace):
+        assert trace.busy_time() == pytest.approx(4.0)
+
+    def test_summary(self, trace):
+        summary = trace.summary()
+        assert summary["a"]["count"] == 2
+        assert summary["a"]["max"] == pytest.approx(1.5)
+        assert summary["b"]["mean"] == pytest.approx(3.0)

@@ -1,0 +1,59 @@
+"""Tests of the execution-time models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.rta.taskset import Task
+from repro.sim.workload import (
+    BestCaseExecution,
+    ConstantExecution,
+    UniformExecution,
+    WorstCaseExecution,
+    per_task_execution,
+)
+
+
+@pytest.fixture
+def task():
+    return Task(name="t", period=10.0, wcet=3.0, bcet=1.0)
+
+
+class TestBasicModels:
+    def test_worst_case(self, task, rng):
+        assert WorstCaseExecution().sample(task, 0, rng) == pytest.approx(3.0)
+
+    def test_best_case(self, task, rng):
+        assert BestCaseExecution().sample(task, 0, rng) == pytest.approx(1.0)
+
+    def test_constant_within_bounds(self, task, rng):
+        assert ConstantExecution(2.0).sample(task, 0, rng) == pytest.approx(2.0)
+
+    def test_constant_outside_bounds_rejected(self, task, rng):
+        with pytest.raises(ModelError):
+            ConstantExecution(5.0).sample(task, 0, rng)
+
+    def test_uniform_within_bounds(self, task, rng):
+        samples = [UniformExecution().sample(task, k, rng) for k in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert np.std(samples) > 0.1  # genuinely random
+
+    def test_uniform_degenerate_interval(self, rng):
+        fixed = Task(name="f", period=1.0, wcet=0.5, bcet=0.5)
+        assert UniformExecution().sample(fixed, 0, rng) == pytest.approx(0.5)
+
+
+class TestPerTask:
+    def test_routes_by_name(self, task, rng):
+        other = Task(name="o", period=5.0, wcet=2.0, bcet=0.5)
+        model = per_task_execution(
+            {"t": BestCaseExecution()}, default=WorstCaseExecution()
+        )
+        assert model.sample(task, 0, rng) == pytest.approx(1.0)
+        assert model.sample(other, 0, rng) == pytest.approx(2.0)
+
+    def test_default_default_is_worst_case(self, task, rng):
+        model = per_task_execution({})
+        assert model.sample(task, 0, rng) == pytest.approx(3.0)

@@ -1,0 +1,65 @@
+"""Tests of the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DimensionError,
+    ModelError,
+    NumericalError,
+    ReproError,
+    RiccatiError,
+    ScheduleError,
+    UnstableLoopError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            DimensionError,
+            ModelError,
+            NumericalError,
+            RiccatiError,
+            ScheduleError,
+            UnstableLoopError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_numerical_errors_are_arithmetic(self):
+        assert issubclass(RiccatiError, ArithmeticError)
+        assert issubclass(UnstableLoopError, NumericalError)
+
+    def test_model_errors_are_value_errors(self):
+        # Callers using plain ValueError handling still catch them.
+        assert issubclass(ModelError, ValueError)
+        assert issubclass(DimensionError, ValueError)
+
+    def test_one_base_catch_suffices(self):
+        with pytest.raises(ReproError):
+            raise RiccatiError("no stabilising solution")
+
+
+class TestErrorsCarryContext:
+    def test_riccati_error_from_unstabilisable(self):
+        import numpy as np
+
+        from repro.linalg.riccati import solve_dare
+
+        with pytest.raises(RiccatiError, match="stabilisable|residual|diverged"):
+            solve_dare(
+                np.diag([2.0, 0.5]),
+                np.array([[0.0], [1.0]]),
+                np.eye(2),
+                np.array([[1.0]]),
+            )
+
+    def test_schedule_error_mentions_task(self):
+        from repro.rta.taskset import Task
+        from repro.rta.wcrt import worst_case_response_time
+
+        hog = Task(name="hog", period=1.0, wcet=1.0)
+        victim = Task(name="victim", period=10.0, wcet=1.0)
+        with pytest.raises(ScheduleError, match="utilisation"):
+            worst_case_response_time(victim, [hog])
