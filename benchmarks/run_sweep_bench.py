@@ -1,0 +1,122 @@
+"""Record ``BENCH_sweep.json``: census sweep wall-clock vs job count.
+
+Runs the anomaly census (the heaviest sweep: generate + assign + three
+detector passes per task set) through ``python -m repro sweep census`` in
+a fresh interpreter per configuration -- cold caches, honest numbers --
+and records:
+
+* wall-clock at each requested ``--jobs`` level,
+* the canonical SHA-256 of each run (asserted identical across levels),
+* the measured pre-engine serial baseline for the same per-benchmark
+  work, for the speedup-vs-seed comparison.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_sweep_bench.py \
+        --benchmarks 334 --jobs 1 4 --out BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Measured on the seed implementation (serial loops, per-frequency-point
+#: resolvent solves) before this subsystem landed: 103.78 s for 50 census
+#: benchmarks at n = 8 on this container -- 2.076 s per benchmark.
+SEED_SECONDS_PER_BENCHMARK = 2.076
+
+
+def run_one(benchmarks: int, jobs: int) -> dict:
+    """Run the census sweep in a fresh interpreter; return timing + sha."""
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = os.path.join(tmp, f"census-j{jobs}.json")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "census",
+            "--benchmarks",
+            str(benchmarks),
+            "--jobs",
+            str(jobs),
+            "--out",
+            artifact,
+            # fresh per run: runs start cold, but workers of one run share
+            # the kernel memo instead of each rebuilding it
+            "--cache-dir",
+            os.path.join(tmp, "cache"),
+        ]
+        start = time.perf_counter()
+        subprocess.run(argv, check=True, capture_output=True)
+        wall = time.perf_counter() - start
+        with open(artifact) as handle:
+            data = json.load(handle)
+    return {
+        "jobs": jobs,
+        "wall_seconds": round(wall, 2),
+        "engine_seconds": round(data["meta"]["elapsed_seconds"], 2),
+        "n_items": data["meta"]["n_items"],
+        "canonical_sha256": data["canonical_sha256"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", type=int, default=334,
+                        help="benchmarks per task count (x3 counts)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4])
+    parser.add_argument("--out", type=str, default="BENCH_sweep.json")
+    args = parser.parse_args()
+
+    runs = [run_one(args.benchmarks, jobs) for jobs in args.jobs]
+    shas = {run["canonical_sha256"] for run in runs}
+    assert len(shas) == 1, f"canonical output differs across job counts: {shas}"
+
+    n_items = runs[0]["n_items"]
+    baseline = runs[0]["wall_seconds"]
+    payload = {
+        "workload": (
+            f"anomaly census, {n_items} task sets "
+            f"(task counts 4/8/12 x {args.benchmarks} benchmarks)"
+        ),
+        "cpu_count": os.cpu_count(),
+        "canonical_sha256": runs[0]["canonical_sha256"],
+        "runs": runs,
+        "seed_reference": {
+            "seconds_per_benchmark": SEED_SECONDS_PER_BENCHMARK,
+            "extrapolated_seconds": round(
+                SEED_SECONDS_PER_BENCHMARK * n_items, 1
+            ),
+            "note": (
+                "seed implementation (pre-sweep-engine, pre-vectorised "
+                "frequency response), measured at n=8 x 50 benchmarks "
+                "on this container"
+            ),
+        },
+        "speedup_vs_seed": {
+            str(run["jobs"]): round(
+                SEED_SECONDS_PER_BENCHMARK * n_items / run["wall_seconds"], 2
+            )
+            for run in runs
+        },
+        "speedup_vs_jobs1": {
+            str(run["jobs"]): round(baseline / run["wall_seconds"], 2)
+            for run in runs
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,54 @@ class AnomalyCensus:
         return self.destabilising_moves.get(kind, 0) / checked if checked else 0.0
 
 
+@dataclass(frozen=True)
+class BenchmarkCensus:
+    """Census outcome of one benchmark: the unit of the census sweep."""
+
+    feasible: bool
+    moves_checked: Dict[str, int]
+    events: List[AnomalyEvent]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def destabilising_count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind and e.destabilising)
+
+
+def census_benchmark(
+    n_tasks: int,
+    index: int,
+    *,
+    seed: int = 99,
+    config: Optional[BenchmarkConfig] = None,
+) -> BenchmarkCensus:
+    """Probe one benchmark instance for anomalous moves.
+
+    Deterministic in ``(seed, n_tasks, index)`` alone -- the same child
+    generator protocol as the benchmark suite -- so census sweeps can be
+    chunked and parallelised freely without changing a single count.
+    """
+    rng = np.random.default_rng([seed, n_tasks, index])
+    taskset = generate_control_taskset(n_tasks, rng, config=config)
+    result = assign_backtracking(taskset, max_evaluations=100_000)
+    if result.priorities is None:
+        return BenchmarkCensus(feasible=False, moves_checked={}, events=[])
+    assigned = result.apply_to(taskset)
+    pairs = _interferer_pairs(len(assigned))
+    checked = {
+        "priority_raise": len(assigned) - 1,
+        "wcet_decrease": pairs,
+        "period_increase": pairs,
+    }
+    events = (
+        priority_raise_anomalies(assigned)
+        + wcet_decrease_anomalies(assigned)
+        + period_increase_anomalies(assigned)
+    )
+    return BenchmarkCensus(feasible=True, moves_checked=checked, events=events)
+
+
 def run_anomaly_census(
     n_tasks: int,
     benchmarks: int,
@@ -73,25 +121,15 @@ def run_anomaly_census(
     census = AnomalyCensus()
     config = config or BenchmarkConfig()
     for index in range(benchmarks):
-        rng = np.random.default_rng([seed, n_tasks, index])
-        taskset = generate_control_taskset(n_tasks, rng, config=config)
+        single = census_benchmark(n_tasks, index, seed=seed, config=config)
         census.benchmarks += 1
-        result = assign_backtracking(taskset, max_evaluations=100_000)
-        if result.priorities is None:
+        if not single.feasible:
             continue
         census.feasible += 1
-        assigned = result.apply_to(taskset)
-
-        raise_events = priority_raise_anomalies(assigned)
-        census.record("priority_raise", len(assigned) - 1, raise_events)
-
-        wcet_events = wcet_decrease_anomalies(assigned)
-        pairs = _interferer_pairs(len(assigned))
-        census.record("wcet_decrease", pairs, wcet_events)
-
-        period_events = period_increase_anomalies(assigned)
-        census.record("period_increase", pairs, period_events)
-
+        for kind, checked in single.moves_checked.items():
+            census.record(
+                kind, checked, [e for e in single.events if e.kind == kind]
+            )
         if not keep_events:
             census.events.clear()
     return census

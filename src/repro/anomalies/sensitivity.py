@@ -145,13 +145,46 @@ def wcet_scaling_margin(
     )
 
 
-def sensitivity_report(
-    taskset: TaskSet, *, tolerance: float = 1e-3
-) -> Dict[str, ScalingMargin]:
-    """Scaling margin of every task under the current assignment."""
+def _sensitivity_worker(item, params, seed) -> Dict[str, object]:
+    """Scaling margin of one task (sweep worker; taskset rides in params)."""
+    margin = wcet_scaling_margin(
+        params["taskset"], item["task"], tolerance=params["tolerance"]
+    )
     return {
-        task.name: wcet_scaling_margin(taskset, task.name, tolerance=tolerance)
-        for task in taskset
+        "task": margin.task_name,
+        "factor": margin.factor,
+        "evaluations": margin.evaluations,
+        "binding_task": margin.binding_task,
+    }
+
+
+def sensitivity_report(
+    taskset: TaskSet, *, tolerance: float = 1e-3, jobs: int = 1
+) -> Dict[str, ScalingMargin]:
+    """Scaling margin of every task under the current assignment.
+
+    Each task's bisection is independent, so the report is a natural
+    per-task sweep: ``jobs > 1`` fans the tasks out over worker processes
+    via the :mod:`repro.sweep` engine (the task set is pickled along).
+    """
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="sensitivity",
+        worker=_sensitivity_worker,
+        items=tuple({"task": task.name} for task in taskset),
+        params={"taskset": taskset, "tolerance": tolerance},
+        chunk_size=1,
+    )
+    result = run_sweep(spec, jobs=jobs)
+    return {
+        record["task"]: ScalingMargin(
+            task_name=record["task"],
+            factor=record["factor"],
+            evaluations=record["evaluations"],
+            binding_task=record["binding_task"],
+        )
+        for record in result.records
     }
 
 

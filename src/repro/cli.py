@@ -4,19 +4,71 @@ Regenerates any table or figure of the paper from the terminal::
 
     python -m repro fig2
     python -m repro fig4 --period 0.006
-    python -m repro table1 --benchmarks 10000
+    python -m repro table1 --benchmarks 10000 --jobs 4
     python -m repro fig5 --benchmarks 200
-    python -m repro census --benchmarks 200
+    python -m repro census --benchmarks 200 --jobs 4
     python -m repro all
+
+The ``sweep`` subcommand runs an experiment on the chunked parallel
+engine and (optionally) writes the machine-readable artifact::
+
+    python -m repro sweep census --benchmarks 1000 --jobs 4 --out census.json
+    python -m repro sweep table1 --benchmarks 10000 --jobs 8 \
+        --cache-dir .sweep-cache --resume
+
+Artifacts embed a ``canonical_sha256`` over the deterministic records, so
+two runs at different ``--jobs`` can be compared field-for-field.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import REDUCERS, SWEEPS, run_experiment
+
+#: Experiment order of ``python -m repro all``.
+_ALL_ORDER = ("fig2", "fig4", "table1", "fig5", "census", "jittercurve")
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser, name: str) -> None:
+    """Per-experiment options, shared by the direct and sweep subcommands."""
+    if name == "fig2":
+        # 197 points over [0.02, 1.0] = exactly 5 ms spacing: the narrow
+        # pathological resonances at 0.25/0.5/0.75/1.0 s are sampled head-on.
+        parser.add_argument("--points", type=int, default=197)
+        parser.add_argument("--h-min", type=float, default=0.02)
+        parser.add_argument("--h-max", type=float, default=1.0)
+    elif name == "fig4":
+        parser.add_argument("--period", type=float, default=0.006)
+        parser.add_argument("--points", type=int, default=41)
+    elif name == "table1":
+        parser.add_argument("--benchmarks", type=int, default=500)
+        parser.add_argument("--seed", type=int, default=2017)
+    elif name == "fig5":
+        parser.add_argument("--benchmarks", type=int, default=100)
+        parser.add_argument("--seed", type=int, default=2017)
+    elif name == "census":
+        parser.add_argument("--benchmarks", type=int, default=100)
+        parser.add_argument("--seed", type=int, default=424242)
+    elif name == "jittercurve":
+        parser.add_argument("--period", type=float, default=0.006)
+        parser.add_argument("--latency", type=float, default=0.0)
+        parser.add_argument("--points", type=int, default=15)
+
+
+def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate parsed options into experiment keyword arguments."""
+    if name == "fig2":
+        return {"points": args.points, "h_min": args.h_min, "h_max": args.h_max}
+    if name == "fig4":
+        return {"h": args.period, "points": args.points}
+    if name == "jittercurve":
+        return {"h": args.period, "latency": args.latency, "points": args.points}
+    if name in ("table1", "fig5", "census"):
+        return {"benchmarks": args.benchmarks, "seed": args.seed}
+    return {}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,61 +81,96 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
-    fig2 = sub.add_parser("fig2", help="control cost vs sampling period")
-    # 197 points over [0.02, 1.0] = exactly 5 ms spacing: the narrow
-    # pathological resonances at 0.25/0.5/0.75/1.0 s are sampled head-on.
-    fig2.add_argument("--points", type=int, default=197)
-    fig2.add_argument("--h-min", type=float, default=0.02)
-    fig2.add_argument("--h-max", type=float, default=1.0)
+    help_lines = {
+        "fig2": "control cost vs sampling period",
+        "fig4": "stability curve + linear bound",
+        "table1": "invalid solutions of Unsafe Quadratic",
+        "fig5": "runtime comparison of the assigners",
+        "census": "anomaly census (extension)",
+        "jittercurve": "expected cost vs jitter (extension)",
+    }
+    for name in _ALL_ORDER:
+        experiment = sub.add_parser(name, help=help_lines[name])
+        _add_experiment_options(experiment, name)
+        experiment.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the underlying sweep (default 1)",
+        )
 
-    fig4 = sub.add_parser("fig4", help="stability curve + linear bound")
-    fig4.add_argument("--period", type=float, default=0.006)
-    fig4.add_argument("--points", type=int, default=41)
-
-    table1 = sub.add_parser("table1", help="invalid solutions of Unsafe Quadratic")
-    table1.add_argument("--benchmarks", type=int, default=500)
-    table1.add_argument("--seed", type=int, default=2017)
-
-    fig5 = sub.add_parser("fig5", help="runtime comparison of the assigners")
-    fig5.add_argument("--benchmarks", type=int, default=100)
-    fig5.add_argument("--seed", type=int, default=2017)
-
-    census = sub.add_parser("census", help="anomaly census (extension)")
-    census.add_argument("--benchmarks", type=int, default=100)
-    census.add_argument("--seed", type=int, default=424242)
-
-    jittercurve = sub.add_parser(
-        "jittercurve", help="expected cost vs jitter (extension)"
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment on the parallel sweep engine, write artifact",
     )
-    jittercurve.add_argument("--period", type=float, default=0.006)
-    jittercurve.add_argument("--latency", type=float, default=0.0)
-    jittercurve.add_argument("--points", type=int, default=15)
+    sweep_sub = sweep.add_subparsers(dest="sweep_experiment", required=True)
+    for name in _ALL_ORDER:
+        target = sweep_sub.add_parser(name, help=f"sweep {help_lines[name]}")
+        _add_experiment_options(target, name)
+        target.add_argument("--jobs", type=int, default=1)
+        target.add_argument(
+            "--out", type=str, default=None, help="artifact JSON path"
+        )
+        target.add_argument(
+            "--chunk-size", type=int, default=None, help="items per chunk"
+        )
+        target.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            help="directory for per-chunk cache files",
+        )
+        target.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse cached chunks whose fingerprint matches",
+        )
 
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
 
 
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    from repro.sweep import run_sweep
+
+    name = args.sweep_experiment
+    kwargs = _experiment_kwargs(name, args)
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    spec = SWEEPS[name](**kwargs)
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+    if args.out:
+        result.write(args.out)
+    print(REDUCERS[name](result).render())
+    meta = result.meta
+    print(
+        f"\n[sweep {name}: {meta['n_items']} items in {meta['n_chunks']} "
+        f"chunks, jobs={meta['jobs']}, cache hits={meta['cache_hits']}, "
+        f"{meta['elapsed_seconds']:.1f} s; canonical sha256 "
+        f"{result.canonical_sha256()[:16]}]"
+    )
+    if args.out:
+        print(f"[artifact written to {args.out}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "all":
-        for name in ("fig2", "fig4", "table1", "fig5", "census", "jittercurve"):
-            print(run_experiment(name))
+        for name in _ALL_ORDER:
+            print(run_experiment(name).render())
             print()
         return 0
-    kwargs = {}
-    if args.experiment == "fig2":
-        kwargs = {"points": args.points, "h_min": args.h_min, "h_max": args.h_max}
-    elif args.experiment == "fig4":
-        kwargs = {"h": args.period, "points": args.points}
-    elif args.experiment == "jittercurve":
-        kwargs = {
-            "h": args.period,
-            "latency": args.latency,
-            "points": args.points,
-        }
-    elif args.experiment in ("table1", "fig5", "census"):
-        kwargs = {"benchmarks": args.benchmarks, "seed": args.seed}
-    print(run_experiment(args.experiment, **kwargs))
+    if args.experiment == "sweep":
+        return _run_sweep_command(args)
+    kwargs = _experiment_kwargs(args.experiment, args)
+    kwargs["jobs"] = args.jobs
+    print(run_experiment(args.experiment, **kwargs).render())
     return 0
 
 

@@ -22,9 +22,8 @@ anomaly-safe discipline the paper prescribes.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -144,24 +143,74 @@ def candidate_table(
     return table
 
 
+def _candidate_table_worker(item, params, seed) -> dict:
+    """Evaluate one loop's period menu (sweep worker).
+
+    Candidate evaluation -- one LQG design plus one stability-curve fit
+    per period -- dominates the co-design wall clock and is embarrassingly
+    parallel across loops; the heap search that follows is cheap and stays
+    serial.
+    """
+    loop = params["loops"][item["k"]]
+    table = candidate_table(loop, points=params["points"])
+    return {
+        "loop": loop.name,
+        "candidates": [
+            {"period": c.period, "cost": c.cost, "a": c.bound.a, "b": c.bound.b}
+            for c in table
+        ],
+    }
+
+
+def _candidate_tables(
+    loops: Sequence[ControlLoopSpec], points: int, jobs: int
+) -> List[List[PeriodCandidate]]:
+    """Per-loop candidate tables, fanned out over the sweep engine."""
+    if jobs <= 1:
+        return [candidate_table(loop, points=points) for loop in loops]
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="codesign-candidates",
+        worker=_candidate_table_worker,
+        items=tuple({"k": k} for k in range(len(loops))),
+        params={"loops": tuple(loops), "points": points},
+        chunk_size=1,
+    )
+    result = run_sweep(spec, jobs=jobs)
+    return [
+        [
+            PeriodCandidate(
+                period=c["period"],
+                cost=c["cost"],
+                bound=LinearStabilityBound(a=c["a"], b=c["b"]),
+            )
+            for c in record["candidates"]
+        ]
+        for record in result.records
+    ]
+
+
 def assign_periods(
     loops: Sequence[ControlLoopSpec],
     *,
     points: int = 5,
     max_combinations: int = 10_000,
     utilization_cap: float = 1.0,
+    jobs: int = 1,
 ) -> Optional[CodesignResult]:
     """Best-first period + priority co-design over the candidate grids.
 
     Returns the cheapest valid design on the grid, or ``None`` when no
-    combination within the budget is schedulable and stable.
+    combination within the budget is schedulable and stable.  ``jobs``
+    parallelises the candidate-table evaluation (the expensive phase).
     """
     if not loops:
         raise ModelError("need at least one control loop")
     names = [loop.name for loop in loops]
     if len(set(names)) != len(names):
         raise ModelError(f"duplicate loop names: {names}")
-    tables = [candidate_table(loop, points=points) for loop in loops]
+    tables = _candidate_tables(loops, points, jobs)
 
     def total_cost(indices: Tuple[int, ...]) -> float:
         return sum(t[i].cost for t, i in zip(tables, indices))

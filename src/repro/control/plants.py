@@ -204,3 +204,14 @@ def get_plant(name: str) -> Plant:
     except KeyError:
         known = ", ".join(sorted(PLANT_LIBRARY))
         raise ModelError(f"unknown plant {name!r}; known plants: {known}") from None
+
+
+def is_library_plant(plant: Plant) -> bool:
+    """Is ``plant`` the library instance registered under its name?
+
+    Sweep workers resolve library plants by name (cheap, cacheable,
+    JSON-able params); any other :class:`Plant` object must be pickled
+    along instead.  Identity, not equality: a customised copy that shares
+    a library name must still travel as an object.
+    """
+    return PLANT_LIBRARY.get(plant.name) is plant

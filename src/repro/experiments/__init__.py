@@ -19,7 +19,13 @@ from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.table1 import Table1Result, run_table1
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    REDUCERS,
+    SWEEPS,
+    ExperimentRun,
+    run_experiment,
+)
 
 __all__ = [
     "run_fig2",
@@ -31,5 +37,8 @@ __all__ = [
     "run_fig5",
     "Fig5Result",
     "EXPERIMENTS",
+    "SWEEPS",
+    "REDUCERS",
+    "ExperimentRun",
     "run_experiment",
 ]

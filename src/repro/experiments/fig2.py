@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.control.cost import cost_vs_period
-from repro.control.plants import Plant, get_plant
-from repro.experiments.report import ascii_logplot, format_table
+from repro.control.cost import plant_lqg_cost
+from repro.control.plants import Plant, get_plant, is_library_plant
+from repro.experiments.report import ascii_logplot
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,68 @@ class Fig2Result:
         )
 
 
+def _fig2_worker(
+    item: Dict[str, float], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """LQG cost at one sampling period (sweep worker).
+
+    ``params['plant']`` names a library plant; non-library plants ride
+    along as ``params['plant_obj']`` (pickled to workers) instead.
+    """
+    plant = params.get("plant_obj") or get_plant(params["plant"])
+    cost = plant_lqg_cost(plant, float(item["h"]), params.get("delay", 0.0))
+    return {"h": item["h"], "cost": cost}
+
+
+def sweep_spec(
+    *,
+    plant: Optional[Plant] = None,
+    h_min: float = 0.02,
+    h_max: float = 1.0,
+    points: int = 197,
+    delay: float = 0.0,
+    chunk_size: int = 16,
+) -> SweepSpec:
+    """Sweep description of the Fig. 2 cost-vs-period curve."""
+    plant = plant or get_plant("resonant_servo")
+    periods = np.linspace(h_min, h_max, points)
+    params: Dict[str, Any] = {"plant": plant.name, "delay": delay}
+    if not is_library_plant(plant):
+        params["plant_obj"] = plant
+    return SweepSpec(
+        name="fig2",
+        worker=_fig2_worker,
+        items=tuple({"h": float(h)} for h in periods),
+        params=params,
+        chunk_size=chunk_size,
+    )
+
+
+def reduce_records(
+    records: Iterable[Dict[str, Any]], *, plant_name: str
+) -> Fig2Result:
+    """Assemble the cost curve from per-period records (item order)."""
+    ordered = list(records)
+    periods = np.array([r["h"] for r in ordered])
+    costs = np.array([r["cost"] for r in ordered])
+    return Fig2Result(plant_name=plant_name, periods=periods, costs=costs)
+
+
+def from_sweep(result: SweepResult) -> Fig2Result:
+    """Rebuild the experiment result from a sweep artifact."""
+    params = result.meta.get("params")
+    if params is None:
+        from repro.errors import ModelError
+
+        raise ModelError(
+            "sweep artifact carries no parameters (non-library plant?); "
+            "rebuild the result with reduce_records(...) instead"
+        )
+    return reduce_records(
+        result.records, plant_name=params.get("plant", "resonant_servo")
+    )
+
+
 def run_fig2(
     *,
     plant: Optional[Plant] = None,
@@ -109,6 +172,7 @@ def run_fig2(
     h_max: float = 1.0,
     points: int = 197,
     delay: float = 0.0,
+    jobs: int = 1,
 ) -> Fig2Result:
     """Sweep the sampling period for the Fig. 2 plant.
 
@@ -119,6 +183,8 @@ def run_fig2(
     (narrow) resonances at 0.25/0.5/0.75/1.0 s are sampled head-on.
     """
     plant = plant or get_plant("resonant_servo")
-    periods = np.linspace(h_min, h_max, points)
-    costs = cost_vs_period(plant, periods, delay)
-    return Fig2Result(plant_name=plant.name, periods=periods, costs=costs)
+    spec = sweep_spec(
+        plant=plant, h_min=h_min, h_max=h_max, points=points, delay=delay
+    )
+    result = run_sweep(spec, jobs=jobs)
+    return reduce_records(result.records, plant_name=plant.name)

@@ -13,15 +13,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from functools import lru_cache
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.control.lqg import design_lqg
-from repro.control.plants import Plant, get_plant
+from repro.control.plants import Plant, get_plant, is_library_plant
 from repro.experiments.report import format_table
-from repro.jittermargin.curve import StabilityCurve, stability_curve
+from repro.jittermargin.curve import StabilityCurve
 from repro.jittermargin.linearbound import LinearStabilityBound, fit_linear_bound
+from repro.jittermargin.margin import default_frequency_grid, jitter_margin
+from repro.lti.statespace import StateSpace
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,100 @@ class Fig4Result:
         return table + footer
 
 
+def _design_loop(plant: Plant, h: float, nominal_delay: float) -> Tuple[StateSpace, StateSpace]:
+    """Plant state space + LQG controller for the Fig. 4 operating point."""
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    design = design_lqg(plant.state_space(), h, nominal_delay, q1, q12, q2, r1, r2)
+    return plant.state_space(), design.controller
+
+
+@lru_cache(maxsize=64)
+def _cached_design_loop(
+    plant_name: str, h: float, nominal_delay: float
+) -> Tuple[StateSpace, StateSpace]:
+    """Per-process design cache: one LQG synthesis per worker, not per item."""
+    return _design_loop(get_plant(plant_name), h, nominal_delay)
+
+
+def _fig4_worker(
+    item: Dict[str, float], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Jitter margin at one latency sample (sweep worker)."""
+    h = params["h"]
+    nominal_delay = params.get("nominal_delay", 0.0)
+    if "loop_obj" in params:
+        # Non-library plant: the loop was synthesised once in the parent
+        # and pickled along -- no per-item Riccati synthesis.
+        ss, controller = params["loop_obj"]
+    else:
+        ss, controller = _cached_design_loop(params["plant"], h, nominal_delay)
+    margin = jitter_margin(
+        ss, controller, h, float(item["latency"]), omega=default_frequency_grid(h)
+    )
+    return {"latency": item["latency"], "margin": margin}
+
+
+def sweep_spec(
+    *,
+    plant: Optional[Plant] = None,
+    h: float = 0.006,
+    nominal_delay: float = 0.0,
+    points: int = 41,
+    max_latency_factor: float = 2.0,
+    chunk_size: int = 8,
+) -> SweepSpec:
+    """Sweep description of the Fig. 4 stability curve."""
+    plant = plant or get_plant("dc_servo")
+    latencies = np.linspace(0.0, max_latency_factor * h, points)
+    params: Dict[str, Any] = {
+        "plant": plant.name,
+        "h": h,
+        "nominal_delay": nominal_delay,
+    }
+    if not is_library_plant(plant):
+        params["loop_obj"] = _design_loop(plant, h, nominal_delay)
+    return SweepSpec(
+        name="fig4",
+        worker=_fig4_worker,
+        items=tuple({"latency": float(l)} for l in latencies),
+        params=params,
+        chunk_size=chunk_size,
+    )
+
+
+def reduce_records(
+    records: Iterable[Dict[str, Any]], *, plant_name: str, h: float
+) -> Fig4Result:
+    """Assemble curve + linear bound from per-latency records (item order)."""
+    ordered = list(records)
+    curve = StabilityCurve(
+        h=h,
+        latencies=np.array([r["latency"] for r in ordered]),
+        margins=np.array([r["margin"] for r in ordered]),
+        label=f"{plant_name} @ h={h:g}",
+    )
+    bound = fit_linear_bound(curve)
+    return Fig4Result(plant_name=plant_name, h=h, curve=curve, bound=bound)
+
+
+def from_sweep(result: SweepResult) -> Fig4Result:
+    """Rebuild the experiment result from a sweep artifact."""
+    params = result.meta.get("params")
+    if params is None:
+        from repro.errors import ModelError
+
+        raise ModelError(
+            "sweep artifact carries no parameters (non-library plant?); "
+            "rebuild the result with reduce_records(...) instead"
+        )
+    return reduce_records(
+        result.records,
+        plant_name=params.get("plant", "dc_servo"),
+        h=params.get("h", 0.006),
+    )
+
+
 def run_fig4(
     *,
     plant: Optional[Plant] = None,
@@ -82,19 +180,16 @@ def run_fig4(
     nominal_delay: float = 0.0,
     points: int = 41,
     max_latency_factor: float = 2.0,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Reproduce Fig. 4 (defaults: DC servo, h = 6 ms, as in the paper)."""
     plant = plant or get_plant("dc_servo")
-    q1, q12, q2 = plant.cost_weights()
-    r1, r2 = plant.noise_model()
-    design = design_lqg(plant.state_space(), h, nominal_delay, q1, q12, q2, r1, r2)
-    curve = stability_curve(
-        plant.state_space(),
-        design.controller,
-        h,
+    spec = sweep_spec(
+        plant=plant,
+        h=h,
+        nominal_delay=nominal_delay,
         points=points,
         max_latency_factor=max_latency_factor,
-        label=f"{plant.name} @ h={h:g}",
     )
-    bound = fit_linear_bound(curve)
-    return Fig4Result(plant_name=plant.name, h=h, curve=curve, bound=bound)
+    result = run_sweep(spec, jobs=jobs)
+    return reduce_records(result.records, plant_name=plant.name, h=h)

@@ -15,16 +15,16 @@ evaluations, whose growth should be ~ n^2 for both algorithms.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.assignment.backtracking import assign_backtracking
 from repro.assignment.unsafe_quadratic import assign_unsafe_quadratic
-from repro.benchgen.taskgen import BenchmarkConfig, generate_benchmark_suite
+from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
 from repro.experiments.report import format_table
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 
 @dataclass(frozen=True)
@@ -95,6 +95,106 @@ class Fig5Result:
         return table + footer
 
 
+def _fig5_worker(
+    item: Dict[str, int], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Time both assigners on one benchmark instance (sweep worker).
+
+    Evaluation counts and backtracks are deterministic; the wall-clock
+    samples are declared volatile in the spec so the canonical sweep
+    output stays identical across runs and job counts.
+    """
+    n, index = item["n"], item["index"]
+    rng = np.random.default_rng([seed, n, index])
+    taskset = generate_control_taskset(n, rng, config=params.get("config"))
+    uq = assign_unsafe_quadratic(taskset)
+    bt = assign_backtracking(
+        taskset, max_evaluations=params.get("max_evaluations", 1_000_000)
+    )
+    return {
+        "n": n,
+        "index": index,
+        "uq_seconds": uq.elapsed_seconds,
+        "uq_evaluations": uq.evaluations,
+        "bt_seconds": bt.elapsed_seconds,
+        "bt_evaluations": bt.evaluations,
+        "bt_backtracks": bt.backtracks,
+    }
+
+
+def sweep_spec(
+    *,
+    task_counts: Sequence[int] = (4, 6, 8, 10, 12, 14, 16, 18, 20),
+    benchmarks: int = 100,
+    seed: int = 2017,
+    config: Optional[BenchmarkConfig] = None,
+    max_evaluations: int = 1_000_000,
+    chunk_size: int = 32,
+) -> SweepSpec:
+    """Sweep description of the Fig. 5 runtime comparison."""
+    params: Dict[str, Any] = {"max_evaluations": max_evaluations}
+    if config is not None:
+        params["config"] = config
+    return SweepSpec(
+        name="fig5",
+        worker=_fig5_worker,
+        items=tuple(
+            {"n": n, "index": index}
+            for n in task_counts
+            for index in range(benchmarks)
+        ),
+        params=params,
+        seed=seed,
+        chunk_size=chunk_size,
+        volatile_keys=("uq_seconds", "bt_seconds"),
+    )
+
+
+def reduce_records(records: Iterable[Dict[str, Any]]) -> Fig5Result:
+    """Aggregate per-benchmark timing records into a :class:`Fig5Result`."""
+    per_count: Dict[int, List[Dict[str, Any]]] = {}
+    for record in records:
+        per_count.setdefault(record["n"], []).append(record)
+    task_counts = tuple(sorted(per_count))
+
+    def series(prefix: str, backtracks: bool = False) -> AlgorithmSeries:
+        secs = {
+            n: [r[f"{prefix}_seconds"] for r in per_count[n]]
+            for n in task_counts
+        }
+        evals = {
+            n: [float(r[f"{prefix}_evaluations"]) for r in per_count[n]]
+            for n in task_counts
+        }
+        return AlgorithmSeries(
+            mean_seconds={n: float(np.mean(secs[n])) for n in task_counts},
+            max_seconds={n: float(np.max(secs[n])) for n in task_counts},
+            mean_evaluations={n: float(np.mean(evals[n])) for n in task_counts},
+            max_evaluations={n: int(np.max(evals[n])) for n in task_counts},
+            backtrack_runs={
+                n: sum(1 for r in per_count[n] if r["bt_backtracks"] > 0)
+                if backtracks
+                else 0
+                for n in task_counts
+            },
+        )
+
+    benchmarks_per_count = max(
+        (len(rs) for rs in per_count.values()), default=0
+    )
+    return Fig5Result(
+        benchmarks_per_count=benchmarks_per_count,
+        task_counts=task_counts,
+        unsafe=series("uq"),
+        backtracking=series("bt", backtracks=True),
+    )
+
+
+def from_sweep(result: SweepResult) -> Fig5Result:
+    """Rebuild the experiment result from a sweep artifact."""
+    return reduce_records(result.records)
+
+
 def run_fig5(
     *,
     task_counts: Sequence[int] = (4, 6, 8, 10, 12, 14, 16, 18, 20),
@@ -102,39 +202,14 @@ def run_fig5(
     seed: int = 2017,
     config: Optional[BenchmarkConfig] = None,
     max_evaluations: int = 1_000_000,
+    jobs: int = 1,
 ) -> Fig5Result:
     """Time both algorithms over a shared benchmark suite."""
-    def empty() -> Dict[int, List[float]]:
-        return {n: [] for n in task_counts}
-
-    uq_secs, uq_evals = empty(), empty()
-    bt_secs, bt_evals = empty(), empty()
-    bt_backtracked = {n: 0 for n in task_counts}
-
-    for n, _, taskset in generate_benchmark_suite(
-        task_counts, benchmarks, seed=seed, config=config
-    ):
-        uq = assign_unsafe_quadratic(taskset)
-        uq_secs[n].append(uq.elapsed_seconds)
-        uq_evals[n].append(float(uq.evaluations))
-        bt = assign_backtracking(taskset, max_evaluations=max_evaluations)
-        bt_secs[n].append(bt.elapsed_seconds)
-        bt_evals[n].append(float(bt.evaluations))
-        if bt.backtracks > 0:
-            bt_backtracked[n] += 1
-
-    def series(secs, evals, backtracked=None) -> AlgorithmSeries:
-        return AlgorithmSeries(
-            mean_seconds={n: float(np.mean(secs[n])) for n in task_counts},
-            max_seconds={n: float(np.max(secs[n])) for n in task_counts},
-            mean_evaluations={n: float(np.mean(evals[n])) for n in task_counts},
-            max_evaluations={n: int(np.max(evals[n])) for n in task_counts},
-            backtrack_runs=backtracked or {n: 0 for n in task_counts},
-        )
-
-    return Fig5Result(
-        benchmarks_per_count=benchmarks,
-        task_counts=tuple(task_counts),
-        unsafe=series(uq_secs, uq_evals),
-        backtracking=series(bt_secs, bt_evals, bt_backtracked),
+    spec = sweep_spec(
+        task_counts=task_counts,
+        benchmarks=benchmarks,
+        seed=seed,
+        config=config,
+        max_evaluations=max_evaluations,
     )
+    return from_sweep(run_sweep(spec, jobs=jobs))

@@ -13,17 +13,19 @@ and checks they tell a consistent story.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import lru_cache
+from typing import Any, Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.control.jittercost import cost_vs_jitter
-from repro.control.lqg import design_lqg
-from repro.control.plants import Plant, get_plant
+from repro.control.lqg import LqgDesign, design_lqg
+from repro.control.plants import Plant, get_plant, is_library_plant
 from repro.experiments.report import format_table
 from repro.jittermargin.linearbound import fit_linear_bound
 from repro.jittermargin.curve import stability_curve
 from repro.jittermargin.margin import jitter_margin
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 
 @dataclass(frozen=True)
@@ -75,32 +77,175 @@ class JitterCurveResult:
         return table + footer
 
 
+def _design_for(plant: Plant, h: float, latency: float) -> LqgDesign:
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    return design_lqg(plant.state_space(), h, latency, q1, q12, q2, r1, r2)
+
+
+@lru_cache(maxsize=64)
+def _cached_design(plant_name: str, h: float, latency: float) -> LqgDesign:
+    """Per-process design cache shared by all items of a worker chunk."""
+    return _design_for(get_plant(plant_name), h, latency)
+
+
+def _jittercurve_worker(
+    item: Dict[str, float], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Expected LQG cost at one jitter sample (sweep worker)."""
+    h, latency = params["h"], params.get("latency", 0.0)
+    plant_obj = params.get("plant_obj")
+    if plant_obj is not None:
+        # Non-library plant: the design was synthesised once in the parent
+        # and pickled along -- no per-item Riccati synthesis.
+        plant = plant_obj
+        design = params["design_obj"]
+    else:
+        plant = get_plant(params["plant"])
+        design = _cached_design(params["plant"], h, latency)
+    q1, q12, q2 = plant.cost_weights()
+    r1, _ = plant.noise_model()
+    costs = cost_vs_jitter(
+        design,
+        plant.state_space(),
+        latency,
+        np.array([float(item["jitter"])]),
+        q1,
+        q12,
+        q2,
+        r1,
+    )
+    return {"jitter": item["jitter"], "cost": float(costs[0])}
+
+
+def sweep_spec(
+    *,
+    plant: Optional[Plant] = None,
+    h: float = 0.006,
+    latency: float = 0.0,
+    points: int = 15,
+    chunk_size: int = 4,
+) -> SweepSpec:
+    """Sweep description of the cost-vs-jitter curve.
+
+    The jitter grid's upper end depends on the loop's jitter margin, so
+    the margin is evaluated here (once, in the parent), recorded in the
+    params, and the grid is frozen into the items -- workers only
+    evaluate costs, and the driver reads the margin back off the spec
+    instead of re-running the stability analysis.
+    """
+    plant = plant or get_plant("dc_servo")
+    if is_library_plant(plant):
+        design = _cached_design(plant.name, h, latency)
+    else:
+        design = _design_for(plant, h, latency)
+    ss = plant.state_space()
+    margin = jitter_margin(ss, design.controller, h, latency)
+    max_jitter = min(h - latency, 1.4 * margin if np.isfinite(margin) else h)
+    jitters = np.linspace(0.0, max_jitter, points)
+    params: Dict[str, Any] = {
+        "plant": plant.name,
+        "h": h,
+        "latency": latency,
+        "margin": margin,
+    }
+    if not is_library_plant(plant):
+        params["plant_obj"] = plant
+        params["design_obj"] = design
+    return SweepSpec(
+        name="jittercurve",
+        worker=_jittercurve_worker,
+        items=tuple({"jitter": float(j)} for j in jitters),
+        params=params,
+        chunk_size=chunk_size,
+    )
+
+
+def reduce_records(
+    records: Iterable[Dict[str, Any]],
+    *,
+    plant_name: str,
+    h: float,
+    latency: float,
+    margin: float,
+    linear_budget: float,
+) -> JitterCurveResult:
+    """Assemble the cost curve from per-jitter records (item order)."""
+    ordered = list(records)
+    return JitterCurveResult(
+        plant_name=plant_name,
+        h=h,
+        latency=latency,
+        jitters=np.array([r["jitter"] for r in ordered]),
+        costs=np.array([r["cost"] for r in ordered]),
+        margin=margin,
+        linear_budget=linear_budget,
+    )
+
+
+def from_sweep(result: SweepResult) -> JitterCurveResult:
+    """Rebuild the experiment result from a sweep artifact.
+
+    The stability-side companions (margin, linear budget) are not in the
+    records -- they are one-off serial computations -- so they are redone
+    here from the artifact's parameters (library plants only).
+    """
+    params = result.meta.get("params")
+    if params is None:
+        from repro.errors import ModelError
+
+        raise ModelError(
+            "sweep artifact carries no parameters (non-library plant?); "
+            "rebuild the result with reduce_records(...) instead"
+        )
+    plant = get_plant(params.get("plant", "dc_servo"))
+    h = params.get("h", 0.006)
+    latency = params.get("latency", 0.0)
+    ss = plant.state_space()
+    design = _cached_design(plant.name, h, latency)
+    margin = params.get("margin")
+    if margin is None:
+        margin = jitter_margin(ss, design.controller, h, latency)
+    bound = fit_linear_bound(stability_curve(ss, design.controller, h))
+    return reduce_records(
+        result.records,
+        plant_name=plant.name,
+        h=h,
+        latency=latency,
+        margin=margin,
+        linear_budget=max(0.0, (bound.b - latency) / bound.a),
+    )
+
+
 def run_jittercurve(
     *,
     plant: Optional[Plant] = None,
     h: float = 0.006,
     latency: float = 0.0,
     points: int = 15,
+    jobs: int = 1,
 ) -> JitterCurveResult:
     """Sweep expected cost over jitter for one loop (default: Fig. 4's)."""
     plant = plant or get_plant("dc_servo")
-    q1, q12, q2 = plant.cost_weights()
-    r1, r2 = plant.noise_model()
     ss = plant.state_space()
-    design = design_lqg(ss, h, latency, q1, q12, q2, r1, r2)
-    margin = jitter_margin(ss, design.controller, h, latency)
+    # The spec factory designs the controller and evaluates the margin;
+    # read both back (the design via the shared per-process cache) rather
+    # than repeating the Riccati synthesis and frequency sweep here.
+    spec = sweep_spec(plant=plant, h=h, latency=latency, points=points)
+    margin = spec.params["margin"]
+    if is_library_plant(plant):
+        design = _cached_design(plant.name, h, latency)
+    else:
+        design = _design_for(plant, h, latency)
     curve = stability_curve(ss, design.controller, h)
     bound = fit_linear_bound(curve)
     linear_budget = max(0.0, (bound.b - latency) / bound.a)
-    max_jitter = min(h - latency, 1.4 * margin if np.isfinite(margin) else h)
-    jitters = np.linspace(0.0, max_jitter, points)
-    costs = cost_vs_jitter(design, ss, latency, jitters, q1, q12, q2, r1)
-    return JitterCurveResult(
+    result = run_sweep(spec, jobs=jobs)
+    return reduce_records(
+        result.records,
         plant_name=plant.name,
         h=h,
         latency=latency,
-        jitters=jitters,
-        costs=costs,
         margin=margin,
         linear_budget=linear_budget,
     )

@@ -1,35 +1,102 @@
-"""Run experiments by name; used by the CLI and by ad-hoc scripts."""
+"""Run experiments by name; used by the CLI and by ad-hoc scripts.
+
+Three registries, one per way of consuming an experiment:
+
+* :data:`EXPERIMENTS` -- ``name -> run_*`` callables returning a result
+  object with a ``render()`` method (the classic path).
+* :data:`SWEEPS` -- ``name -> sweep_spec`` factories producing
+  :class:`~repro.sweep.spec.SweepSpec` objects for the parallel engine.
+* :data:`REDUCERS` -- ``name -> from_sweep`` functions rebuilding the
+  experiment's result object from an executed/loaded sweep artifact.
+"""
 
 from __future__ import annotations
 
+import inspect
 import time
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
 
-from repro.experiments.census import run_census
-from repro.experiments.fig2 import run_fig2
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig5 import run_fig5
-from repro.experiments.jittercurve import run_jittercurve
-from repro.experiments.table1 import run_table1
+from repro.experiments import census, fig2, fig4, fig5, jittercurve, table1
+from repro.sweep import SweepResult, SweepSpec
 
 #: Registry: experiment id -> zero-config callable returning a result
 #: object with a ``render()`` method.
 EXPERIMENTS: Dict[str, Callable] = {
-    "fig2": run_fig2,
-    "fig4": run_fig4,
-    "table1": run_table1,
-    "fig5": run_fig5,
-    "census": run_census,
-    "jittercurve": run_jittercurve,
+    "fig2": fig2.run_fig2,
+    "fig4": fig4.run_fig4,
+    "table1": table1.run_table1,
+    "fig5": fig5.run_fig5,
+    "census": census.run_census,
+    "jittercurve": jittercurve.run_jittercurve,
+}
+
+#: Registry: experiment id -> SweepSpec factory (same keyword surface as
+#: the corresponding runner, minus ``jobs``).
+SWEEPS: Dict[str, Callable[..., SweepSpec]] = {
+    "fig2": fig2.sweep_spec,
+    "fig4": fig4.sweep_spec,
+    "table1": table1.sweep_spec,
+    "fig5": fig5.sweep_spec,
+    "census": census.sweep_spec,
+    "jittercurve": jittercurve.sweep_spec,
+}
+
+#: Registry: experiment id -> artifact reducer (SweepResult -> result object).
+REDUCERS: Dict[str, Callable[[SweepResult], Any]] = {
+    "fig2": fig2.from_sweep,
+    "fig4": fig4.from_sweep,
+    "table1": table1.from_sweep,
+    "fig5": fig5.from_sweep,
+    "census": census.from_sweep,
+    "jittercurve": jittercurve.from_sweep,
 }
 
 
-def run_experiment(name: str, **kwargs) -> str:
-    """Run one experiment and return its rendered report."""
+@dataclass(frozen=True)
+class ExperimentRun:
+    """Outcome of one experiment run: the result object plus timing.
+
+    Keeping the elapsed time as data (instead of concatenating it into
+    the report string) keeps sweep and scripting output machine-parseable;
+    ``render()`` still produces the classic human-readable report.
+    """
+
+    name: str
+    result: Any
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        return (
+            f"{self.result.render()}\n\n"
+            f"[{self.name} completed in {self.elapsed_seconds:.1f} s]"
+        )
+
+
+def validate_kwargs(name: str, kwargs: Dict[str, Any]) -> None:
+    """Reject keyword arguments the experiment does not accept.
+
+    Unknown keywords used to surface as a bare ``TypeError`` deep inside
+    the experiment; failing up front names the experiment and the
+    accepted keywords, so sweep scripts get actionable errors.
+    """
+    signature = inspect.signature(EXPERIMENTS[name])
+    accepted = set(signature.parameters)
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise TypeError(
+            f"experiment {name!r} got unknown arguments {unknown}; "
+            f"accepted: {sorted(accepted)}"
+        )
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentRun:
+    """Run one experiment and return its result object with timing."""
     if name not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    validate_kwargs(name, kwargs)
     start = time.perf_counter()
     result = EXPERIMENTS[name](**kwargs)
     elapsed = time.perf_counter() - start
-    return f"{result.render()}\n\n[{name} completed in {elapsed:.1f} s]"
+    return ExperimentRun(name=name, result=result, elapsed_seconds=elapsed)

@@ -14,13 +14,16 @@ run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.assignment.unsafe_quadratic import assign_unsafe_quadratic
-from repro.assignment.validate import validate_assignment
-from repro.benchgen.taskgen import BenchmarkConfig, generate_benchmark_suite
+from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
 from repro.experiments.report import format_table
+from repro.rta.batch import analyze_taskset
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 #: Paper's Table I, for side-by-side rendering.
 PAPER_TABLE1: Dict[int, float] = {4: 0.38, 8: 0.04, 12: 0.00, 16: 0.01, 20: 0.00}
@@ -60,24 +63,85 @@ class Table1Result:
         )
 
 
+def _table1_worker(
+    item: Dict[str, int], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Generate one benchmark, run Unsafe Quadratic, validate exactly.
+
+    Uses the same ``(seed, n, index)`` child-generator protocol as
+    :func:`~repro.benchgen.taskgen.generate_benchmark_suite`, and the
+    batched RTA fast path for validation (equivalence with the per-task
+    validator is pinned by the ``rta.batch`` tests).
+    """
+    n, index = item["n"], item["index"]
+    rng = np.random.default_rng([seed, n, index])
+    taskset = generate_control_taskset(n, rng, config=params.get("config"))
+    result = assign_unsafe_quadratic(taskset)
+    analysis = analyze_taskset(result.apply_to(taskset))
+    return {
+        "n": n,
+        "index": index,
+        "invalid": not analysis.stable,
+        "claimed_valid": result.claims_valid,
+        "evaluations": result.evaluations,
+    }
+
+
+def sweep_spec(
+    *,
+    task_counts: Sequence[int] = (4, 8, 12, 16, 20),
+    benchmarks: int = 500,
+    seed: int = 2017,
+    config: Optional[BenchmarkConfig] = None,
+    chunk_size: int = 64,
+) -> SweepSpec:
+    """Sweep description of the Table I experiment."""
+    params: Dict[str, Any] = {}
+    if config is not None:
+        params["config"] = config
+    return SweepSpec(
+        name="table1",
+        worker=_table1_worker,
+        items=tuple(
+            {"n": n, "index": index}
+            for n in task_counts
+            for index in range(benchmarks)
+        ),
+        params=params,
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+
+
+def reduce_records(records: Iterable[Dict[str, Any]]) -> Table1Result:
+    """Aggregate per-benchmark validity records into a :class:`Table1Result`."""
+    totals: Dict[int, int] = {}
+    invalid: Dict[int, int] = {}
+    for record in records:
+        n = record["n"]
+        totals[n] = totals.get(n, 0) + 1
+        invalid[n] = invalid.get(n, 0) + int(record["invalid"])
+    benchmarks_per_count = max(totals.values(), default=0)
+    return Table1Result(
+        benchmarks_per_count=benchmarks_per_count, totals=totals, invalid=invalid
+    )
+
+
+def from_sweep(result: SweepResult) -> Table1Result:
+    """Rebuild the experiment result from a sweep artifact."""
+    return reduce_records(result.records)
+
+
 def run_table1(
     *,
     task_counts: Sequence[int] = (4, 8, 12, 16, 20),
     benchmarks: int = 500,
     seed: int = 2017,
     config: Optional[BenchmarkConfig] = None,
+    jobs: int = 1,
 ) -> Table1Result:
     """Run the Table I experiment."""
-    totals: Dict[int, int] = {n: 0 for n in task_counts}
-    invalid: Dict[int, int] = {n: 0 for n in task_counts}
-    for n, _, taskset in generate_benchmark_suite(
-        task_counts, benchmarks, seed=seed, config=config
-    ):
-        totals[n] += 1
-        result = assign_unsafe_quadratic(taskset)
-        report = validate_assignment(result.apply_to(taskset))
-        if not report.valid:
-            invalid[n] += 1
-    return Table1Result(
-        benchmarks_per_count=benchmarks, totals=totals, invalid=invalid
+    spec = sweep_spec(
+        task_counts=task_counts, benchmarks=benchmarks, seed=seed, config=config
     )
+    return from_sweep(run_sweep(spec, jobs=jobs))

@@ -106,20 +106,38 @@ class StateSpace:
         blocks of a sampled loop are evaluated on a shared frequency axis).
 
         Returns an array of shape ``(len(omega), n_outputs, n_inputs)``.
+
+        The whole grid is resolved with one stacked ``solve`` over the
+        ``(len(omega), n, n)`` pencil -- the grids used by the jitter-margin
+        analysis have ~1e3 points, and a per-point Python loop dominates
+        every sweep that generates benchmark task sets.
         """
         omega = np.asarray(list(omega), dtype=float)
         n = self.n_states
-        ident = np.eye(n)
-        out = np.empty((omega.size, self.n_outputs, self.n_inputs), dtype=complex)
-        for i, w in enumerate(omega):
-            if self.is_continuous:
-                point = 1j * w
-            else:
-                point = np.exp(1j * w * self.dt)
+        if omega.size == 0 or n == 0:
+            out = np.empty((omega.size, self.n_outputs, self.n_inputs), dtype=complex)
+            out[:] = self.d
+            return out
+        if self.is_continuous:
+            points = 1j * omega
+        else:
+            points = np.exp(1j * omega * self.dt)
+        pencil = points[:, None, None] * np.eye(n) - self.a
+        rhs = np.broadcast_to(self.b.astype(complex), (omega.size, n, self.n_inputs))
+        try:
+            resolvent = np.linalg.solve(pencil, rhs)
+        except np.linalg.LinAlgError:
+            return self._frequency_response_loop(points)
+        return self.c @ resolvent + self.d
+
+    def _frequency_response_loop(self, points: np.ndarray) -> np.ndarray:
+        """Per-point fallback marking exact pole evaluations with ``inf``."""
+        ident = np.eye(self.n_states)
+        out = np.empty((points.size, self.n_outputs, self.n_inputs), dtype=complex)
+        for i, point in enumerate(points):
             try:
                 resolvent = np.linalg.solve(point * ident - self.a, self.b)
             except np.linalg.LinAlgError:
-                # Evaluation exactly on a pole: return infinity gains.
                 out[i] = np.full((self.n_outputs, self.n_inputs), np.inf + 0j)
                 continue
             out[i] = self.c @ resolvent + self.d

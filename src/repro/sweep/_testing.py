@@ -1,0 +1,36 @@
+"""Module-level sweep workers used by the engine's own test suite.
+
+They live in the package (not under ``tests/``) so that process-pool
+workers can unpickle them by qualified name in any child process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+
+def square_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Deterministic arithmetic worker: ``value**2`` plus a param offset."""
+    return {"value": item["value"] ** 2 + params.get("offset", 0)}
+
+
+def seeded_draw_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Worker whose randomness follows the per-item seeding contract."""
+    rng = np.random.default_rng([seed, item["index"]])
+    return {"draw": float(rng.uniform()), "index": item["index"]}
+
+
+def failing_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Worker that fails on a marked item (failure-propagation tests)."""
+    if item.get("explode"):
+        raise ValueError(f"worker exploded on item {item!r}")
+    return {"ok": True}
+
+
+def pid_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Worker that records its process id (parallel-dispatch test)."""
+    import os
+
+    return {"pid": os.getpid()}

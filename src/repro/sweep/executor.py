@@ -1,0 +1,273 @@
+"""Chunked map-reduce execution of :class:`~repro.sweep.spec.SweepSpec`.
+
+The execution model mirrors the alternating structure of the paper's
+experiments (generate -> analyze -> aggregate): items are split into
+chunks, each chunk is mapped through the spec's worker (in-process at
+``jobs=1``, in a ``concurrent.futures`` process pool otherwise), and the
+per-chunk record lists are concatenated in chunk order -- so aggregation
+order, and therefore the canonical output, is independent of completion
+order and job count.
+
+Cache/resume: with a ``cache_dir``, every computed chunk is written to its
+own JSON file keyed by the spec fingerprint; a resumed run loads matching
+chunk files instead of recomputing them, which turns a killed 10k-benchmark
+sweep into a warm restart.  Worker failures are propagated as
+:class:`SweepError` naming the chunk and the original exception -- never
+swallowed, never partially aggregated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sweep.result import SweepResult, decode_nonfinite, encode_nonfinite
+from repro.sweep.spec import SweepSpec, SweepWorker
+
+#: Cache file schema version (independent of the artifact format).
+_CACHE_FORMAT = 1
+
+# Exported to workers (and the serial path) when a ``cache_dir`` is
+# given: a directory for cross-process kernel memos (the jitter-margin
+# stability bounds).  Forked workers would otherwise each rebuild those
+# expensive caches from cold.
+from repro.jittermargin.linearbound import KERNEL_CACHE_ENV
+
+
+class _kernel_cache_env:
+    """Context manager exporting the kernel-memo directory to children."""
+
+    def __init__(self, cache_dir: Optional[str]):
+        self.value = (
+            os.path.join(cache_dir, "kernels") if cache_dir else None
+        )
+        self.previous: Optional[str] = None
+
+    def __enter__(self) -> None:
+        if self.value is not None:
+            self.previous = os.environ.get(KERNEL_CACHE_ENV)
+            os.environ[KERNEL_CACHE_ENV] = self.value
+
+    def __exit__(self, *exc_info) -> None:
+        if self.value is not None:
+            if self.previous is None:
+                os.environ.pop(KERNEL_CACHE_ENV, None)
+            else:
+                os.environ[KERNEL_CACHE_ENV] = self.previous
+
+
+class SweepError(ReproError):
+    """A sweep could not complete (worker failure or bad cache state)."""
+
+
+def _execute_chunk(
+    worker: SweepWorker,
+    chunk_index: int,
+    indexed_items: List[Tuple[int, Any]],
+    params: Dict[str, Any],
+    seed: int,
+) -> List[Dict[str, Any]]:
+    """Run one chunk; module-level so process pools can pickle it."""
+    records: List[Dict[str, Any]] = []
+    for global_index, item in indexed_items:
+        record = worker(item, params, seed)
+        if not isinstance(record, dict):
+            raise TypeError(
+                f"sweep worker {worker.__qualname__} returned "
+                f"{type(record).__name__}, expected dict"
+            )
+        record = dict(record)
+        record["i"] = global_index
+        records.append(record)
+    return records
+
+
+def _chunk_cache_path(
+    cache_dir: str, name: str, fingerprint: str, chunk_index: int
+) -> str:
+    return os.path.join(
+        cache_dir, f"{name}-{fingerprint}-chunk{chunk_index:05d}.json"
+    )
+
+
+def _load_cached_chunk(
+    path: str, fingerprint: str, chunk_index: int
+) -> Optional[List[Dict[str, Any]]]:
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None  # truncated file from a killed run: recompute
+    if (
+        data.get("format") != _CACHE_FORMAT
+        or data.get("fingerprint") != fingerprint
+        or data.get("chunk") != chunk_index
+    ):
+        return None
+    return [decode_nonfinite(r) for r in data["records"]]
+
+
+def _store_cached_chunk(
+    path: str,
+    fingerprint: str,
+    chunk_index: int,
+    records: List[Dict[str, Any]],
+) -> None:
+    payload = json.dumps(
+        {
+            "format": _CACHE_FORMAT,
+            "fingerprint": fingerprint,
+            "chunk": chunk_index,
+            "records": encode_nonfinite(records),
+        },
+        allow_nan=False,
+    )
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+) -> SweepResult:
+    """Execute the sweep and return the aggregated result.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` runs chunks in-process (no pool, no pickling); ``N > 1``
+        uses a :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
+        workers.  The records are identical either way -- that is the
+        engine's core guarantee, enforced by the determinism tests.
+    cache_dir:
+        Directory for per-chunk cache files.  Computed chunks are always
+        stored when given; ``resume=True`` additionally *loads* chunks
+        whose fingerprint matches instead of recomputing them.
+    """
+    if jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    fingerprint = spec.fingerprint()
+    start = time.perf_counter()
+    chunk_list = list(spec.chunks())
+    chunk_records: Dict[int, List[Dict[str, Any]]] = {}
+    cache_hits = 0
+
+    pending: List[Tuple[int, List[Tuple[int, Any]]]] = []
+    for chunk_index, indexed_items in enumerate(chunk_list):
+        if cache_dir and resume:
+            cached = _load_cached_chunk(
+                _chunk_cache_path(cache_dir, spec.name, fingerprint, chunk_index),
+                fingerprint,
+                chunk_index,
+            )
+            if cached is not None:
+                chunk_records[chunk_index] = cached
+                cache_hits += 1
+                continue
+        pending.append((chunk_index, indexed_items))
+
+    def finish_chunk(chunk_index: int, records: List[Dict[str, Any]]) -> None:
+        chunk_records[chunk_index] = records
+        if cache_dir:
+            _store_cached_chunk(
+                _chunk_cache_path(cache_dir, spec.name, fingerprint, chunk_index),
+                fingerprint,
+                chunk_index,
+                records,
+            )
+
+    if jobs == 1 or len(pending) <= 1:
+        with _kernel_cache_env(cache_dir):
+            for chunk_index, indexed_items in pending:
+                try:
+                    records = _execute_chunk(
+                        spec.worker,
+                        chunk_index,
+                        indexed_items,
+                        spec.params,
+                        spec.seed,
+                    )
+                except Exception as exc:
+                    raise SweepError(
+                        f"sweep {spec.name!r}: chunk {chunk_index} failed: {exc!r}"
+                    ) from exc
+                finish_chunk(chunk_index, records)
+    else:
+        with _kernel_cache_env(cache_dir), ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _execute_chunk,
+                    spec.worker,
+                    chunk_index,
+                    indexed_items,
+                    spec.params,
+                    spec.seed,
+                ): chunk_index
+                for chunk_index, indexed_items in pending
+            }
+            try:
+                # Finish (and cache) chunks as they complete, so a killed
+                # or failing run leaves every completed chunk on disk for
+                # --resume -- same incremental behavior as the serial path.
+                for future in as_completed(futures):
+                    chunk_index = futures[future]
+                    try:
+                        records = future.result()
+                    except Exception as exc:
+                        raise SweepError(
+                            f"sweep {spec.name!r}: chunk {chunk_index} "
+                            f"failed: {exc!r}"
+                        ) from exc
+                    finish_chunk(chunk_index, records)
+            except SweepError:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    records = [
+        record
+        for chunk_index in sorted(chunk_records)
+        for record in chunk_records[chunk_index]
+    ]
+    elapsed = time.perf_counter() - start
+    meta = {
+        "jobs": jobs,
+        "elapsed_seconds": elapsed,
+        "n_items": spec.n_items,
+        "n_chunks": len(chunk_list),
+        "chunk_size": spec.chunk_size,
+        "cache_hits": cache_hits,
+    }
+    try:
+        json.dumps(spec.params)
+    except (TypeError, ValueError):
+        pass  # params with live objects (task sets, plants) stay out of meta
+    else:
+        meta["params"] = dict(spec.params)
+    return SweepResult(
+        name=spec.name,
+        seed=spec.seed,
+        fingerprint=fingerprint,
+        records=records,
+        volatile_keys=spec.volatile_keys,
+        meta=meta,
+    )

@@ -1,0 +1,157 @@
+"""Aggregated sweep output: records + provenance, with a canonical form.
+
+The *canonical* view of a result -- records sorted by item index with the
+volatile keys (timings) stripped -- is the thing that must be byte-identical
+across ``--jobs 1`` and ``--jobs N`` runs of the same spec.  The artifact
+file keeps the full records plus a ``meta`` block (jobs, elapsed, cache
+hits) that is allowed to differ between runs; the canonical SHA-256 is
+embedded so two artifacts can be compared without re-parsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ModelError
+
+#: Artifact schema version.
+ARTIFACT_FORMAT = 1
+
+#: Sentinel strings for non-finite floats.  Stability margins are ``nan``
+#: past the stable latency range and pathological costs are ``inf``;
+#: Python's ``allow_nan`` emits literal ``NaN``/``Infinity`` tokens that
+#: strict RFC-8259 parsers (jq, JSON.parse) reject, so artifacts encode
+#: them as these strings instead and decode them on load.
+_NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+def encode_nonfinite(value: Any) -> Any:
+    """Recursively replace non-finite floats with sentinel strings."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, dict):
+        return {k: encode_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_nonfinite(v) for v in value]
+    return value
+
+
+def decode_nonfinite(value: Any) -> Any:
+    """Inverse of :func:`encode_nonfinite` (sentinel strings -> floats)."""
+    if isinstance(value, str) and value in _NONFINITE:
+        return _NONFINITE[value]
+    if isinstance(value, dict):
+        return {k: decode_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_nonfinite(v) for v in value]
+    return value
+
+
+@dataclass
+class SweepResult:
+    """Records of one executed sweep plus provenance metadata."""
+
+    name: str
+    seed: int
+    fingerprint: str
+    records: List[Dict[str, Any]]
+    volatile_keys: Tuple[str, ...] = ()
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def canonical_records(self) -> List[Dict[str, Any]]:
+        """Records in item order with volatile (timing) keys removed."""
+        volatile = set(self.volatile_keys)
+        ordered = sorted(self.records, key=lambda r: r["i"])
+        return [
+            {k: v for k, v in sorted(record.items()) if k not in volatile}
+            for record in ordered
+        ]
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of the canonical records.
+
+        Identical specs must produce identical strings regardless of the
+        job count, chunking, or cache state of the run that made them.
+        """
+        return json.dumps(
+            encode_nonfinite(
+                {
+                    "name": self.name,
+                    "seed": self.seed,
+                    "fingerprint": self.fingerprint,
+                    "records": self.canonical_records(),
+                }
+            ),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+    def canonical_sha256(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full artifact: all records (in item order) plus provenance.
+
+        The volatile keys stay in the file -- fig5 needs its wall-clock
+        samples for offline rendering -- but the embedded
+        ``canonical_sha256`` covers only the deterministic view, so two
+        artifacts from different job counts can be compared by that field.
+        """
+        return {
+            "format": ARTIFACT_FORMAT,
+            "name": self.name,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "canonical_sha256": self.canonical_sha256(),
+            "volatile_keys": list(self.volatile_keys),
+            "meta": dict(self.meta),
+            "records": sorted(self.records, key=lambda r: r["i"]),
+        }
+
+    def write(self, path: str) -> None:
+        """Write the artifact atomically (temp file + rename)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(
+            encode_nonfinite(self.to_dict()),
+            indent=2,
+            sort_keys=True,
+            allow_nan=False,
+        )
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "SweepResult":
+        with open(path) as handle:
+            data = json.load(handle)
+        if data.get("format") != ARTIFACT_FORMAT:
+            raise ModelError(
+                f"{path}: unsupported sweep artifact format {data.get('format')!r}"
+            )
+        return cls(
+            name=data["name"],
+            seed=data["seed"],
+            fingerprint=data["fingerprint"],
+            records=[decode_nonfinite(r) for r in data["records"]],
+            volatile_keys=tuple(data.get("volatile_keys", ())),
+            meta=decode_nonfinite(dict(data.get("meta", {}))),
+        )

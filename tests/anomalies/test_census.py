@@ -7,6 +7,8 @@ import pytest
 from repro.anomalies.census import AnomalyCensus, run_anomaly_census
 from repro.benchgen.taskgen import BenchmarkConfig
 
+pytestmark = pytest.mark.slow
+
 
 class TestCensusAccounting:
     def test_record_and_rates(self):

@@ -32,6 +32,7 @@ class TestPinnedExample:
         assert mine[0].destabilising
 
 
+@pytest.mark.slow
 class TestSearch:
     def test_search_finds_an_instance(self):
         found = find_priority_raise_anomaly(trials=30_000, seed=3)

@@ -103,3 +103,15 @@ class TestPriorityLevelProfile:
         profile = priority_level_margin(working_set, "hi")
         best_index = profile.levels.index(profile.best_level)
         assert profile.slacks[best_index] == max(profile.slacks)
+
+
+@pytest.mark.sweep
+class TestParallelReport:
+    def test_jobs_match_serial(self, working_set):
+        serial = sensitivity_report(working_set, jobs=1)
+        parallel = sensitivity_report(working_set, jobs=2)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert parallel[name].factor == serial[name].factor
+            assert parallel[name].evaluations == serial[name].evaluations
+            assert parallel[name].binding_task == serial[name].binding_task

@@ -53,6 +53,7 @@ class TestBacktracking:
         assert result.priorities is None
         assert result.evaluations <= 3  # one level's worth at most
 
+    @pytest.mark.slow
     def test_agrees_with_exhaustive_on_feasibility(self):
         """Backtracking is complete: it finds a solution iff one exists."""
         import numpy as np

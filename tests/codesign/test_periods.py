@@ -120,3 +120,16 @@ class TestAssignPeriods:
         for loop in two_loops:
             task = ts.by_name(loop.name)
             assert task.period == pytest.approx(result.chosen[loop.name].period)
+
+
+@pytest.mark.sweep
+class TestParallelCandidateTables:
+    def test_jobs_match_serial(self, two_loops):
+        serial = assign_periods(two_loops, points=3, jobs=1)
+        parallel = assign_periods(two_loops, points=3, jobs=2)
+        assert serial is not None and parallel is not None
+        assert parallel.total_cost == pytest.approx(serial.total_cost)
+        assert parallel.priorities == serial.priorities
+        assert {
+            name: c.period for name, c in parallel.chosen.items()
+        } == {name: c.period for name, c in serial.chosen.items()}

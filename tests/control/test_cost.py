@@ -52,11 +52,13 @@ class TestClosedLoopCost:
     def test_positive(self, servo_design):
         assert closed_loop_cost(servo_design) > 0.0
 
+    @pytest.mark.slow
     def test_matches_monte_carlo(self, servo_design):
         analytic = closed_loop_cost(servo_design)
         empirical = _monte_carlo_cost(servo_design)
         assert empirical == pytest.approx(analytic, rel=0.05)
 
+    @pytest.mark.slow
     def test_no_delay_case_matches_monte_carlo(self):
         plant = get_plant("dc_servo")
         q1, q12, q2 = plant.cost_weights()

@@ -6,6 +6,8 @@ import pytest
 
 from repro.experiments.fig5 import run_fig5
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def result():

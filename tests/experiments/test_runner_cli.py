@@ -2,22 +2,42 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    REDUCERS,
+    SWEEPS,
+    ExperimentRun,
+    run_experiment,
+)
 
 
 class TestRunner:
     def test_registry_covers_all_artifacts(self):
         assert {"fig2", "fig4", "table1", "fig5", "census"} <= set(EXPERIMENTS)
 
+    def test_sweep_registries_align(self):
+        assert set(SWEEPS) == set(EXPERIMENTS)
+        assert set(REDUCERS) == set(EXPERIMENTS)
+
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("fig99")
 
-    def test_run_experiment_renders(self):
-        report = run_experiment("fig4", points=9)
+    def test_unknown_kwargs_rejected_up_front(self):
+        with pytest.raises(TypeError, match="unknown arguments.*typo_points"):
+            run_experiment("fig4", typo_points=9)
+
+    def test_run_experiment_returns_timed_result(self):
+        run = run_experiment("fig4", points=9)
+        assert isinstance(run, ExperimentRun)
+        assert run.name == "fig4"
+        assert run.elapsed_seconds > 0.0
+        report = run.render()
         assert "Figure 4" in report
         assert "completed in" in report
 
@@ -43,3 +63,34 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(["table1", "--benchmarks", "3", "--jobs", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+@pytest.mark.sweep
+class TestSweepCli:
+    def test_sweep_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "fig4.json"
+        assert main(["sweep", "fig4", "--points", "9", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Figure 4" in printed
+        assert "canonical sha256" in printed
+        artifact = json.loads(out.read_text())
+        assert artifact["name"] == "fig4"
+        assert len(artifact["records"]) == 9
+        assert artifact["canonical_sha256"]
+
+    def test_sweep_cache_resume(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep", "table1", "--benchmarks", "2",
+            "--cache-dir", str(cache), "--resume",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hits=0" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hits=1" in second

@@ -101,6 +101,7 @@ class TestCostSampling:
 
 
 class TestDoubleIntegral:
+    @pytest.mark.slow
     def test_matches_nested_quadrature(self, stable_pair):
         a, r1 = stable_pair
         q1 = np.diag([1.0, 0.5])

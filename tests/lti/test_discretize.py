@@ -72,6 +72,7 @@ class TestC2dZohDelay:
         assert np.allclose(plain.b, delayed.b)
 
     @pytest.mark.parametrize("delay_frac", [0.25, 0.5, 0.99])
+    @pytest.mark.slow
     def test_fractional_delay_matches_brute_force(self, servo_ss, rng, delay_frac):
         h = 0.006
         delay = delay_frac * h
@@ -82,6 +83,7 @@ class TestC2dZohDelay:
         assert np.allclose(ys[:, 0], expected, atol=1e-6)
 
     @pytest.mark.parametrize("delay_frac", [1.0, 1.5, 2.3])
+    @pytest.mark.slow
     def test_multi_period_delay_matches_brute_force(self, servo_ss, rng, delay_frac):
         h = 0.006
         delay = delay_frac * h

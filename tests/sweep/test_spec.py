@@ -1,0 +1,111 @@
+"""Tests of SweepSpec: validation, chunking, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sweep import SweepSpec
+from repro.sweep._testing import seeded_draw_worker, square_worker
+
+
+def _items(n):
+    return tuple({"index": i, "value": i} for i in range(n))
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError, match="non-empty name"):
+            SweepSpec(name="", worker=square_worker, items=_items(3))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ModelError, match="chunk_size"):
+            SweepSpec(name="s", worker=square_worker, items=_items(3), chunk_size=0)
+
+    def test_rejects_lambda_workers(self):
+        with pytest.raises(ModelError, match="module-level"):
+            SweepSpec(name="s", worker=lambda i, p, s: {}, items=_items(3))
+
+    def test_rejects_nested_workers(self):
+        def nested(item, params, seed):
+            return {}
+
+        with pytest.raises(ModelError, match="module-level"):
+            SweepSpec(name="s", worker=nested, items=_items(3))
+
+
+class TestChunking:
+    def test_chunks_partition_items_in_order(self):
+        spec = SweepSpec(
+            name="s", worker=square_worker, items=_items(10), chunk_size=4
+        )
+        chunks = list(spec.chunks())
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        flattened = [index for chunk in chunks for index, _ in chunk]
+        assert flattened == list(range(10))
+        assert spec.n_chunks == 3
+
+    def test_exact_multiple(self):
+        spec = SweepSpec(
+            name="s", worker=square_worker, items=_items(8), chunk_size=4
+        )
+        assert [len(c) for c in spec.chunks()] == [4, 4]
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = SweepSpec(name="s", worker=square_worker, items=_items(5), seed=3)
+        b = SweepSpec(name="s", worker=square_worker, items=_items(5), seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 4},
+            {"chunk_size": 7},
+            {"version": 2},
+            {"params": {"offset": 1}},
+            {"items": tuple({"index": i, "value": i} for i in range(6))},
+            {"worker": seeded_draw_worker},
+        ],
+    )
+    def test_changes_with_inputs(self, change):
+        base = dict(
+            name="s", worker=square_worker, items=_items(5), seed=3,
+            chunk_size=32, version=1, params={},
+        )
+        assert (
+            SweepSpec(**base).fingerprint()
+            != SweepSpec(**{**base, **change}).fingerprint()
+        )
+
+    def test_object_params_are_content_sensitive(self):
+        """Objects whose repr omits content (TaskSet prints only names)
+        must still yield distinct fingerprints when their content differs,
+        or one sweep could resume from another's cached chunks."""
+        from repro.rta.taskset import Task, TaskSet
+
+        def spec_for(wcet):
+            taskset = TaskSet(
+                [Task(name="a", period=4.0, wcet=wcet, priority=1)]
+            )
+            return SweepSpec(
+                name="s",
+                worker=square_worker,
+                items=_items(2),
+                params={"taskset": taskset},
+            )
+
+        assert spec_for(1.0).fingerprint() != spec_for(2.0).fingerprint()
+        assert spec_for(1.0).fingerprint() == spec_for(1.0).fingerprint()
+
+    def test_param_dict_order_does_not_matter(self):
+        a = SweepSpec(
+            name="s", worker=square_worker, items=_items(3),
+            params={"x": 1, "y": 2},
+        )
+        b = SweepSpec(
+            name="s", worker=square_worker, items=_items(3),
+            params={"y": 2, "x": 1},
+        )
+        assert a.fingerprint() == b.fingerprint()

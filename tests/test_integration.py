@@ -24,6 +24,8 @@ from repro.rta import Task, TaskSet, response_time_interface
 from repro.sim import UniformExecution, simulate_fpps
 from repro.sim.cosim import cosimulate_control_task
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def designed_system():
