@@ -1,0 +1,113 @@
+"""Record ``BENCH_scenarios.json``: Monte-Carlo validation throughput.
+
+Runs ``python -m repro scenarios validate`` for a representative slice of
+the catalogue in a fresh interpreter per scenario (cold caches, honest
+numbers) and records instances/second at ``--jobs 1`` plus the canonical
+report SHA of each run.  The throughput number is the planning currency
+for registry-wide sweeps: scenarios x instances / throughput = wall
+clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_scenarios_bench.py \
+        --instances 32 --out BENCH_scenarios.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Scenarios benchmarked by default: the fast fixed loop, the benchmark
+#: population (the common case), and a stress scenario with trace
+#: filtering + contract-breaking execution (the heavy case).
+DEFAULT_SCENARIOS = (
+    "smoke_single_loop",
+    "benchmark_baseline",
+    "transient_overload",
+)
+
+
+def run_one(scenario: str, instances: int, jobs: int) -> dict:
+    """Validate one scenario in a fresh interpreter; return timing + sha."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "report.json")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "scenarios",
+            "validate",
+            scenario,
+            "--instances",
+            str(instances),
+            "--jobs",
+            str(jobs),
+            "--out",
+            report_path,
+        ]
+        start = time.perf_counter()
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        wall = time.perf_counter() - start
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"validation of {scenario!r} failed "
+                f"(rc={proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+            )
+        with open(report_path) as handle:
+            report = json.load(handle)
+    return {
+        "scenario": scenario,
+        "jobs": jobs,
+        "instances": instances,
+        "wall_seconds": round(wall, 2),
+        "instances_per_second": round(instances / wall, 2),
+        "ok": report["ok"],
+        "cells": report["cells"],
+        "canonical_sha256": report["canonical_sha256"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instances", type=int, default=32)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--scenarios", type=str, nargs="+", default=list(DEFAULT_SCENARIOS)
+    )
+    parser.add_argument("--out", type=str, default="BENCH_scenarios.json")
+    args = parser.parse_args()
+
+    runs = [
+        run_one(scenario, args.instances, args.jobs)
+        for scenario in args.scenarios
+    ]
+    payload = {
+        "benchmark": "scenario Monte-Carlo validation throughput",
+        "command": (
+            "PYTHONPATH=src python -m repro scenarios validate <name> "
+            f"--instances {args.instances} --jobs {args.jobs}"
+        ),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for run in runs:
+        print(
+            f"{run['scenario']:24s} {run['instances']} instances in "
+            f"{run['wall_seconds']:6.2f} s = "
+            f"{run['instances_per_second']:6.2f} inst/s (ok={run['ok']})"
+        )
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ to generate a set of random control tasks for a given utilization."
 
 from repro.benchgen.taskgen import (
     BenchmarkConfig,
+    draw_control_taskset,
     generate_benchmark_suite,
     generate_control_taskset,
 )
@@ -22,6 +23,7 @@ from repro.benchgen.uunifast import uunifast
 __all__ = [
     "uunifast",
     "generate_control_taskset",
+    "draw_control_taskset",
     "generate_benchmark_suite",
     "BenchmarkConfig",
 ]

@@ -115,6 +115,28 @@ def generate_control_taskset(
     return TaskSet(tasks)
 
 
+def draw_control_taskset(
+    rng: np.random.Generator,
+    *,
+    n_range: Tuple[int, int] = (3, 5),
+    config: Optional[BenchmarkConfig] = None,
+    utilization: Optional[float] = None,
+) -> TaskSet:
+    """Draw one benchmark task set with the task count itself randomised.
+
+    The scenario subsystem samples whole populations of task sets per
+    scenario; drawing ``n`` uniformly from ``n_range`` (inclusive) makes
+    one scenario cover a size band instead of a single point.  All
+    randomness comes from ``rng``, so the draw is reproducible from the
+    caller's seed derivation.
+    """
+    lo, hi = n_range
+    if not (1 <= lo <= hi):
+        raise ModelError(f"need 1 <= n_min <= n_max, got n_range={n_range}")
+    n = int(rng.integers(lo, hi + 1))
+    return generate_control_taskset(n, rng, config=config, utilization=utilization)
+
+
 def generate_benchmark_suite(
     task_counts: Sequence[int],
     benchmarks_per_count: int,

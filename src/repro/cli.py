@@ -6,7 +6,7 @@ Regenerates any table or figure of the paper from the terminal::
     python -m repro fig4 --period 0.006
     python -m repro table1 --benchmarks 10000 --jobs 4
     python -m repro fig5 --benchmarks 200
-    python -m repro census --benchmarks 200 --jobs 4
+    python -m repro census --benchmarks 200 --jobs auto
     python -m repro all
 
 The ``sweep`` subcommand runs an experiment on the chunked parallel
@@ -18,11 +18,22 @@ engine and (optionally) writes the machine-readable artifact::
 
 Artifacts embed a ``canonical_sha256`` over the deterministic records, so
 two runs at different ``--jobs`` can be compared field-for-field.
+
+The ``scenarios`` subcommand drives the declarative scenario catalogue
+(:mod:`repro.scenarios`)::
+
+    python -m repro scenarios list
+    python -m repro scenarios run bursty_interference --instances 8
+    python -m repro scenarios validate transient_overload --jobs auto
+    python -m repro scenarios validate --all --instances 16 --out reports.json
+
+Every ``--jobs`` option accepts ``auto`` (or ``0``) to use all cores.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -30,6 +41,42 @@ from repro.experiments.runner import REDUCERS, SWEEPS, run_experiment
 
 #: Experiment order of ``python -m repro all``.
 _ALL_ORDER = ("fig2", "fig4", "table1", "fig5", "census", "jittercurve")
+
+#: Registered sweeps without a direct experiment subcommand (the
+#: ``scenarios`` group is their front end).
+_SWEEP_ONLY = ("scenarios",)
+
+
+def _parse_jobs(value: str) -> int:
+    """Argparse type for ``--jobs``: a non-negative int or ``auto``.
+
+    ``auto`` and ``0`` mean "all cores"; the resolution to
+    ``os.cpu_count()`` happens in :func:`repro.sweep.resolve_jobs` so the
+    CLI, the Python API, and the executor agree on the semantics.
+    """
+    if value.strip().lower() == "auto":
+        return 0
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer or 'auto', got {value!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = auto), got {jobs}"
+        )
+    return jobs
+
+
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=1,
+        help="worker processes for the underlying sweep "
+        "(default 1; 0 or 'auto' = all cores)",
+    )
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser, name: str) -> None:
@@ -56,6 +103,11 @@ def _add_experiment_options(parser: argparse.ArgumentParser, name: str) -> None:
         parser.add_argument("--period", type=float, default=0.006)
         parser.add_argument("--latency", type=float, default=0.0)
         parser.add_argument("--points", type=int, default=15)
+    elif name == "scenarios":
+        parser.add_argument("--scenario", type=str, default="smoke_single_loop")
+        parser.add_argument("--instances", type=int, default=32)
+        parser.add_argument("--seed", type=int, default=7)
+        parser.add_argument("--horizon-periods", type=int, default=None)
 
 
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, Any]:
@@ -68,6 +120,13 @@ def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, Any]:
         return {"h": args.period, "latency": args.latency, "points": args.points}
     if name in ("table1", "fig5", "census"):
         return {"benchmarks": args.benchmarks, "seed": args.seed}
+    if name == "scenarios":
+        return {
+            "scenario": args.scenario,
+            "instances": args.instances,
+            "seed": args.seed,
+            "horizon_periods": args.horizon_periods,
+        }
     return {}
 
 
@@ -88,26 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "fig5": "runtime comparison of the assigners",
         "census": "anomaly census (extension)",
         "jittercurve": "expected cost vs jitter (extension)",
+        "scenarios": "Monte-Carlo scenario validation (extension)",
     }
     for name in _ALL_ORDER:
         experiment = sub.add_parser(name, help=help_lines[name])
         _add_experiment_options(experiment, name)
-        experiment.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes for the underlying sweep (default 1)",
-        )
+        _add_jobs_option(experiment)
 
     sweep = sub.add_parser(
         "sweep",
         help="run an experiment on the parallel sweep engine, write artifact",
     )
     sweep_sub = sweep.add_subparsers(dest="sweep_experiment", required=True)
-    for name in _ALL_ORDER:
+    for name in _ALL_ORDER + _SWEEP_ONLY:
         target = sweep_sub.add_parser(name, help=f"sweep {help_lines[name]}")
         _add_experiment_options(target, name)
-        target.add_argument("--jobs", type=int, default=1)
+        _add_jobs_option(target)
         target.add_argument(
             "--out", type=str, default=None, help="artifact JSON path"
         )
@@ -126,6 +181,47 @@ def _build_parser() -> argparse.ArgumentParser:
             help="reuse cached chunks whose fingerprint matches",
         )
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative scenario catalogue + simulation-vs-analysis validation",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_sub.add_parser("list", help="list the registered scenarios")
+
+    scen_run = scen_sub.add_parser(
+        "run", help="generate instances, print the analytic verdicts"
+    )
+    scen_run.add_argument("name", help="registered scenario name")
+    scen_run.add_argument("--instances", type=int, default=8)
+    scen_run.add_argument("--seed", type=int, default=7)
+
+    scen_val = scen_sub.add_parser(
+        "validate",
+        help="Monte-Carlo validate analytic verdicts against co-simulation",
+    )
+    scen_val.add_argument(
+        "name", nargs="?", default=None, help="registered scenario name"
+    )
+    scen_val.add_argument(
+        "--all", action="store_true", help="validate every registered scenario"
+    )
+    scen_val.add_argument("--instances", type=int, default=32)
+    scen_val.add_argument("--seed", type=int, default=7)
+    scen_val.add_argument("--horizon-periods", type=int, default=None)
+    _add_jobs_option(scen_val)
+    scen_val.add_argument(
+        "--out", type=str, default=None, help="canonical report JSON path"
+    )
+    scen_val.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="directory for per-chunk cache files",
+    )
+    scen_val.add_argument(
+        "--resume", action="store_true",
+        help="reuse cached chunks whose fingerprint matches",
+    )
+
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
 
@@ -135,6 +231,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
 
     name = args.sweep_experiment
     kwargs = _experiment_kwargs(name, args)
+    if name == "scenarios" and kwargs.get("horizon_periods") is None:
+        kwargs.pop("horizon_periods")
     if args.chunk_size is not None:
         kwargs["chunk_size"] = args.chunk_size
     spec = SWEEPS[name](**kwargs)
@@ -159,6 +257,108 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenarios_command(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.scenarios import get_scenario, scenario_names
+    from repro.scenarios.validate import analytic_records, validate_scenario
+
+    if args.scenarios_command == "list":
+        rows = [
+            (
+                spec.name,
+                spec.expectation,
+                spec.axes_summary(),
+            )
+            for spec in (get_scenario(n) for n in scenario_names())
+        ]
+        print(
+            format_table(
+                ["scenario", "expectation", "axes"],
+                rows,
+                title=f"Registered scenarios ({len(rows)})",
+            )
+        )
+        for name in scenario_names():
+            print(f"\n{name}:\n  {get_scenario(name).description}")
+        return 0
+
+    if args.scenarios_command == "run":
+        spec = get_scenario(args.name)
+        records = analytic_records(
+            spec, instances=args.instances, seed=args.seed
+        )
+        rows = []
+        for record in records:
+            if not record["assigned"]:
+                rows.append((record["index"], "-", "-", "-", "-", "unassigned"))
+                continue
+            verdict = "stable" if record["analytic_stable"] else "UNSTABLE"
+            rows.append(
+                (
+                    record["index"],
+                    record["n_tasks"],
+                    f"{record['latency']:.4g}",
+                    f"{record['jitter']:.4g}",
+                    f"{record['slack']:.4g}",
+                    verdict,
+                )
+            )
+        print(
+            format_table(
+                ["instance", "n", "L", "J", "slack", "analytic verdict"],
+                rows,
+                title=f"Scenario {spec.name!r}: {spec.axes_summary()}",
+            )
+        )
+        return 0
+
+    # validate
+    names = (
+        list(scenario_names())
+        if args.all
+        else [args.name]
+        if args.name
+        else None
+    )
+    if names is None:
+        print("scenarios validate: give a scenario name or --all", file=sys.stderr)
+        return 2
+    reports = {}
+    all_ok = True
+    for name in names:
+        validation = validate_scenario(
+            name,
+            instances=args.instances,
+            seed=args.seed,
+            horizon_periods=args.horizon_periods,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+        reports[name] = validation
+        all_ok = all_ok and validation.ok
+        print(validation.render())
+        print()
+    if args.out:
+        if args.all or len(reports) > 1:
+            from repro.sweep.result import encode_nonfinite
+
+            payload = json.dumps(
+                encode_nonfinite(
+                    {name: v.to_report() for name, v in reports.items()}
+                ),
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
+            with open(args.out, "w") as handle:
+                handle.write(payload + "\n")
+        else:
+            next(iter(reports.values())).write(args.out)
+        print(f"[report written to {args.out}]")
+    return 0 if all_ok else 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "all":
@@ -168,6 +368,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "sweep":
         return _run_sweep_command(args)
+    if args.experiment == "scenarios":
+        return _run_scenarios_command(args)
     kwargs = _experiment_kwargs(args.experiment, args)
     kwargs["jobs"] = args.jobs
     print(run_experiment(args.experiment, **kwargs).render())

@@ -24,23 +24,14 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.control.jittercost import expected_cost_under_jitter
-from repro.control.lqg import LqgDesign, design_lqg
+from repro.control.lqg import design_lqg_for_plant as _cached_design
 from repro.control.plants import get_plant
 from repro.errors import ModelError, NumericalError, RiccatiError, UnstableLoopError
 from repro.rta.interface import latency_jitter
 from repro.rta.taskset import Task, TaskSet
-
-
-@lru_cache(maxsize=512)
-def _cached_design(plant_name: str, period: float) -> LqgDesign:
-    plant = get_plant(plant_name)
-    q1, q12, q2 = plant.cost_weights()
-    r1, r2 = plant.noise_model()
-    return design_lqg(plant.state_space(), period, 0.0, q1, q12, q2, r1, r2)
 
 
 def task_control_cost(

@@ -23,6 +23,7 @@ tasks:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -267,6 +268,25 @@ def design_lqg(
         c_matrix=c.copy(),
         r2_d=r2,
     )
+
+
+@lru_cache(maxsize=512)
+def design_lqg_for_plant(plant_name: str, h: float, delay: float = 0.0) -> LqgDesign:
+    """Design the LQG controller of a library plant, memoized.
+
+    The Monte-Carlo scenario harness and the codesign tables design the
+    same ``(plant, period)`` pairs over and over (fixed-source scenarios
+    share one pair across every instance); caching by name and exact
+    period removes the repeated Riccati solves.  Raises like
+    :func:`design_lqg` for pathological periods -- callers that tolerate
+    those catch :class:`~repro.errors.RiccatiError` themselves.
+    """
+    from repro.control.plants import get_plant  # local: avoids module cycle
+
+    plant = get_plant(plant_name)
+    q1, q12, q2 = plant.cost_weights()
+    r1, r2 = plant.noise_model()
+    return design_lqg(plant.state_space(), h, delay, q1, q12, q2, r1, r2)
 
 
 def _assemble_controller(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from repro.experiments import census, fig2, fig4, fig5, jittercurve, table1
+from repro.scenarios import validate as scenario_validate
 from repro.sweep import SweepResult, SweepSpec
 
 #: Registry: experiment id -> zero-config callable returning a result
@@ -29,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig5": fig5.run_fig5,
     "census": census.run_census,
     "jittercurve": jittercurve.run_jittercurve,
+    "scenarios": scenario_validate.run_scenarios,
 }
 
 #: Registry: experiment id -> SweepSpec factory (same keyword surface as
@@ -40,6 +42,7 @@ SWEEPS: Dict[str, Callable[..., SweepSpec]] = {
     "fig5": fig5.sweep_spec,
     "census": census.sweep_spec,
     "jittercurve": jittercurve.sweep_spec,
+    "scenarios": scenario_validate.sweep_spec,
 }
 
 #: Registry: experiment id -> artifact reducer (SweepResult -> result object).
@@ -50,6 +53,7 @@ REDUCERS: Dict[str, Callable[[SweepResult], Any]] = {
     "fig5": fig5.from_sweep,
     "census": census.from_sweep,
     "jittercurve": jittercurve.from_sweep,
+    "scenarios": scenario_validate.from_sweep,
 }
 
 

@@ -1,0 +1,350 @@
+"""Perturbation injections: the composable "what goes wrong" axis.
+
+A :class:`Perturbation` transforms a generated scenario instance.  Two
+kinds exist, distinguished by :attr:`~Perturbation.sim_only`:
+
+* **analysis-visible** (``sim_only = False``) -- the change is applied to
+  both the analysis view and the simulation view of the task set
+  (priority shift, WCET inflation, an added interference task).  The
+  analytic pipeline re-evaluates the perturbed system, so its verdicts
+  remain *sound*: analytic-stable must imply simulated-convergent.
+* **sim-only** (``sim_only = True``) -- the change reaches only the
+  simulation (transient overload beyond WCET, dropped actuations, clock
+  drift of interferers).  The analysis never sees it, which is the point:
+  these scenarios measure how analytic verdicts degrade when the model
+  contract is broken, and their validation reports divergences instead of
+  failing on them.
+
+Each perturbation may hook three stages of an instance's life:
+
+1. :meth:`apply` -- rewrite the (analysis, simulation) task-set pair;
+2. :meth:`execution_model` -- wrap the per-job execution-time model;
+3. :meth:`filter_trace` -- drop or rewrite schedule records before the
+   plant co-simulation replays them.
+
+All randomness comes from the instance's seeded generator, so perturbed
+scenarios stay reproducible at any ``--jobs`` level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.rta.taskset import Task, TaskSet
+from repro.sim.trace import Trace
+from repro.sim.workload import (
+    BurstyExecution,
+    ExecutionTimeModel,
+    OverloadWindow,
+    per_task_execution,
+)
+
+
+class Perturbation:
+    """Base perturbation: identity at every hook."""
+
+    #: True when the perturbation reaches only the simulation view; the
+    #: validation harness uses this to decide whether analytic verdicts
+    #: are expected to stay sound.
+    sim_only: bool = False
+
+    def apply(
+        self,
+        analysis: TaskSet,
+        simulation: TaskSet,
+        control: str,
+        rng: np.random.Generator,
+    ) -> Tuple[TaskSet, TaskSet, str]:
+        """Rewrite the (analysis, simulation) task sets; default identity."""
+        return analysis, simulation, control
+
+    def execution_model(
+        self,
+        base: ExecutionTimeModel,
+        simulation: TaskSet,
+        control: str,
+        rng: np.random.Generator,
+    ) -> ExecutionTimeModel:
+        """Wrap the execution-time model; default identity."""
+        return base
+
+    def filter_trace(
+        self, trace: Trace, control: str, rng: np.random.Generator
+    ) -> Trace:
+        """Rewrite the schedule trace before co-simulation; default identity."""
+        return trace
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _highest_priority_interferer(taskset: TaskSet, control: str) -> str:
+    """Name of the highest-priority task other than ``control``."""
+    others = [t for t in taskset if t.name != control]
+    if not others:
+        return control
+    return max(others, key=lambda t: t.priority or 0).name
+
+
+@dataclass(frozen=True)
+class PriorityShift(Perturbation):
+    """Swap the control task ``levels`` priority levels up (or down).
+
+    ``levels > 0`` raises (the paper's headline "improvement"); negative
+    values lower.  Each step swaps with the adjacent task, exactly the
+    move the anomaly detectors analyse.  Saturates silently at the top or
+    bottom of the priority order -- a saturated shift is a no-op, not an
+    error, so random instances of any size are acceptable.
+    """
+
+    levels: int = 1
+
+    def _shift(self, taskset: TaskSet, control: str) -> TaskSet:
+        for _ in range(abs(self.levels)):
+            shifted = _swap_adjacent(taskset, control, up=self.levels > 0)
+            if shifted is None:
+                break
+            taskset = shifted
+        return taskset
+
+    def apply(self, analysis, simulation, control, rng):
+        return self._shift(analysis, control), self._shift(simulation, control), control
+
+    def describe(self) -> str:
+        direction = "raise" if self.levels > 0 else "lower"
+        return f"priority {direction} x{abs(self.levels)}"
+
+
+def _swap_adjacent(taskset: TaskSet, name: str, *, up: bool):
+    task = taskset.by_name(name)
+    if up:
+        candidates = [
+            t for t in taskset if t.priority is not None and t.priority > task.priority
+        ]
+        if not candidates:
+            return None
+        other = min(candidates, key=lambda t: t.priority)
+    else:
+        candidates = [
+            t for t in taskset if t.priority is not None and t.priority < task.priority
+        ]
+        if not candidates:
+            return None
+        other = max(candidates, key=lambda t: t.priority)
+    priorities = {
+        t.name: (
+            other.priority
+            if t.name == name
+            else task.priority
+            if t.name == other.name
+            else t.priority
+        )
+        for t in taskset
+    }
+    return taskset.with_priorities(priorities)
+
+
+@dataclass(frozen=True)
+class WcetInflation(Perturbation):
+    """Inflate interferers' execution times by ``factor`` (both views).
+
+    Models pessimistic re-measurement or a software update that made the
+    higher-priority tasks slower.  WCETs are clamped to the period so the
+    task model stays well formed; BCETs scale along (clamped to WCET).
+    """
+
+    factor: float = 1.25
+
+    def __post_init__(self):
+        if self.factor <= 1.0:
+            raise ModelError(
+                f"inflation factor must exceed 1, got {self.factor}"
+            )
+
+    def _inflate(self, taskset: TaskSet, control: str) -> TaskSet:
+        return TaskSet(
+            t.copy()
+            if t.name == control
+            else replace(
+                t,
+                wcet=min(t.wcet * self.factor, t.period),
+                bcet=min(t.bcet * self.factor, min(t.wcet * self.factor, t.period)),
+            )
+            for t in taskset
+        )
+
+    def apply(self, analysis, simulation, control, rng):
+        return self._inflate(analysis, control), self._inflate(simulation, control), control
+
+    def describe(self) -> str:
+        return f"interferer WCETs x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class BurstyInterference(Perturbation):
+    """Add a top-priority interference task with periodic WCET bursts.
+
+    The task is visible to the analysis (which charges its WCET on every
+    activation -- conservative but sound) while the simulation runs it at
+    BCET except every ``burst_every``-th job.  ``period_fraction`` sizes
+    its period relative to the control task's; ``utilization`` sizes its
+    WCET relative to its own period.
+    """
+
+    period_fraction: float = 0.25
+    utilization: float = 0.12
+    burst_every: int = 5
+    name: str = "burst"
+
+    def __post_init__(self):
+        if not (0 < self.period_fraction <= 1.0):
+            raise ModelError(
+                f"period fraction must be in (0, 1], got {self.period_fraction}"
+            )
+        if not (0 < self.utilization < 1.0):
+            raise ModelError(
+                f"burst utilization must be in (0, 1), got {self.utilization}"
+            )
+
+    def _burst_task(self, taskset: TaskSet, control: str) -> Task:
+        ctl = taskset.by_name(control)
+        top = max(t.priority for t in taskset if t.priority is not None)
+        period = self.period_fraction * ctl.period
+        wcet = self.utilization * period
+        return Task(
+            name=self.name,
+            period=period,
+            wcet=wcet,
+            bcet=max(0.1 * wcet, 1e-9),
+            priority=top + 1,
+        )
+
+    def apply(self, analysis, simulation, control, rng):
+        burst = self._burst_task(analysis, control)
+        return (
+            TaskSet(list(analysis.tasks) + [burst]),
+            TaskSet(list(simulation.tasks) + [burst.copy()]),
+            control,
+        )
+
+    def execution_model(self, base, simulation, control, rng):
+        phase = int(rng.integers(self.burst_every))
+        return per_task_execution(
+            {self.name: BurstyExecution(self.burst_every, phase=phase)},
+            default=base,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"bursty interferer (T={self.period_fraction:g}·T_ctl, "
+            f"U={self.utilization:g}, burst every {self.burst_every})"
+        )
+
+
+@dataclass(frozen=True)
+class TransientOverload(Perturbation):
+    """Sim-only WCET overrun of the highest-priority interferer.
+
+    For a window of ``n_jobs`` jobs starting at a random instant, the
+    interferer executes for ``factor x`` its WCET -- outside the analysed
+    execution-time contract, which the analysis never learns about.
+    """
+
+    sim_only = True
+
+    factor: float = 1.6
+    n_jobs: int = 4
+    max_start_job: int = 32
+
+    def __post_init__(self):
+        if self.factor <= 1.0:
+            raise ModelError(
+                f"overload factor must exceed 1, got {self.factor}"
+            )
+
+    def execution_model(self, base, simulation, control, rng):
+        target = _highest_priority_interferer(simulation, control)
+        start = int(rng.integers(self.max_start_job))
+        if target == control:
+            return base  # single-task set: nothing to overload
+        return OverloadWindow(
+            base, target, self.factor, start_job=start, n_jobs=self.n_jobs
+        )
+
+    def describe(self) -> str:
+        return f"transient overload x{self.factor:g} for {self.n_jobs} jobs"
+
+
+@dataclass(frozen=True)
+class DroppedJobs(Perturbation):
+    """Sim-only loss of every ``every``-th control job's sample/actuation.
+
+    The job still occupies the processor in the schedule (its interference
+    is real) but its sensor sample and actuation never happen -- a
+    sensor/actuator message drop.  The plant holds the previous control
+    value across the gap, which is the failure mode jitter-margin analysis
+    does not model.
+    """
+
+    sim_only = True
+
+    every: int = 5
+
+    def __post_init__(self):
+        if self.every < 2:
+            raise ModelError(
+                f"drop cadence must be >= 2 (every=1 drops all), got {self.every}"
+            )
+
+    def filter_trace(self, trace, control, rng):
+        offset = int(rng.integers(self.every))
+        kept = [
+            record
+            for record in trace.records
+            if not (
+                record.task_name == control
+                and (record.job_index + offset) % self.every == 0
+            )
+        ]
+        return Trace(duration=trace.duration, records=kept)
+
+    def describe(self) -> str:
+        return f"drop every {self.every}th control job"
+
+
+@dataclass(frozen=True)
+class ClockDrift(Perturbation):
+    """Sim-only clock-period drift of the interfering tasks.
+
+    Interferers release with periods scaled by ``factor`` (< 1 = their
+    clock runs fast, raising the true interference above the analysed
+    level).  The control task's own period is untouched so the controller
+    and plant stay synchronised; the drift lives entirely in the cross
+    interference, which is where the analysis/simulation gap opens.
+    """
+
+    sim_only = True
+
+    factor: float = 0.97
+
+    def __post_init__(self):
+        if not (0.5 <= self.factor <= 2.0) or self.factor == 1.0:
+            raise ModelError(
+                f"drift factor must be in [0.5, 2.0] and != 1, got {self.factor}"
+            )
+
+    def apply(self, analysis, simulation, control, rng):
+        drifted = TaskSet(
+            t.copy()
+            if t.name == control
+            else replace(t, period=max(t.period * self.factor, t.wcet))
+            for t in simulation
+        )
+        return analysis, drifted, control
+
+    def describe(self) -> str:
+        return f"interferer clocks x{self.factor:g}"

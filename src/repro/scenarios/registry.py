@@ -1,0 +1,301 @@
+"""The named scenario catalogue.
+
+Every entry is a :class:`~repro.scenarios.spec.ScenarioSpec` composing
+the orthogonal axes into one named, seeded workload.  The catalogue is
+the extension point of the workload-diversity roadmap: future PRs
+register new scenarios here and get CLI listing, seeded generation and
+Monte-Carlo validation for free.
+
+Naming convention: scenarios are named for what they *stress*, not how
+they are built -- ``transient_overload`` rather than
+``benchmark_uniform_overload_window``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.anomalies.scenarios import priority_raise_anomaly_example
+from repro.control.plants import get_plant
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import stability_bound_for_plant
+from repro.rta.taskset import Task, TaskSet
+from repro.scenarios.perturbations import (
+    BurstyInterference,
+    ClockDrift,
+    DroppedJobs,
+    PriorityShift,
+    TransientOverload,
+    WcetInflation,
+)
+from repro.scenarios.spec import BenchmarkSource, FixedSource, ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the catalogue; duplicate names are rejected."""
+    if spec.name in _REGISTRY:
+        raise ModelError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name, with a helpful error message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ModelError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """All registered scenarios, sorted by name."""
+    return tuple(_REGISTRY[name] for name in scenario_names())
+
+
+# ----------------------------------------------------------------------
+# Fixed sources
+# ----------------------------------------------------------------------
+
+
+def smoke_single_loop_instance() -> Tuple[TaskSet, str]:
+    """A single unloaded DC-servo loop: the trivial, fast sanity point.
+
+    One control task, no interference, execution time far below the
+    period -- the operating point pinned exactly by the zero-jitter
+    bugcheck (:mod:`repro.sim.reference`).  Used as the fast-lane smoke
+    scenario: if this one disagrees, the harness itself is broken.
+    """
+    h = 0.006
+    plant = get_plant("dc_servo")
+    bound = stability_bound_for_plant(plant, h)
+    task = Task(
+        name="ctl",
+        period=h,
+        wcet=5e-4,
+        bcet=2e-4,
+        priority=1,
+        stability=bound,
+        plant_name=plant.name,
+    )
+    return TaskSet([task]), "ctl"
+
+
+def deep_violation_instance() -> Tuple[TaskSet, str]:
+    """A DC-servo loop far outside its latency budget: must diverge.
+
+    A hog task imposes a constant ~8.5 ms response time on the control
+    task at h = 12 ms, while the jitter-margin analysis allows only
+    ~6.6 ms of latency -- the operating point of the cosim
+    destabilisation test, promoted to a scenario.  Both pipelines must
+    agree on instability here; it pins the ``divergence_predicted``
+    corner of the confusion matrix.
+    """
+    h = 0.012
+    plant = get_plant("dc_servo")
+    bound = stability_bound_for_plant(plant, h)
+    hog = Task(name="hog", period=h, wcet=0.008, bcet=0.008, priority=2)
+    ctl = Task(
+        name="ctl",
+        period=h,
+        wcet=5e-4,
+        bcet=5e-4,
+        priority=1,
+        stability=bound,
+        plant_name=plant.name,
+    )
+    return TaskSet([hog, ctl]), "ctl"
+
+
+# ----------------------------------------------------------------------
+# The catalogue
+# ----------------------------------------------------------------------
+
+register(
+    ScenarioSpec(
+        name="smoke_single_loop",
+        description=(
+            "Unloaded DC-servo loop; pins the harness itself (the "
+            "Monte-Carlo twin of the zero-jitter bugcheck)."
+        ),
+        source=FixedSource(smoke_single_loop_instance),
+        policy="as_given",
+        execution="uniform",
+        horizon_periods=60,
+        tags=("smoke", "fast"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="paper_priority_raise",
+        description=(
+            "The paper's headline anomaly as a registry entry: the pinned "
+            "4-task fixture with the destabilising one-level priority "
+            "raise applied.  Sits deliberately on the stability boundary."
+        ),
+        source=FixedSource(priority_raise_anomaly_example),
+        policy="as_given",
+        execution="uniform",
+        perturbations=(PriorityShift(levels=1),),
+        horizon_periods=120,
+        band=0.02,
+        tags=("paper", "anomaly"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="deep_violation",
+        description=(
+            "Control task pinned ~30% past its latency budget by a hog "
+            "interferer; analysis and plant must agree on instability "
+            "(pins the divergence_predicted cell)."
+        ),
+        source=FixedSource(deep_violation_instance),
+        policy="as_given",
+        execution="worst",
+        horizon_periods=340,
+        tags=("agreement", "unstable"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="benchmark_baseline",
+        description=(
+            "The paper's benchmark population with valid backtracking "
+            "assignments; stresses analytic soundness over ordinary "
+            "designs (every analytic-stable instance must converge)."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        tags=("benchmark", "soundness"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="rate_monotonic_blind",
+        description=(
+            "High-utilisation benchmarks under stability-oblivious "
+            "rate-monotonic priorities; stresses the conservative cells "
+            "(analytically unstable designs that may or may not "
+            "physically diverge)."
+        ),
+        source=BenchmarkSource(utilization_range=(0.7, 0.95)),
+        policy="rate_monotonic",
+        execution="uniform",
+        tags=("benchmark", "policy"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="priority_raise_random",
+        description=(
+            "Valid backtracking designs with the control task then raised "
+            "one level -- the paper's anomaly move Monte-Carlo'd over the "
+            "benchmark population."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(PriorityShift(levels=1),),
+        tags=("anomaly",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="wcet_inflation",
+        description=(
+            "Interferer execution times inflated 25% in both views "
+            "(pessimistic re-measurement); stresses soundness under "
+            "heavier, still-analysed interference."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(WcetInflation(factor=1.25),),
+        tags=("interference",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="bursty_interference",
+        description=(
+            "A top-priority bursty interferer added to both views; the "
+            "analysis charges its WCET every job (conservative), the "
+            "simulation bursts periodically -- stresses the conservatism "
+            "gap."
+        ),
+        source=BenchmarkSource(n_tasks=(2, 4)),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(BurstyInterference(),),
+        tags=("interference",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="transient_overload",
+        description=(
+            "Sim-only WCET overrun (x1.6 for 4 jobs) of the top "
+            "interferer; the analysis never sees it -- measures how "
+            "verdicts degrade when the execution-time contract breaks."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(TransientOverload(),),
+        expectation="stress",
+        tags=("contract-violation",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="dropped_actuations",
+        description=(
+            "Every 5th control job's sample/actuation is lost (message "
+            "drop); the plant holds stale control across gaps the "
+            "jitter-margin analysis does not model."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(DroppedJobs(every=5),),
+        expectation="stress",
+        tags=("contract-violation",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="interferer_clock_drift",
+        description=(
+            "Interferer clocks run 3% fast in the simulation only; true "
+            "interference exceeds the analysed level -- the quiet "
+            "deployment drift failure mode."
+        ),
+        source=BenchmarkSource(),
+        policy="backtracking",
+        execution="uniform",
+        perturbations=(ClockDrift(factor=0.97),),
+        expectation="stress",
+        tags=("contract-violation",),
+    )
+)

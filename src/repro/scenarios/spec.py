@@ -1,0 +1,293 @@
+"""Declarative scenario descriptions and seeded instance generation.
+
+A :class:`ScenarioSpec` composes five orthogonal axes into a reproducible
+generator of concrete task-set + plant instances:
+
+* **source** -- where task sets come from: :class:`BenchmarkSource` wraps
+  the :mod:`repro.benchgen` protocol (plant family, size band,
+  utilisation band), :class:`FixedSource` wraps a module-level factory
+  returning a hand-pinned instance (e.g. the paper's anomaly fixture).
+* **policy** -- how priorities are assigned (rate monotonic, slack
+  monotonic, Audsley, the paper's backtracking Algorithm 1, or
+  ``as_given`` for pre-assigned sources).
+* **execution** -- the per-job execution-time model of the simulation
+  (``worst``/``best``/``uniform``).
+* **perturbations** -- what goes wrong, composably (see
+  :mod:`repro.scenarios.perturbations`).
+* **control** -- which task's control loop is observed.
+
+``spec.instance(index, seed)`` derives every random draw from
+``(seed, scenario-name, index)`` alone, so instance streams are
+identical at any parallelism -- the same determinism contract as the
+sweep engine, which the Monte-Carlo validation harness runs on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.assignment import (
+    assign_audsley,
+    assign_backtracking,
+    assign_rate_monotonic,
+    assign_slack_monotonic,
+)
+from repro.benchgen.taskgen import BenchmarkConfig, draw_control_taskset
+from repro.errors import ModelError
+from repro.rta.taskset import TaskSet
+from repro.scenarios.perturbations import Perturbation
+from repro.sim.workload import (
+    BestCaseExecution,
+    ExecutionTimeModel,
+    UniformExecution,
+    WorstCaseExecution,
+)
+
+#: Execution-time model factories selectable by the ``execution`` axis.
+EXECUTION_MODELS = {
+    "worst": WorstCaseExecution,
+    "best": BestCaseExecution,
+    "uniform": UniformExecution,
+}
+
+#: Priority-assignment policies selectable by the ``policy`` axis.
+#: ``as_given`` keeps the source's priorities (and rejects sources
+#: without them).
+POLICIES = {
+    "as_given": None,
+    "rate_monotonic": assign_rate_monotonic,
+    "slack_monotonic": assign_slack_monotonic,
+    "audsley": assign_audsley,
+    "backtracking": assign_backtracking,
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkSource:
+    """Random control task sets via the benchmark protocol of sec. V."""
+
+    n_tasks: Tuple[int, int] = (3, 5)
+    utilization_range: Tuple[float, float] = (0.35, 0.68)
+    bcet_fraction_range: Tuple[float, float] = (0.2, 1.0)
+    plant_names: Optional[Tuple[str, ...]] = None
+
+    def config(self) -> BenchmarkConfig:
+        kwargs = {
+            "utilization_range": self.utilization_range,
+            "bcet_fraction_range": self.bcet_fraction_range,
+        }
+        if self.plant_names is not None:
+            kwargs["plant_names"] = self.plant_names
+        return BenchmarkConfig(**kwargs)
+
+    def draw(self, rng: np.random.Generator) -> Tuple[TaskSet, Optional[str]]:
+        taskset = draw_control_taskset(
+            rng, n_range=self.n_tasks, config=self.config()
+        )
+        return taskset, None
+
+
+@dataclass(frozen=True)
+class FixedSource:
+    """A hand-pinned instance from a module-level factory.
+
+    The factory returns ``(taskset, control_task_name)`` -- the signature
+    of :func:`repro.anomalies.scenarios.priority_raise_anomaly_example`,
+    whose fixture is the flagship use.  Monte-Carlo over a fixed source
+    varies only the execution-time draws and perturbation phases.
+    """
+
+    factory: Callable[[], Tuple[TaskSet, str]]
+
+    def draw(self, rng: np.random.Generator) -> Tuple[TaskSet, Optional[str]]:
+        taskset, control = self.factory()
+        return taskset, control
+
+
+@dataclass
+class ScenarioInstance:
+    """One concrete, fully resolved draw of a scenario.
+
+    ``analysis`` and ``simulation`` are the two views of the task set --
+    identical unless a sim-only perturbation opened a gap between what
+    the analysis believes and what the simulation executes.  ``control``
+    names the observed control task.  ``assigned`` is ``False`` when the
+    priority policy failed; such instances carry no views and are counted
+    (not hidden) by the validation harness.
+    """
+
+    scenario: str
+    index: int
+    seed: int
+    analysis: Optional[TaskSet]
+    simulation: Optional[TaskSet]
+    control: Optional[str]
+    assigned: bool
+    sim_seed: int
+
+    @property
+    def sim_only_gap(self) -> bool:
+        """Do the two views differ structurally?"""
+        if self.analysis is None or self.simulation is None:
+            return False
+        if self.analysis is self.simulation:
+            return False
+        a = [
+            (t.name, t.period, t.wcet, t.bcet, t.priority)
+            for t in self.analysis
+        ]
+        s = [
+            (t.name, t.period, t.wcet, t.bcet, t.priority)
+            for t in self.simulation
+        ]
+        return a != s
+
+
+def _name_key(name: str) -> int:
+    """Stable 32-bit key of a scenario name for seed derivation."""
+    return int.from_bytes(
+        hashlib.sha256(name.encode("utf-8")).digest()[:4], "big"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario: the composition of all five axes.
+
+    ``band`` is the relative near-boundary tolerance: instances whose
+    analytic stability slack lies within ``band * b`` of the constraint
+    boundary are *reported* on disagreement instead of failed (the
+    linear bound and the finite-horizon simulation legitimately disagree
+    arbitrarily close to the boundary).  ``expectation`` declares what
+    validation may enforce: ``"sound"`` scenarios fail on any
+    analytic-stable/simulated-divergent instance outside the band;
+    ``"stress"`` scenarios (sim-only perturbations) report such
+    divergences as findings.
+    """
+
+    name: str
+    description: str
+    source: Union[BenchmarkSource, FixedSource]
+    policy: str = "as_given"
+    execution: str = "uniform"
+    perturbations: Tuple[Perturbation, ...] = ()
+    control: str = "lowest"
+    horizon_periods: int = 200
+    band: float = 0.05
+    expectation: str = "sound"
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("scenario needs a non-empty name")
+        if self.policy not in POLICIES:
+            raise ModelError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICIES)}"
+            )
+        if self.execution not in EXECUTION_MODELS:
+            raise ModelError(
+                f"unknown execution model {self.execution!r}; "
+                f"known: {sorted(EXECUTION_MODELS)}"
+            )
+        if self.expectation not in ("sound", "stress"):
+            raise ModelError(
+                f"expectation must be 'sound' or 'stress', got {self.expectation!r}"
+            )
+        if not (0.0 <= self.band < 1.0):
+            raise ModelError(f"band must be in [0, 1), got {self.band}")
+        if self.horizon_periods < 2:
+            raise ModelError(
+                f"horizon must cover >= 2 control periods, got {self.horizon_periods}"
+            )
+
+    @property
+    def stress(self) -> bool:
+        return self.expectation == "stress"
+
+    def axes_summary(self) -> str:
+        """One-line description of the axes (for ``scenarios list``)."""
+        source = type(self.source).__name__.replace("Source", "").lower()
+        parts = [f"source={source}", f"policy={self.policy}", f"exec={self.execution}"]
+        if self.perturbations:
+            parts.append(
+                "perturb=[" + ", ".join(p.describe() for p in self.perturbations) + "]"
+            )
+        return ", ".join(parts)
+
+    # -- instance generation -------------------------------------------------
+
+    def instance(self, index: int, seed: int) -> ScenarioInstance:
+        """Generate instance ``index`` of the scenario, deterministically.
+
+        All randomness -- source draw, policy tie-breaks, perturbation
+        phases, and the simulation seed handed to the scheduler -- derives
+        from ``(seed, name, index)``, never from generation order, so any
+        subset of instances can be produced in any process.
+        """
+        rng = np.random.default_rng([seed, _name_key(self.name), index])
+        taskset, control = self.source.draw(rng)
+
+        assigner = POLICIES[self.policy]
+        if assigner is None:
+            if not taskset.priorities_assigned():
+                raise ModelError(
+                    f"scenario {self.name!r}: policy 'as_given' needs a "
+                    "source with pre-assigned priorities"
+                )
+        else:
+            result = assigner(taskset.copy())
+            if result.priorities is None:
+                return ScenarioInstance(
+                    scenario=self.name,
+                    index=index,
+                    seed=seed,
+                    analysis=None,
+                    simulation=None,
+                    control=None,
+                    assigned=False,
+                    sim_seed=0,
+                )
+            taskset = result.apply_to(taskset)
+
+        if control is None:
+            control = self._pick_control(taskset, rng)
+
+        analysis, simulation = taskset, taskset
+        for perturbation in self.perturbations:
+            analysis, simulation, control = perturbation.apply(
+                analysis, simulation, control, rng
+            )
+
+        sim_seed = int(rng.integers(2**31))
+        return ScenarioInstance(
+            scenario=self.name,
+            index=index,
+            seed=seed,
+            analysis=analysis,
+            simulation=simulation,
+            control=control,
+            assigned=True,
+            sim_seed=sim_seed,
+        )
+
+    def _pick_control(self, taskset: TaskSet, rng: np.random.Generator) -> str:
+        if self.control == "lowest":
+            return min(taskset, key=lambda t: t.priority).name
+        if self.control == "random":
+            return str(rng.choice([t.name for t in taskset]))
+        return taskset.by_name(self.control).name
+
+    def execution_model(
+        self, instance: ScenarioInstance, rng: np.random.Generator
+    ) -> ExecutionTimeModel:
+        """Build the instance's execution model, with perturbation wraps."""
+        model: ExecutionTimeModel = EXECUTION_MODELS[self.execution]()
+        for perturbation in self.perturbations:
+            model = perturbation.execution_model(
+                model, instance.simulation, instance.control, rng
+            )
+        return model

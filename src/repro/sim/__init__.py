@@ -19,11 +19,18 @@ records and response-time statistics), :mod:`~repro.sim.cosim`
 """
 
 from repro.sim.fpps import simulate_fpps
+from repro.sim.reference import (
+    ReferenceTrajectory,
+    discrete_closed_loop,
+    zero_jitter_discrepancy,
+)
 from repro.sim.trace import JobRecord, Trace
 from repro.sim.workload import (
     BestCaseExecution,
+    BurstyExecution,
     ConstantExecution,
     ExecutionTimeModel,
+    OverloadWindow,
     UniformExecution,
     WorstCaseExecution,
     per_task_execution,
@@ -38,5 +45,10 @@ __all__ = [
     "BestCaseExecution",
     "ConstantExecution",
     "UniformExecution",
+    "BurstyExecution",
+    "OverloadWindow",
     "per_task_execution",
+    "ReferenceTrajectory",
+    "discrete_closed_loop",
+    "zero_jitter_discrepancy",
 ]

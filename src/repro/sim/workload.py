@@ -71,6 +71,65 @@ class UniformExecution(ExecutionTimeModel):
         return float(rng.uniform(task.bcet, task.wcet))
 
 
+class BurstyExecution(ExecutionTimeModel):
+    """Periodic bursts: WCET every ``burst_every``-th job, BCET otherwise.
+
+    Models bursty interference (interrupt storms, cache-cold activations):
+    the task is cheap most of the time but periodically hits its worst
+    case.  The analysis side still charges WCET on every activation, so
+    bursty behaviour within ``[c^b, c^w]`` keeps analytic verdicts sound.
+    """
+
+    def __init__(self, burst_every: int, phase: int = 0):
+        if burst_every < 1:
+            raise ModelError(f"burst_every must be >= 1, got {burst_every}")
+        self._burst_every = burst_every
+        self._phase = phase
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        if (job_index + self._phase) % self._burst_every == 0:
+            return task.wcet
+        return task.bcet
+
+
+class OverloadWindow(ExecutionTimeModel):
+    """Transient overload: one task overruns its WCET for a job window.
+
+    Jobs ``start_job <= j < start_job + n_jobs`` of ``task_name`` execute
+    for ``factor * wcet`` -- deliberately *outside* the analysed
+    ``[c^b, c^w]`` interval (``factor > 1``), which is the point: the
+    analysis never sees the overload, so this model stresses how analytic
+    verdicts degrade when the execution-time contract is broken.  All
+    other jobs and tasks fall through to ``base``.
+    """
+
+    def __init__(
+        self,
+        base: ExecutionTimeModel,
+        task_name: str,
+        factor: float,
+        start_job: int = 0,
+        n_jobs: int = 1,
+    ):
+        if factor <= 0:
+            raise ModelError(f"overload factor must be positive, got {factor}")
+        if n_jobs < 1:
+            raise ModelError(f"overload window needs n_jobs >= 1, got {n_jobs}")
+        self._base = base
+        self._task_name = task_name
+        self._factor = factor
+        self._start_job = start_job
+        self._n_jobs = n_jobs
+
+    def sample(self, task: Task, job_index: int, rng: np.random.Generator) -> float:
+        if (
+            task.name == self._task_name
+            and self._start_job <= job_index < self._start_job + self._n_jobs
+        ):
+            return task.wcet * self._factor
+        return self._base.sample(task, job_index, rng)
+
+
 class _PerTask(ExecutionTimeModel):
     def __init__(self, models: Dict[str, ExecutionTimeModel], default: ExecutionTimeModel):
         self._models = dict(models)

@@ -16,7 +16,7 @@ Contract: a spec's records are byte-identical across ``jobs=1`` and
 from ``(seed, item)`` alone.
 """
 
-from repro.sweep.executor import SweepError, run_sweep
+from repro.sweep.executor import SweepError, resolve_jobs, run_sweep
 from repro.sweep.result import SweepResult
 from repro.sweep.spec import SweepSpec, SweepWorker
 
@@ -25,5 +25,6 @@ __all__ = [
     "SweepWorker",
     "SweepResult",
     "SweepError",
+    "resolve_jobs",
     "run_sweep",
 ]

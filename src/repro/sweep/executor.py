@@ -65,6 +65,31 @@ class SweepError(ReproError):
     """A sweep could not complete (worker failure or bad cache state)."""
 
 
+def resolve_jobs(jobs) -> int:
+    """Resolve a job-count request to a concrete worker count.
+
+    ``None``, ``0`` and ``"auto"`` (case-insensitive) resolve to
+    ``os.cpu_count()`` so multi-core hosts scale without hand-tuning;
+    positive integers pass through; anything else is a :class:`SweepError`.
+    """
+    if jobs is None:
+        return os.cpu_count() or 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise SweepError(
+                f"jobs must be a positive integer, 0, or 'auto'; got {jobs!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise SweepError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return int(jobs)
+
+
 def _execute_chunk(
     worker: SweepWorker,
     chunk_index: int,
@@ -156,15 +181,16 @@ def run_sweep(
     jobs:
         ``1`` runs chunks in-process (no pool, no pickling); ``N > 1``
         uses a :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
-        workers.  The records are identical either way -- that is the
-        engine's core guarantee, enforced by the determinism tests.
+        workers; ``0``, ``None`` or ``"auto"`` resolve to
+        ``os.cpu_count()`` (see :func:`resolve_jobs`).  The records are
+        identical at every level -- that is the engine's core guarantee,
+        enforced by the determinism tests.
     cache_dir:
         Directory for per-chunk cache files.  Computed chunks are always
         stored when given; ``resume=True`` additionally *loads* chunks
         whose fingerprint matches instead of recomputing them.
     """
-    if jobs < 1:
-        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    jobs = resolve_jobs(jobs)
     fingerprint = spec.fingerprint()
     start = time.perf_counter()
     chunk_list = list(spec.chunks())

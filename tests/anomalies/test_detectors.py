@@ -30,10 +30,10 @@ class TestPriorityRaiseDetector:
     def test_pinned_instance_exact_numbers(self, anomaly_instance):
         taskset, name = anomaly_instance
         before, after = jitter_after_priority_raise(taskset, name)
-        assert before.latency == pytest.approx(10.19)
-        assert before.jitter == pytest.approx(3.16)
-        assert after.latency == pytest.approx(8.58)
-        assert after.jitter == pytest.approx(3.73)
+        assert before.latency == pytest.approx(8.35)
+        assert before.jitter == pytest.approx(2.24)
+        assert after.latency == pytest.approx(6.49)
+        assert after.jitter == pytest.approx(2.98)
 
     def test_pinned_instance_is_destabilising(self, anomaly_instance):
         taskset, name = anomaly_instance
@@ -41,8 +41,8 @@ class TestPriorityRaiseDetector:
             e for e in priority_raise_anomalies(taskset) if e.task_name == name
         )
         assert event.destabilising
-        assert event.slack_before == pytest.approx(0.03, abs=1e-9)
-        assert event.slack_after == pytest.approx(-0.07, abs=1e-9)
+        assert event.slack_before == pytest.approx(0.1028, abs=1e-9)
+        assert event.slack_after == pytest.approx(-0.0944, abs=1e-9)
 
     def test_monotone_instance_has_no_anomaly(self, three_task_set):
         # Constant-rate trio: raising priorities behaves intuitively.

@@ -6,6 +6,8 @@ import pytest
 
 from repro.anomalies.detectors import priority_raise_anomalies
 from repro.anomalies.scenarios import (
+    FIXTURE_SEARCH_SEED,
+    FIXTURE_SEARCH_TRIALS,
     find_priority_raise_anomaly,
     priority_raise_anomaly_example,
 )
@@ -30,6 +32,34 @@ class TestPinnedExample:
         mine = [e for e in events if e.task_name == name]
         assert len(mine) == 1
         assert mine[0].destabilising
+
+
+class TestProvenance:
+    """The docstring's provenance claim, enforced: the pinned seeded search
+    reproduces the fixture parameter-for-parameter."""
+
+    def test_seeded_search_reproduces_pinned_fixture(self):
+        found = find_priority_raise_anomaly(
+            trials=FIXTURE_SEARCH_TRIALS,
+            seed=FIXTURE_SEARCH_SEED,
+            fixture_shaped=True,
+        )
+        fixture, name = priority_raise_anomaly_example()
+        assert found is not None
+        assert [
+            (t.name, t.period, t.wcet, t.bcet, t.priority) for t in found
+        ] == [(t.name, t.period, t.wcet, t.bcet, t.priority) for t in fixture]
+        assert found.by_name(name).stability == fixture.by_name(name).stability
+
+    def test_fixture_shaped_hits_are_destabilising_and_valid(self):
+        found = find_priority_raise_anomaly(
+            trials=FIXTURE_SEARCH_TRIALS,
+            seed=FIXTURE_SEARCH_SEED,
+            fixture_shaped=True,
+        )
+        assert validate_assignment(found).valid
+        events = priority_raise_anomalies(found)
+        assert any(e.task_name == "ctl" and e.destabilising for e in events)
 
 
 @pytest.mark.slow

@@ -68,6 +68,61 @@ class TestCli:
         assert main(["table1", "--benchmarks", "3", "--jobs", "1"]) == 0
         assert "Table I" in capsys.readouterr().out
 
+    def test_jobs_auto_accepted(self, capsys):
+        assert main(["table1", "--benchmarks", "3", "--jobs", "auto"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_jobs_zero_means_auto(self, capsys):
+        assert main(["table1", "--benchmarks", "3", "--jobs", "0"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_jobs_garbage_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--benchmarks", "3", "--jobs", "many"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--benchmarks", "3", "--jobs", "-2"])
+
+
+@pytest.mark.scenario
+class TestScenariosCli:
+    def test_list_shows_catalogue(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_priority_raise" in out
+        assert "smoke_single_loop" in out
+        assert "Registered scenarios" in out
+
+    def test_run_prints_analytic_verdicts(self, capsys):
+        assert main(
+            ["scenarios", "run", "paper_priority_raise", "--instances", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "UNSTABLE" in out
+        assert "analytic verdict" in out
+
+    def test_validate_smoke_scenario(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        argv = [
+            "scenarios", "validate", "smoke_single_loop",
+            "--instances", "2", "--horizon-periods", "40",
+            "--jobs", "auto", "--out", str(out_file),
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "verdict: OK" in printed
+        report = json.loads(out_file.read_text())
+        assert report["ok"] is True
+        assert report["cells"]["stable_confirmed"] == 2
+
+    def test_validate_requires_name_or_all(self, capsys):
+        assert main(["scenarios", "validate"]) == 2
+
+    def test_unknown_scenario_errors(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="known scenarios"):
+            main(["scenarios", "run", "nope"])
+
 
 @pytest.mark.sweep
 class TestSweepCli:
@@ -81,6 +136,19 @@ class TestSweepCli:
         assert artifact["name"] == "fig4"
         assert len(artifact["records"]) == 9
         assert artifact["canonical_sha256"]
+
+    def test_sweep_scenarios_target(self, tmp_path, capsys):
+        out = tmp_path / "scen.json"
+        argv = [
+            "sweep", "scenarios", "--scenario", "smoke_single_loop",
+            "--instances", "2", "--horizon-periods", "40", "--out", str(out),
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "verdict: OK" in printed
+        artifact = json.loads(out.read_text())
+        assert artifact["name"] == "scenario-smoke_single_loop"
+        assert len(artifact["records"]) == 2
 
     def test_sweep_cache_resume(self, tmp_path, capsys):
         cache = tmp_path / "cache"

@@ -1,0 +1,88 @@
+"""Tests of the named scenario catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios.registry import _REGISTRY
+
+pytestmark = pytest.mark.scenario
+
+
+class TestCatalogue:
+    def test_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_names_sorted_and_unique(self):
+        names = scenario_names()
+        assert list(names) == sorted(set(names))
+
+    def test_flagship_entries_present(self):
+        names = scenario_names()
+        assert "paper_priority_raise" in names
+        assert "smoke_single_loop" in names
+        assert "deep_violation" in names
+
+    def test_every_scenario_has_description_and_axes(self):
+        for spec in all_scenarios():
+            assert spec.description
+            assert spec.axes_summary()
+
+    def test_stress_scenarios_carry_sim_only_perturbations(self):
+        for spec in all_scenarios():
+            if spec.expectation == "stress":
+                assert any(p.sim_only for p in spec.perturbations), spec.name
+
+    def test_sound_scenarios_carry_no_sim_only_perturbations(self):
+        for spec in all_scenarios():
+            if spec.expectation == "sound":
+                assert not any(p.sim_only for p in spec.perturbations), spec.name
+
+    def test_unknown_name_has_helpful_error(self):
+        with pytest.raises(ModelError, match="known scenarios"):
+            get_scenario("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("smoke_single_loop")
+        with pytest.raises(ModelError, match="already registered"):
+            register(spec)
+
+    def test_register_and_lookup_roundtrip(self):
+        spec = ScenarioSpec(
+            name="test_roundtrip_entry",
+            description="test",
+            source=get_scenario("smoke_single_loop").source,
+        )
+        try:
+            register(spec)
+            assert get_scenario("test_roundtrip_entry") is spec
+        finally:
+            _REGISTRY.pop("test_roundtrip_entry", None)
+
+
+class TestCatalogueInstances:
+    @pytest.mark.parametrize("name", ["paper_priority_raise", "smoke_single_loop", "deep_violation"])
+    def test_fixed_scenarios_generate(self, name):
+        spec = get_scenario(name)
+        instance = spec.instance(0, seed=7)
+        assert instance.assigned
+        assert instance.analysis.by_name(instance.control) is not None
+
+    def test_paper_scenario_is_the_pinned_anomaly_after_raise(self):
+        from repro.anomalies.scenarios import priority_raise_anomaly_example
+
+        fixture, victim = priority_raise_anomaly_example()
+        instance = get_scenario("paper_priority_raise").instance(0, seed=7)
+        # The raise swapped ctl above mid: priorities differ, parameters match.
+        assert instance.control == victim
+        assert instance.analysis.by_name("ctl").priority == 2
+        assert instance.analysis.by_name("mid").priority == 1
+        assert instance.analysis.by_name("ctl").wcet == fixture.by_name("ctl").wcet

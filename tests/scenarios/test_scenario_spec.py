@@ -1,0 +1,199 @@
+"""Tests of scenario specs, sources, and perturbation composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.rta.taskset import Task, TaskSet
+from repro.scenarios import (
+    BenchmarkSource,
+    BurstyInterference,
+    ClockDrift,
+    DroppedJobs,
+    FixedSource,
+    PriorityShift,
+    ScenarioSpec,
+    TransientOverload,
+    WcetInflation,
+)
+from repro.sim.trace import JobRecord, Trace
+
+pytestmark = pytest.mark.scenario
+
+
+def _fixed_pair():
+    ts = TaskSet(
+        [
+            Task(name="hi", period=4.0, wcet=1.0, bcet=0.5, priority=3),
+            Task(name="me", period=8.0, wcet=2.0, bcet=1.0, priority=2),
+            Task(name="lo", period=16.0, wcet=3.0, bcet=2.0, priority=1),
+        ]
+    )
+    return ts, "lo"
+
+
+def _fixed_spec(**overrides):
+    kwargs = dict(
+        name="test_fixed",
+        description="test",
+        source=FixedSource(_fixed_pair),
+        policy="as_given",
+        execution="uniform",
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError, match="policy"):
+            _fixed_spec(policy="alphabetical")
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ModelError, match="execution"):
+            _fixed_spec(execution="median")
+
+    def test_bad_expectation_rejected(self):
+        with pytest.raises(ModelError, match="expectation"):
+            _fixed_spec(expectation="hopeful")
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ModelError, match="band"):
+            _fixed_spec(band=1.5)
+
+
+class TestInstanceGeneration:
+    def test_fixed_source_returns_pinned_set(self):
+        instance = _fixed_spec().instance(0, seed=7)
+        assert instance.assigned
+        assert instance.control == "lo"
+        assert [t.name for t in instance.analysis] == ["hi", "me", "lo"]
+        assert not instance.sim_only_gap
+
+    def test_deterministic_per_index(self):
+        spec = ScenarioSpec(
+            name="test_bench",
+            description="test",
+            source=BenchmarkSource(),
+            policy="rate_monotonic",
+        )
+        a = spec.instance(3, seed=11)
+        b = spec.instance(3, seed=11)
+        assert [
+            (t.name, t.period, t.wcet, t.bcet, t.priority) for t in a.analysis
+        ] == [(t.name, t.period, t.wcet, t.bcet, t.priority) for t in b.analysis]
+        assert a.sim_seed == b.sim_seed
+
+    def test_indices_vary_independently_of_order(self):
+        spec = ScenarioSpec(
+            name="test_bench2",
+            description="test",
+            source=BenchmarkSource(),
+            policy="rate_monotonic",
+        )
+        late_first = spec.instance(5, seed=11)
+        early = spec.instance(0, seed=11)
+        late_again = spec.instance(5, seed=11)
+        assert [t.wcet for t in late_first.analysis] == [
+            t.wcet for t in late_again.analysis
+        ]
+        assert [t.wcet for t in early.analysis] != [
+            t.wcet for t in late_first.analysis
+        ]
+
+    def test_benchmark_source_assigns_and_picks_lowest(self):
+        spec = ScenarioSpec(
+            name="test_bench3",
+            description="test",
+            source=BenchmarkSource(n_tasks=(3, 3)),
+            policy="rate_monotonic",
+        )
+        instance = spec.instance(0, seed=7)
+        assert instance.assigned
+        assert len(instance.analysis) == 3
+        lowest = min(instance.analysis, key=lambda t: t.priority)
+        assert instance.control == lowest.name
+
+    def test_as_given_requires_priorities(self):
+        def unprioritised():
+            return TaskSet([Task(name="a", period=1.0, wcet=0.1)]), "a"
+
+        spec = _fixed_spec(source=FixedSource(unprioritised))
+        with pytest.raises(ModelError, match="as_given"):
+            spec.instance(0, seed=7)
+
+
+class TestPerturbations:
+    def test_priority_shift_raises_control(self):
+        spec = _fixed_spec(perturbations=(PriorityShift(levels=1),))
+        instance = spec.instance(0, seed=7)
+        assert instance.analysis.by_name("lo").priority == 2
+        assert instance.analysis.by_name("me").priority == 1
+
+    def test_priority_shift_saturates_at_top(self):
+        spec = _fixed_spec(perturbations=(PriorityShift(levels=10),))
+        instance = spec.instance(0, seed=7)
+        assert instance.analysis.by_name("lo").priority == 3
+
+    def test_wcet_inflation_spares_control_and_clamps(self):
+        spec = _fixed_spec(perturbations=(WcetInflation(factor=10.0),))
+        instance = spec.instance(0, seed=7)
+        assert instance.analysis.by_name("lo").wcet == 3.0
+        assert instance.analysis.by_name("hi").wcet == 4.0  # clamped to period
+        assert not instance.sim_only_gap
+
+    def test_bursty_interference_adds_top_priority_task(self):
+        spec = _fixed_spec(perturbations=(BurstyInterference(),))
+        instance = spec.instance(0, seed=7)
+        burst = instance.analysis.by_name("burst")
+        assert burst.priority == 4
+        assert burst.period == pytest.approx(0.25 * 16.0)
+        assert not instance.sim_only_gap  # visible in both views
+
+    def test_clock_drift_opens_sim_only_gap(self):
+        spec = _fixed_spec(
+            perturbations=(ClockDrift(factor=0.97),), expectation="stress"
+        )
+        instance = spec.instance(0, seed=7)
+        assert instance.sim_only_gap
+        assert instance.analysis.by_name("hi").period == 4.0
+        assert instance.simulation.by_name("hi").period == pytest.approx(3.88)
+        # control task untouched: controller and plant stay synchronised
+        assert instance.simulation.by_name("lo").period == 16.0
+
+    def test_transient_overload_exceeds_wcet_in_window(self):
+        spec = _fixed_spec(
+            perturbations=(TransientOverload(factor=2.0, n_jobs=3, max_start_job=1),),
+            expectation="stress",
+        )
+        instance = spec.instance(0, seed=7)
+        rng = np.random.default_rng(0)
+        model = spec.execution_model(instance, rng)
+        hi = instance.simulation.by_name("hi")
+        assert model.sample(hi, 0, rng) == pytest.approx(2.0)
+        assert model.sample(hi, 10, rng) <= hi.wcet + 1e-12
+
+    def test_dropped_jobs_filters_control_records(self):
+        perturbation = DroppedJobs(every=2)
+        records = [
+            JobRecord("lo", j, float(j), 1.0, float(j), float(j) + 1.0)
+            for j in range(6)
+        ] + [JobRecord("hi", 0, 0.0, 0.5, 0.0, 0.5)]
+        trace = Trace(duration=10.0, records=records)
+        filtered = perturbation.filter_trace(
+            trace, "lo", np.random.default_rng(0)
+        )
+        assert len(filtered.jobs_of("lo")) == 3
+        assert len(filtered.jobs_of("hi")) == 1
+
+    def test_bad_perturbation_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            WcetInflation(factor=0.9)
+        with pytest.raises(ModelError):
+            DroppedJobs(every=1)
+        with pytest.raises(ModelError):
+            ClockDrift(factor=1.0)
+        with pytest.raises(ModelError):
+            TransientOverload(factor=0.5)

@@ -1,0 +1,72 @@
+"""Zero-jitter sanity bugcheck: cosim == pure discrete-time LQG loop.
+
+An unloaded periodic control task with constant execution time has zero
+response-time jitter, so the event-driven co-simulation must reproduce
+the textbook sampled closed loop exactly (up to the numerical noise of
+two matrix-exponential code paths).  This pins the cosim/analysis
+correspondence at the trivial point; the Monte-Carlo scenario validation
+relies on that correspondence at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.reference import discrete_closed_loop, zero_jitter_discrepancy
+
+
+class TestZeroJitterBugcheck:
+    def test_cosim_matches_discrete_loop_zero_delay_limit(self, dc_servo_plant, dc_servo_design):
+        # Tiny execution time: essentially the delay-free textbook loop.
+        gap = zero_jitter_discrepancy(
+            dc_servo_plant.state_space(),
+            dc_servo_design,
+            1e-5,
+            200,
+            x0=[0.01, 0.0],
+        )
+        assert gap < 1e-9
+
+    def test_cosim_matches_discrete_loop_large_constant_delay(self, dc_servo_plant, dc_servo_design):
+        # Half a period of constant delay: the Gamma1 channel is active,
+        # so this exercises the held-input split, not just Phi.
+        h = dc_servo_design.problem.h
+        gap = zero_jitter_discrepancy(
+            dc_servo_plant.state_space(),
+            dc_servo_design,
+            0.5 * h,
+            200,
+            x0=[0.01, 0.0],
+        )
+        assert gap < 1e-9
+
+    def test_reference_trajectory_regulates(self, dc_servo_plant, dc_servo_design):
+        trajectory = discrete_closed_loop(
+            dc_servo_plant.state_space(),
+            dc_servo_design,
+            1e-4,
+            500,
+            x0=[0.01, 0.0],
+        )
+        assert abs(trajectory.outputs[-1]) < abs(trajectory.outputs[0])
+        assert np.all(np.isfinite(trajectory.state_norms))
+
+    def test_execution_time_must_fit_in_period(self, dc_servo_plant, dc_servo_design):
+        h = dc_servo_design.problem.h
+        with pytest.raises(ModelError):
+            discrete_closed_loop(
+                dc_servo_plant.state_space(), dc_servo_design, h, 10
+            )
+
+    def test_discrete_plant_rejected(self, dc_servo_plant, dc_servo_design):
+        from repro.lti.discretize import c2d_zoh
+
+        with pytest.raises(ModelError):
+            discrete_closed_loop(
+                c2d_zoh(dc_servo_plant.state_space(), 0.006),
+                dc_servo_design,
+                1e-4,
+                10,
+            )

@@ -7,7 +7,7 @@ import os
 
 import pytest
 
-from repro.sweep import SweepError, SweepResult, SweepSpec, run_sweep
+from repro.sweep import SweepError, SweepResult, SweepSpec, resolve_jobs, run_sweep
 from repro.sweep._testing import (
     failing_worker,
     seeded_draw_worker,
@@ -126,7 +126,34 @@ class TestFailurePropagation:
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(SweepError, match="jobs"):
-            run_sweep(self._failing_spec(), jobs=0)
+            run_sweep(self._failing_spec(), jobs=-1)
+
+
+class TestJobsResolution:
+    def test_positive_integers_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_auto_and_zero_resolve_to_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs("AUTO") == expected
+
+    def test_numeric_strings_accepted(self):
+        assert resolve_jobs("3") == 3
+        assert resolve_jobs("0") == os.cpu_count() or 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SweepError, match="jobs"):
+            resolve_jobs("many")
+        with pytest.raises(SweepError, match="jobs"):
+            resolve_jobs(-2)
+
+    def test_run_sweep_accepts_zero_as_auto(self):
+        result = run_sweep(_draw_spec(), jobs=0)
+        assert result.meta["jobs"] == (os.cpu_count() or 1)
 
 
 class TestResultArtifact:
