@@ -7,18 +7,19 @@ This walks the full pipeline of the paper on a tiny system:
 3. derive each loop's stability constraint ``L + aJ <= b`` from the
    jitter-margin analysis (paper eq. (5) / Fig. 4);
 4. assign fixed priorities with the paper's backtracking Algorithm 1;
-5. validate the assignment with the exact response-time interface
-   (eqs. (2)-(4)).
+5. analyse the system through the unified façade (``repro.api``): the
+   exact response-time interface (eqs. (2)-(4)) plus the stability
+   verdicts, in one typed report.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.assignment import assign_backtracking, validate_assignment
+from repro.api import ControlTaskSystem, analyze
 from repro.control import get_plant
 from repro.jittermargin import stability_bound_for_plant
-from repro.rta import Task, TaskSet, response_time_interface
+from repro.rta import Task, TaskSet
 
 
 def main() -> None:
@@ -56,26 +57,22 @@ def main() -> None:
     )
     print(f"\nTotal worst-case utilisation: {tasks.utilization:.2f}")
 
-    result = assign_backtracking(tasks)
-    if result.priorities is None:
-        raise SystemExit("no valid priority assignment exists")
-    print(f"\nAlgorithm 1 found priorities in {result.evaluations} "
-          f"constraint evaluations ({result.backtracks} backtracks):")
-    for name, priority in sorted(result.priorities.items(), key=lambda kv: -kv[1]):
-        print(f"  priority {priority}: {name}")
-
-    # -- 5: exact validation ---------------------------------------------
-    assigned = result.apply_to(tasks)
-    report = validate_assignment(assigned)
-    print(f"\nassignment valid: {report.valid}")
-    print("per-task response-time interface (paper eq. (2)):")
-    for name, times in response_time_interface(assigned).items():
-        bound = assigned.by_name(name).stability
-        slack = bound.slack(times.latency, times.jitter)
+    # -- 4+5: one façade call: assign (Algorithm 1) + analyse ------------
+    system = ControlTaskSystem(
+        taskset=tasks, name="quickstart", priority_policy="backtracking"
+    )
+    report = analyze(system)
+    print(f"\nassignment valid: {report.stable}")
+    print("per-task verdicts (paper eq. (2) interface + eq. (5) bound):")
+    for verdict in sorted(report.verdicts, key=lambda v: -v.priority):
         print(
-            f"  {name:10s} L={times.latency * 1e3:7.3f} ms  "
-            f"J={times.jitter * 1e3:7.3f} ms  slack={slack * 1e3:+7.3f} ms"
+            f"  priority {verdict.priority}: {verdict.name:10s} "
+            f"L={verdict.latency * 1e3:7.3f} ms  "
+            f"J={verdict.jitter * 1e3:7.3f} ms  "
+            f"slack={verdict.slack * 1e3:+7.3f} ms"
         )
+    print("\nfull report:")
+    print(report.render())
 
 
 if __name__ == "__main__":

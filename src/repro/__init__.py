@@ -22,21 +22,40 @@ The library spans the paper's whole pipeline:
 * :mod:`repro.benchgen` -- the UUniFast-based benchmark protocol of sec. V.
 * :mod:`repro.experiments` -- drivers regenerating every table and figure.
 
+* :mod:`repro.api` -- **the unified analysis façade**: one typed entry
+  point (:class:`ControlTaskSystem` -> :func:`analyze` ->
+  :class:`AnalysisReport`) from system model to stability verdict, with
+  a versioned canonical JSON schema and sweep-parallel
+  :func:`analyze_batch`.
+
 Quickstart::
 
-    from repro import Task, TaskSet, LinearStabilityBound
-    from repro.assignment import assign_backtracking, validate_assignment
+    from repro import ControlTaskSystem, Task, TaskSet, analyze
+    from repro import LinearStabilityBound
 
-    tasks = TaskSet([
-        Task("roll",  period=0.01, wcet=0.002, bcet=0.001,
-             stability=LinearStabilityBound(a=1.2, b=0.008)),
-        Task("pitch", period=0.02, wcet=0.005, bcet=0.002,
-             stability=LinearStabilityBound(a=1.1, b=0.015)),
-    ])
-    result = assign_backtracking(tasks)
-    print(result.priorities, validate_assignment(result.apply_to(tasks)).valid)
+    system = ControlTaskSystem(
+        taskset=TaskSet([
+            Task("roll",  period=0.01, wcet=0.002, bcet=0.001,
+                 stability=LinearStabilityBound(a=1.2, b=0.008)),
+            Task("pitch", period=0.02, wcet=0.005, bcet=0.002,
+                 stability=LinearStabilityBound(a=1.1, b=0.015)),
+        ]),
+        priority_policy="backtracking",
+    )
+    report = analyze(system)
+    print(report.stable, report.task("roll").slack)
 """
 
+from repro.api import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    ControlTaskSystem,
+    TaskVerdict,
+    analyze,
+    analyze_batch,
+    task_verdict,
+    verdict_from_times,
+)
 from repro.errors import (
     DimensionError,
     ModelError,
@@ -49,12 +68,34 @@ from repro.errors import (
 from repro.jittermargin.linearbound import LinearStabilityBound
 from repro.rta.taskset import Task, TaskSet
 
-__version__ = "1.0.0"
+# -- deprecation-noted aliases -------------------------------------------
+# Kept importable for scripts written against the pre-façade surface; new
+# code should use the repro.api entry points above, which return the same
+# verdicts in the typed report schema.
+from repro.assignment.validate import validate_assignment  # noqa: F401  (alias of analyze().stable per task)
+from repro.rta.batch import analyze_taskset  # noqa: F401  (use analyze())
+from repro.rta.batch import batch_validate  # noqa: F401  (use analyze_batch())
+from repro.rta.interface import response_time_interface  # noqa: F401  (use analyze().verdicts)
+from repro.rta.interface import taskset_is_schedulable  # noqa: F401  (use analyze().schedulable)
+from repro.rta.interface import taskset_is_stable  # noqa: F401  (use analyze().stable)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    # the analysis façade
+    "ControlTaskSystem",
+    "AnalysisReport",
+    "TaskVerdict",
+    "analyze",
+    "analyze_batch",
+    "task_verdict",
+    "verdict_from_times",
+    "SCHEMA_VERSION",
+    # the task model
     "Task",
     "TaskSet",
     "LinearStabilityBound",
+    # errors
     "ReproError",
     "DimensionError",
     "ModelError",
@@ -62,5 +103,12 @@ __all__ = [
     "RiccatiError",
     "ScheduleError",
     "UnstableLoopError",
+    # deprecated aliases (pre-façade surface)
+    "validate_assignment",
+    "analyze_taskset",
+    "batch_validate",
+    "response_time_interface",
+    "taskset_is_schedulable",
+    "taskset_is_stable",
     "__version__",
 ]

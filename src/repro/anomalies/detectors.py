@@ -26,8 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.service import task_verdict
 from repro.errors import ModelError
-from repro.rta.interface import ResponseTimes, latency_jitter
+from repro.rta.interface import ResponseTimes
 from repro.rta.taskset import Task, TaskSet
 
 
@@ -60,11 +61,14 @@ class AnomalyEvent:
 def _interface_and_slack(
     task: Task, hp: Sequence[Task]
 ) -> Tuple[ResponseTimes, Optional[float]]:
-    times = latency_jitter(task, hp)
-    if task.stability is None or not times.finite:
-        slack = None if task.stability is None else float("-inf")
-        return times, slack
-    return times, task.stability.slack(times.latency, times.jitter)
+    """One task's interface + slack, through the analysis façade.
+
+    The verdict's ``slack`` convention (``None`` without a bound,
+    ``-inf`` for bounded deadline-missers) is exactly what
+    :func:`_is_worse` compares.
+    """
+    verdict = task_verdict(task, hp)
+    return verdict.times, verdict.slack
 
 
 def jitter_after_priority_raise(
@@ -79,10 +83,12 @@ def jitter_after_priority_raise(
     taskset.check_distinct_priorities()
     task = taskset.by_name(task_name)
     above = _task_one_level_above(taskset, task)
-    before = latency_jitter(task, taskset.higher_priority(task))
+    before = task_verdict(task, taskset.higher_priority(task)).times
     swapped = _swap_priorities(taskset, task.name, above.name)
     task_after = swapped.by_name(task_name)
-    after = latency_jitter(task_after, swapped.higher_priority(task_after))
+    after = task_verdict(
+        task_after, swapped.higher_priority(task_after)
+    ).times
     return before, after
 
 

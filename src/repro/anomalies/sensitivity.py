@@ -30,8 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.service import analyze, task_verdict
 from repro.errors import ModelError
-from repro.rta.interface import latency_jitter
 from repro.rta.taskset import Task, TaskSet
 
 
@@ -61,15 +61,8 @@ def _taskset_with_scaled_task(taskset: TaskSet, name: str, factor: float) -> Opt
 
 def _first_violation(taskset: TaskSet) -> Optional[str]:
     """Name of the first task violating deadline/stability, else ``None``."""
-    for task in taskset:
-        times = latency_jitter(task, taskset.higher_priority(task))
-        if not times.finite:
-            return task.name
-        if task.stability is not None and not task.stability.is_stable(
-            times.latency, times.jitter
-        ):
-            return task.name
-    return None
+    violating = analyze(taskset).violating
+    return violating[0] if violating else None
 
 
 def wcet_scaling_margin(
@@ -237,15 +230,16 @@ def priority_level_margin(taskset: TaskSet, task_name: str) -> PriorityLevelProf
         priorities = {t.name: i + 1 for i, t in enumerate(order)}
         probed = taskset.with_priorities(priorities)
         probed_target = probed.by_name(task_name)
-        times = latency_jitter(
+        verdict = task_verdict(
             probed_target, probed.higher_priority(probed_target)
         )
-        if not times.finite:
+        if not verdict.deadline_met:
             slack = float("-inf")
-        elif target.stability is None:
-            slack = target.period - times.worst
+        elif verdict.slack is None:
+            # No stability bound: headroom to the implicit deadline.
+            slack = target.period - verdict.times.worst
         else:
-            slack = target.stability.slack(times.latency, times.jitter)
+            slack = verdict.slack
         levels.append(level)
         slacks.append(slack)
     return PriorityLevelProfile(

@@ -1,0 +1,63 @@
+"""repro.api -- the unified analysis façade.
+
+One typed entry point from system model to stability verdict: build a
+:class:`ControlTaskSystem` (task set + plant/controller bindings +
+priority policy), call :func:`analyze`, get a frozen
+:class:`AnalysisReport` with per-task :class:`TaskVerdict` detail
+(response times, (L, J) interface, linear-bound slack, stability verdict)
+and the system-level schedulability/stability rollup.  :func:`analyze_batch`
+pushes many systems through the same pipeline on the parallel sweep
+engine.  Reports serialise to a versioned canonical JSON schema
+(``SCHEMA_VERSION`` + ``canonical_sha256``).
+
+Quickstart::
+
+    from repro.api import ControlTaskSystem, analyze
+    from repro import Task, TaskSet, LinearStabilityBound
+
+    system = ControlTaskSystem(
+        taskset=TaskSet([
+            Task("roll",  period=0.01, wcet=0.002, bcet=0.001,
+                 stability=LinearStabilityBound(a=1.2, b=0.008)),
+            Task("pitch", period=0.02, wcet=0.005, bcet=0.002,
+                 stability=LinearStabilityBound(a=1.1, b=0.015)),
+        ]),
+        name="demo",
+        priority_policy="backtracking",
+    )
+    report = analyze(system)
+    print(report.stable, report.task("roll").slack)
+    report.write("report.json")
+
+Scriptable without Python: ``python -m repro analyze system.json``.
+"""
+
+from repro.api.model import PRIORITY_POLICIES, ControlTaskSystem, as_system
+from repro.api.report import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    TaskVerdict,
+    batch_report_dict,
+    write_batch_report,
+)
+from repro.api.service import (
+    analyze,
+    analyze_batch,
+    task_verdict,
+    verdict_from_times,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PRIORITY_POLICIES",
+    "ControlTaskSystem",
+    "AnalysisReport",
+    "TaskVerdict",
+    "analyze",
+    "analyze_batch",
+    "task_verdict",
+    "verdict_from_times",
+    "as_system",
+    "batch_report_dict",
+    "write_batch_report",
+]

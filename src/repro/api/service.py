@@ -1,0 +1,160 @@
+"""The analysis service: system model in, stability verdict out.
+
+Three altitudes, one pipeline (RTA -> (L, J) interface -> jitter-margin
+verdict):
+
+* :func:`verdict_from_times` -- the (L, J) -> margin step alone, for
+  callers that computed response times through a different supply model
+  (the periodic-server analysis);
+* :func:`task_verdict` -- exact single-task analysis against an explicit
+  higher-priority set (the anomaly detectors' and scenario harness's
+  entry point);
+* :func:`analyze` -- a whole :class:`~repro.api.model.ControlTaskSystem`
+  through the batched shared-hp pass of :mod:`repro.rta.batch`, returning
+  a frozen :class:`~repro.api.report.AnalysisReport` (memoised per
+  system);
+* :func:`analyze_batch` -- many systems on the :mod:`repro.sweep` engine,
+  with the engine's jobs-independent determinism, chunk cache, and
+  resume.
+
+Every consumer package routes its stability plumbing through one of these
+instead of re-deriving interface + slack + verdict locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.model import ControlTaskSystem, as_system
+from repro.api.report import AnalysisReport, TaskVerdict
+from repro.rta.batch import analyze_taskset
+from repro.rta.interface import ResponseTimes, latency_jitter
+from repro.rta.taskset import Task, TaskSet
+
+
+def verdict_from_times(task: Task, times: ResponseTimes) -> TaskVerdict:
+    """Judge a task whose response times were computed elsewhere.
+
+    This is the (L, J) -> margin half of the pipeline on its own: the
+    server-design search feeds it interfaces from the periodic-resource
+    analysis; anything with eq. (2)-shaped times can use it.
+    """
+    return TaskVerdict(
+        name=task.name,
+        period=task.period,
+        wcet=task.wcet,
+        bcet=task.bcet,
+        priority=task.priority,
+        times=times,
+        bound=task.stability,
+    )
+
+
+def task_verdict(
+    task: Task,
+    higher_priority: Sequence[Task],
+    *,
+    deadline: Optional[float] = None,
+) -> TaskVerdict:
+    """Exact verdict of one task against an explicit hp-set.
+
+    Runs the scalar response-time analyses (identical numerics to the
+    pre-façade per-task plumbing, which the detector/scenario pinned
+    outputs rely on), then applies the task's stability bound.
+    """
+    times = latency_jitter(task, higher_priority, deadline=deadline)
+    return verdict_from_times(task, times)
+
+
+def analyze(
+    system: Union[ControlTaskSystem, TaskSet],
+    *,
+    name: str = "system",
+) -> AnalysisReport:
+    """Analyse one system: the façade's headline entry point.
+
+    Accepts a :class:`ControlTaskSystem` (bounds derived from plant
+    bindings, priority policy applied, result memoised on the instance)
+    or a bare prioritised :class:`TaskSet`.  The per-task pass runs on
+    the batched shared-hp analysis of :mod:`repro.rta.batch`, so a call
+    costs one priority-ordered sweep regardless of task count.
+    """
+    system = as_system(system, name=name)
+    cached = system.__dict__.get("_cache_report")
+    if cached is not None:
+        return cached
+    taskset = system.resolved_taskset()
+    analysis = analyze_taskset(taskset)
+    verdicts = tuple(
+        TaskVerdict(
+            name=task.name,
+            period=task.period,
+            wcet=task.wcet,
+            bcet=task.bcet,
+            priority=task.priority,
+            times=analysis.times[task.name],
+            bound=task.stability,
+        )
+        for task in taskset
+    )
+    report = AnalysisReport(
+        name=system.name,
+        priority_policy=system.priority_policy,
+        verdicts=verdicts,
+    )
+    object.__setattr__(system, "_cache_report", report)
+    return report
+
+
+def _analyze_worker(
+    item: Dict[str, int], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Sweep worker: analyse one system of the batch (by index).
+
+    Ships the canonical dict *without* the embedded hash -- the hash is
+    recomputable on demand from the reconstructed report, and hashing in
+    the hot loop would double the worker's serialisation cost.
+    """
+    report = analyze(params["systems"][item["k"]])
+    return {"k": item["k"], "report": report._canonical_dict()}
+
+
+def analyze_batch(
+    systems: Sequence[Union[ControlTaskSystem, TaskSet]],
+    *,
+    jobs: int = 1,
+    chunk_size: int = 32,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+) -> List[AnalysisReport]:
+    """Analyse many systems on the sweep engine.
+
+    Reports come back in input order and are byte-identical in canonical
+    form across every ``jobs`` level (the engine's determinism contract);
+    ``cache_dir``/``resume`` give the same warm-restart behaviour as the
+    experiment sweeps.  ``jobs`` accepts ``0``/``"auto"`` for all cores.
+
+    A single-worker run without a cache directory skips the engine and
+    its record round trip entirely -- the serial hot path stays at the
+    raw batched-kernel speed (pinned by ``BENCH_api.json``).
+    """
+    from repro.sweep import SweepSpec, resolve_jobs, run_sweep
+
+    normalised = tuple(
+        as_system(system, name=f"system-{k}")
+        for k, system in enumerate(systems)
+    )
+    if not normalised:
+        return []
+    if resolve_jobs(jobs) == 1 and cache_dir is None:
+        return [analyze(system) for system in normalised]
+    spec = SweepSpec(
+        name="api-analyze",
+        worker=_analyze_worker,
+        items=tuple({"k": k} for k in range(len(normalised))),
+        params={"systems": normalised},
+        chunk_size=chunk_size,
+    )
+    result = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    records = sorted(result.records, key=lambda r: r["k"])
+    return [AnalysisReport.from_dict(record["report"]) for record in records]

@@ -5,14 +5,20 @@ an assignment is valid iff *every* task, under the exact response-time
 interface induced by the full assignment, meets its implicit deadline and
 its stability constraint.  The unsafe algorithms are judged against this,
 never against their own beliefs.
+
+.. deprecated::
+    :func:`validate_assignment` is a thin compatibility wrapper over the
+    unified analysis façade; new code should call
+    :func:`repro.api.analyze`, whose :class:`repro.api.AnalysisReport`
+    carries the same verdicts plus slacks and the canonical JSON schema.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
-from repro.rta.interface import ResponseTimes, latency_jitter
+from repro.rta.interface import ResponseTimes
 from repro.rta.taskset import TaskSet
 
 
@@ -45,19 +51,21 @@ class ValidationReport:
 
 
 def validate_assignment(taskset: TaskSet) -> ValidationReport:
-    """Check deadlines and stability of every task under its priorities."""
-    taskset.check_distinct_priorities()
-    verdicts: Dict[str, TaskVerdict] = {}
-    for task in taskset:
-        times = latency_jitter(task, taskset.higher_priority(task))
-        deadline_met = times.finite
-        if task.stability is None:
-            stable = True
-        elif not deadline_met:
-            stable = False
-        else:
-            stable = task.stability.is_stable(times.latency, times.jitter)
-        verdicts[task.name] = TaskVerdict(
-            times=times, deadline_met=deadline_met, stable=stable
+    """Check deadlines and stability of every task under its priorities.
+
+    Delegates to :func:`repro.api.analyze` (imported lazily: the façade
+    sits above this package) and repackages the per-task verdicts into
+    the legacy report shape.
+    """
+    from repro.api.service import analyze
+
+    report = analyze(taskset)
+    verdicts: Dict[str, TaskVerdict] = {
+        verdict.name: TaskVerdict(
+            times=verdict.times,
+            deadline_met=verdict.deadline_met,
+            stable=verdict.stable,
         )
+        for verdict in report.verdicts
+    }
     return ValidationReport(verdicts=verdicts)

@@ -27,6 +27,19 @@ The ``scenarios`` subcommand drives the declarative scenario catalogue
     python -m repro scenarios validate transient_overload --jobs auto
     python -m repro scenarios validate --all --instances 16 --out reports.json
 
+The ``analyze`` subcommand is the scriptable face of the unified
+analysis façade (:mod:`repro.api`): a system-model JSON file in, the
+versioned :class:`~repro.api.AnalysisReport` schema out::
+
+    python -m repro analyze examples/system.json
+    python -m repro analyze systems.json --out reports.json --jobs auto
+    python -m repro analyze taskset.json --policy backtracking
+
+The input file holds one system (``{"name", "priority_policy",
+"tasks": [...]}``) or many (``{"systems": [...]}`` or a top-level list);
+tasks may carry explicit ``stability`` bounds or a ``plant`` name from
+which the bound is derived.
+
 Every ``--jobs`` option accepts ``auto`` (or ``0``) to use all cores.
 """
 
@@ -222,6 +235,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse cached chunks whose fingerprint matches",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyse system-model JSON through the repro.api façade",
+    )
+    analyze.add_argument(
+        "model", help="system-model JSON file (one system or a batch)"
+    )
+    analyze.add_argument(
+        "--out", type=str, default=None, help="report JSON path"
+    )
+    analyze.add_argument(
+        "--policy",
+        type=str,
+        default=None,
+        help="override the priority policy of every input system "
+        "(as_given, rate_monotonic, slack_monotonic, audsley, "
+        "backtracking, unsafe_quadratic)",
+    )
+    analyze.add_argument(
+        "--name", type=str, default=None, help="override the system name"
+    )
+    _add_jobs_option(analyze)
+
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
 
@@ -359,6 +395,84 @@ def _run_scenarios_command(args: argparse.Namespace) -> int:
     return 0 if all_ok else 2
 
 
+def _run_analyze_command(args: argparse.Namespace) -> int:
+    from repro.api import (
+        ControlTaskSystem,
+        analyze,
+        analyze_batch,
+        write_batch_report,
+    )
+    from repro.errors import ModelError, ReproError
+
+    try:
+        with open(args.model) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        print(f"analyze: cannot read {args.model}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"analyze: {args.model} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+
+    if isinstance(data, list):
+        system_dicts = data
+        batch = True
+    elif isinstance(data, dict) and "systems" in data:
+        system_dicts = data["systems"]
+        batch = True
+    else:
+        system_dicts = [data]
+        batch = False
+
+    if args.name is not None and batch:
+        print(
+            "analyze: --name applies to a single-system model only; "
+            "name batch systems in the input file",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        systems = []
+        for k, entry in enumerate(system_dicts):
+            if not isinstance(entry, dict):
+                raise ModelError(
+                    f"system entry {k} must be an object, got "
+                    f"{type(entry).__name__}"
+                )
+            entry = dict(entry)
+            if args.policy is not None:
+                entry["priority_policy"] = args.policy
+            if args.name is not None:
+                entry["name"] = args.name
+            entry.setdefault("name", f"system-{k}" if batch else "system")
+            systems.append(ControlTaskSystem.from_dict(entry))
+
+        if batch:
+            reports = analyze_batch(systems, jobs=args.jobs)
+        else:
+            reports = [analyze(systems[0])]
+    except ReproError as error:
+        print(f"analyze: {error}", file=sys.stderr)
+        return 2
+
+    for report in reports:
+        print(report.render())
+        print()
+    stable = sum(1 for r in reports if r.stable)
+    print(
+        f"[analyze: {len(reports)} system(s), {stable} stable, "
+        f"{len(reports) - stable} violating]"
+    )
+    if args.out:
+        if batch:
+            write_batch_report(reports, args.out)
+        else:
+            reports[0].write(args.out)
+        print(f"[report written to {args.out}]")
+    return 0 if stable == len(reports) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "all":
@@ -370,6 +484,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep_command(args)
     if args.experiment == "scenarios":
         return _run_scenarios_command(args)
+    if args.experiment == "analyze":
+        return _run_analyze_command(args)
     kwargs = _experiment_kwargs(args.experiment, args)
     kwargs["jobs"] = args.jobs
     print(run_experiment(args.experiment, **kwargs).render())

@@ -26,11 +26,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.api.service import analyze
 from repro.control.jittercost import expected_cost_under_jitter
 from repro.control.lqg import design_lqg_for_plant as _cached_design
 from repro.control.plants import get_plant
 from repro.errors import ModelError, NumericalError, RiccatiError, UnstableLoopError
-from repro.rta.interface import latency_jitter
 from repro.rta.taskset import Task, TaskSet
 
 
@@ -100,20 +100,15 @@ def assignment_control_cost(
     stability bound makes the assignment's total ``inf`` -- quality is
     only compared among *valid* designs, as in [10]/[24].
     """
-    taskset.check_distinct_priorities()
+    report = analyze(taskset)
     per_task: Dict[str, float] = {}
     total = 0.0
-    for task in taskset:
-        times = latency_jitter(task, taskset.higher_priority(task))
-        if not times.finite:
+    for task, verdict in zip(taskset, report.verdicts):
+        if not verdict.deadline_met:
             per_task[task.name] = float("inf")
             total = float("inf")
             continue
-        if (
-            require_stability
-            and task.stability is not None
-            and not task.stability.is_stable(times.latency, times.jitter)
-        ):
+        if require_stability and not verdict.stable:
             per_task[task.name] = float("inf")
             total = float("inf")
             continue
@@ -122,7 +117,7 @@ def assignment_control_cost(
             per_task[task.name] = 0.0
             continue
         cost = task_control_cost(
-            task, times.latency, times.jitter, delay_points=delay_points
+            task, verdict.latency, verdict.jitter, delay_points=delay_points
         )
         per_task[task.name] = cost
         if math.isfinite(total):

@@ -19,10 +19,10 @@ from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.api.service import analyze
 from repro.assignment.unsafe_quadratic import assign_unsafe_quadratic
 from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
 from repro.experiments.report import format_table
-from repro.rta.batch import analyze_taskset
 from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 #: Paper's Table I, for side-by-side rendering.
@@ -69,19 +69,20 @@ def _table1_worker(
     """Generate one benchmark, run Unsafe Quadratic, validate exactly.
 
     Uses the same ``(seed, n, index)`` child-generator protocol as
-    :func:`~repro.benchgen.taskgen.generate_benchmark_suite`, and the
-    batched RTA fast path for validation (equivalence with the per-task
-    validator is pinned by the ``rta.batch`` tests).
+    :func:`~repro.benchgen.taskgen.generate_benchmark_suite`; validation
+    routes through the analysis façade (which runs the batched RTA fast
+    path -- equivalence with the per-task validator is pinned by the
+    ``rta.batch`` and ``api`` tests).
     """
     n, index = item["n"], item["index"]
     rng = np.random.default_rng([seed, n, index])
     taskset = generate_control_taskset(n, rng, config=params.get("config"))
     result = assign_unsafe_quadratic(taskset)
-    analysis = analyze_taskset(result.apply_to(taskset))
+    report = analyze(result.apply_to(taskset))
     return {
         "n": n,
         "index": index,
-        "invalid": not analysis.stable,
+        "invalid": not report.stable,
         "claimed_valid": result.claims_valid,
         "evaluations": result.evaluations,
     }

@@ -198,15 +198,19 @@ def analyze_taskset(taskset: TaskSet) -> TasksetAnalysis:
 def batch_response_times(
     tasksets: Sequence[TaskSet],
 ) -> List[Dict[str, ResponseTimes]]:
-    """Latency/jitter interfaces of a whole chunk of task sets."""
+    """Latency/jitter interfaces of a whole chunk of task sets.
+
+    .. deprecated:: prefer ``repro.api.analyze_batch``, whose reports
+       carry the interfaces plus verdicts and the canonical JSON schema.
+    """
     return [analyze_taskset(ts).times for ts in tasksets]
 
 
 def batch_validate(tasksets: Sequence[TaskSet]) -> List[bool]:
     """Validity (deadlines + stability) of each assigned task set.
 
-    The batched counterpart of running
-    :func:`repro.assignment.validate.validate_assignment` per set -- the
-    fast path of the Table I sweep worker.
+    .. deprecated:: prefer ``[r.stable for r in
+       repro.api.analyze_batch(tasksets)]`` -- same batched kernel, plus
+       per-task detail and sweep-engine parallelism.
     """
     return [analyze_taskset(ts).stable for ts in tasksets]

@@ -90,7 +90,11 @@ def task_is_stable(
 
 
 def taskset_is_schedulable(taskset: TaskSet) -> bool:
-    """All deadlines met (``R^w_i <= h_i``) under the assigned priorities."""
+    """All deadlines met (``R^w_i <= h_i``) under the assigned priorities.
+
+    .. deprecated:: prefer ``repro.api.analyze(taskset).schedulable``,
+       which shares one batched pass with the stability verdict.
+    """
     taskset.check_distinct_priorities()
     return all(
         latency_jitter(task, taskset.higher_priority(task)).finite
@@ -99,7 +103,11 @@ def taskset_is_schedulable(taskset: TaskSet) -> bool:
 
 
 def taskset_is_stable(taskset: TaskSet) -> bool:
-    """All deadlines met and all stability constraints satisfied."""
+    """All deadlines met and all stability constraints satisfied.
+
+    .. deprecated:: prefer ``repro.api.analyze(taskset).stable``, which
+       also reports which tasks violate and by how much.
+    """
     taskset.check_distinct_priorities()
     return all(
         task_is_stable(task, taskset.higher_priority(task)) for task in taskset

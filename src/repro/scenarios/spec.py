@@ -30,12 +30,7 @@ from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.assignment import (
-    assign_audsley,
-    assign_backtracking,
-    assign_rate_monotonic,
-    assign_slack_monotonic,
-)
+from repro.api.model import PRIORITY_POLICIES
 from repro.benchgen.taskgen import BenchmarkConfig, draw_control_taskset
 from repro.errors import ModelError
 from repro.rta.taskset import TaskSet
@@ -54,16 +49,10 @@ EXECUTION_MODELS = {
     "uniform": UniformExecution,
 }
 
-#: Priority-assignment policies selectable by the ``policy`` axis.
-#: ``as_given`` keeps the source's priorities (and rejects sources
-#: without them).
-POLICIES = {
-    "as_given": None,
-    "rate_monotonic": assign_rate_monotonic,
-    "slack_monotonic": assign_slack_monotonic,
-    "audsley": assign_audsley,
-    "backtracking": assign_backtracking,
-}
+#: Priority-assignment policies selectable by the ``policy`` axis --
+#: the analysis façade's registry.  ``as_given`` keeps the source's
+#: priorities (and rejects sources without them).
+POLICIES = PRIORITY_POLICIES
 
 
 @dataclass(frozen=True)

@@ -45,10 +45,10 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.api.service import task_verdict
 from repro.control.lqg import design_lqg_for_plant
 from repro.control.plants import get_plant
 from repro.errors import NumericalError, RiccatiError
-from repro.rta.interface import latency_jitter
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.spec import ScenarioSpec, _name_key
 from repro.sim.cosim import cosimulate_control_task
@@ -70,30 +70,29 @@ _ENVELOPE_EPS = 1e-9
 
 
 def _analytic_block(instance, record: Dict[str, Any]) -> Dict[str, Any]:
-    """Exact interface + verdict of the control task (analysis view)."""
+    """Exact interface + verdict of the control task (analysis view).
+
+    Routed through the analysis façade; the record's slack convention for
+    bound-less tasks (``inf``/``-inf`` by deadline) predates the façade
+    and is preserved for report compatibility.
+    """
     taskset = instance.analysis
     task = taskset.by_name(instance.control)
-    times = latency_jitter(task, taskset.higher_priority(task))
-    record["latency"] = float(times.latency)
-    record["jitter"] = float(times.jitter)
-    record["deadline_met"] = bool(times.finite)
-    bound = task.stability
+    verdict = task_verdict(task, taskset.higher_priority(task))
+    times = verdict.times
+    record["latency"] = float(verdict.latency)
+    record["jitter"] = float(verdict.jitter)
+    record["deadline_met"] = bool(verdict.deadline_met)
+    bound = verdict.bound
     record["has_bound"] = bound is not None
     if bound is None:
-        record["slack"] = math.inf if times.finite else -math.inf
+        record["slack"] = math.inf if verdict.deadline_met else -math.inf
         record["rel_slack"] = record["slack"]
-        record["analytic_stable"] = bool(times.finite)
-    elif not times.finite:
-        record["slack"] = -math.inf
-        record["rel_slack"] = -math.inf
-        record["analytic_stable"] = False
+        record["analytic_stable"] = bool(verdict.deadline_met)
     else:
-        slack = bound.slack(times.latency, times.jitter)
-        record["slack"] = float(slack)
-        record["rel_slack"] = float(slack / max(bound.b, 1e-12))
-        record["analytic_stable"] = bool(
-            bound.is_stable(times.latency, times.jitter)
-        )
+        record["slack"] = float(verdict.slack)
+        record["rel_slack"] = float(verdict.rel_slack)
+        record["analytic_stable"] = bool(verdict.stable)
     return {"times": times, "bound": bound}
 
 

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.service import verdict_from_times
 from repro.errors import ModelError
 from repro.rta.taskset import Task
 from repro.servers.model import PeriodicServer
@@ -77,13 +78,14 @@ def minimum_bandwidth_server(
     for budget in budgets:
         server = PeriodicServer(budget=float(budget), period=server_period)
         evaluations += 1
-        times = server_latency_jitter(server, task, companions)
-        ok = times.finite and task.stability.is_stable(
-            times.latency, times.jitter
+        # Served-supply response times, judged by the same (L, J) -> margin
+        # step of the façade that dedicated-processor analyses use.
+        verdict = verdict_from_times(
+            task, server_latency_jitter(server, task, companions)
         )
-        verdicts.append(ok)
-        if ok:
-            stable.append((float(budget), times.latency, times.jitter))
+        verdicts.append(verdict.ok)
+        if verdict.ok:
+            stable.append((float(budget), verdict.latency, verdict.jitter))
     if not stable:
         return None
     # Non-monotone stability across the grid = a server-budget anomaly.

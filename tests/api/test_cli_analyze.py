@@ -1,0 +1,133 @@
+"""End-to-end tests of ``python -m repro analyze``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import SCHEMA_VERSION
+from repro.cli import main
+
+
+def _system_dict(name="cli-demo"):
+    return {
+        "name": name,
+        "priority_policy": "backtracking",
+        "tasks": [
+            {
+                "name": "ctl",
+                "period": 0.01,
+                "wcet": 0.002,
+                "bcet": 0.001,
+                "stability": {"a": 1.2, "b": 0.008},
+            },
+            {"name": "bg", "period": 0.05, "wcet": 0.01},
+        ],
+    }
+
+
+def test_analyze_single_system(tmp_path, capsys):
+    model = tmp_path / "system.json"
+    model.write_text(json.dumps(_system_dict()))
+    out = tmp_path / "report.json"
+    assert main(["analyze", str(model), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Analysis of 'cli-demo'" in printed
+    assert "1 stable" in printed
+    report = json.loads(out.read_text())
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["stable"] is True
+    assert len(report["canonical_sha256"]) == 64
+
+
+def test_analyze_unstable_system_exits_nonzero(tmp_path, capsys):
+    # Deadlines hold under the given priorities, but the control task's
+    # jitter-heavy interface violates its (tight) linear bound.
+    model = tmp_path / "system.json"
+    model.write_text(
+        json.dumps(
+            {
+                "name": "shaky",
+                "tasks": [
+                    {
+                        "name": "ctl",
+                        "period": 0.05,
+                        "wcet": 0.004,
+                        "bcet": 0.002,
+                        "priority": 1,
+                        "stability": {"a": 1.5, "b": 0.005},
+                    },
+                    {
+                        "name": "hog",
+                        "period": 0.02,
+                        "wcet": 0.006,
+                        "priority": 2,
+                    },
+                ],
+            }
+        )
+    )
+    assert main(["analyze", str(model)]) == 1
+    printed = capsys.readouterr().out
+    assert "VIOLATED" in printed
+    assert "1 violating" in printed
+
+
+def test_analyze_batch_with_jobs(tmp_path, capsys):
+    model = tmp_path / "systems.json"
+    model.write_text(
+        json.dumps(
+            {"systems": [_system_dict("s1"), _system_dict("s2")]}
+        )
+    )
+    out = tmp_path / "reports.json"
+    assert main(
+        ["analyze", str(model), "--jobs", "2", "--out", str(out)]
+    ) == 0
+    envelope = json.loads(out.read_text())
+    assert envelope["schema_version"] == SCHEMA_VERSION
+    assert envelope["n_systems"] == 2
+    assert [r["name"] for r in envelope["reports"]] == ["s1", "s2"]
+
+
+def test_analyze_policy_override(tmp_path, capsys):
+    entry = _system_dict()
+    del entry["priority_policy"]
+    entry["tasks"][0]["priority"] = 2
+    entry["tasks"][1]["priority"] = 1
+    model = tmp_path / "system.json"
+    model.write_text(json.dumps(entry))
+    assert main(["analyze", str(model), "--policy", "rate_monotonic"]) == 0
+    assert "rate_monotonic" in capsys.readouterr().out
+
+
+def test_analyze_bad_policy_reports_error(tmp_path, capsys):
+    model = tmp_path / "system.json"
+    model.write_text(json.dumps(_system_dict()))
+    assert main(["analyze", str(model), "--policy", "magic"]) == 2
+    assert "unknown priority policy" in capsys.readouterr().err
+
+
+def test_analyze_missing_file_exits_2(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_analyze_invalid_json_exits_2(tmp_path, capsys):
+    model = tmp_path / "system.json"
+    model.write_text("{not json")
+    assert main(["analyze", str(model)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_analyze_malformed_task_entry_exits_2(tmp_path, capsys):
+    model = tmp_path / "system.json"
+    model.write_text(json.dumps({"tasks": [{"name": "a"}]}))
+    assert main(["analyze", str(model)]) == 2
+    assert "missing required field" in capsys.readouterr().err
+
+
+def test_analyze_name_with_batch_rejected(tmp_path, capsys):
+    model = tmp_path / "systems.json"
+    model.write_text(json.dumps({"systems": [_system_dict("s1")]}))
+    assert main(["analyze", str(model), "--name", "x"]) == 2
+    assert "single-system" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Golden-file and round-trip tests of the report JSON schema.
+
+The golden file pins the *bytes* of the versioned report schema for a
+fixed system (including the non-finite sentinel encoding and a violating
+task), so any unintentional schema drift -- a renamed field, a changed
+float format, a reordered key -- fails here with a diff instead of
+surfacing in a consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    ControlTaskSystem,
+    analyze,
+    batch_report_dict,
+)
+from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_report.json")
+
+#: Expected keys of one task entry in the report schema (v1).
+TASK_KEYS = {
+    "name",
+    "period",
+    "wcet",
+    "bcet",
+    "priority",
+    "best",
+    "worst",
+    "latency",
+    "jitter",
+    "deadline_met",
+    "bound",
+    "slack",
+    "rel_slack",
+    "stable",
+    "ok",
+}
+
+#: Expected top-level keys of the report schema (v1).
+REPORT_KEYS = {
+    "schema_version",
+    "name",
+    "priority_policy",
+    "n_tasks",
+    "utilization",
+    "schedulable",
+    "stable",
+    "violating",
+    "tasks",
+    "canonical_sha256",
+}
+
+
+def _golden_system() -> ControlTaskSystem:
+    return ControlTaskSystem(
+        taskset=TaskSet(
+            [
+                Task(
+                    "roll",
+                    period=0.01,
+                    wcet=0.002,
+                    bcet=0.001,
+                    priority=3,
+                    stability=LinearStabilityBound(a=1.25, b=0.008),
+                ),
+                Task(
+                    "pitch",
+                    period=0.02,
+                    wcet=0.005,
+                    bcet=0.002,
+                    priority=2,
+                    stability=LinearStabilityBound(a=1.1, b=0.015),
+                ),
+                Task(
+                    "telemetry", period=0.05, wcet=0.04, bcet=0.02, priority=1
+                ),
+            ]
+        ),
+        name="golden",
+        priority_policy="as_given",
+    )
+
+
+class TestGoldenReport:
+    def test_report_bytes_match_golden_file(self, tmp_path):
+        report = analyze(_golden_system())
+        out = tmp_path / "report.json"
+        report.write(str(out))
+        assert out.read_text() == open(GOLDEN_PATH).read()
+
+    def test_golden_file_is_schema_valid(self):
+        with open(GOLDEN_PATH) as handle:
+            data = json.load(handle)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert set(data) == REPORT_KEYS
+        assert data["n_tasks"] == len(data["tasks"])
+        for task in data["tasks"]:
+            assert set(task) == TASK_KEYS
+        # The golden deliberately contains a deadline-missing task: its
+        # worst response encodes as the RFC-8259-safe sentinel string.
+        telemetry = data["tasks"][-1]
+        assert telemetry["worst"] == "Infinity"
+        assert telemetry["ok"] is False
+        assert data["violating"] == ["telemetry"]
+
+    def test_embedded_hash_matches_canonical_json(self):
+        report = analyze(_golden_system())
+        with open(GOLDEN_PATH) as handle:
+            data = json.load(handle)
+        assert data["canonical_sha256"] == report.canonical_sha256()
+
+
+class TestRoundTrip:
+    def test_from_dict_load_preserves_canonical_hash(self, tmp_path):
+        report = analyze(_golden_system())
+        path = tmp_path / "r.json"
+        report.write(str(path))
+        reloaded = AnalysisReport.load(str(path))
+        assert reloaded.canonical_sha256() == report.canonical_sha256()
+        assert reloaded.canonical_json() == report.canonical_json()
+        telemetry = reloaded.task("telemetry")
+        assert math.isinf(telemetry.times.worst)
+        assert telemetry.bound is None
+
+    def test_from_dict_rejects_wrong_schema_version(self):
+        payload = analyze(_golden_system()).to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ModelError, match="schema_version"):
+            AnalysisReport.from_dict(payload)
+
+    def test_batch_envelope_shape(self):
+        reports = [analyze(_golden_system())]
+        envelope = batch_report_dict(reports)
+        assert envelope["schema_version"] == SCHEMA_VERSION
+        assert envelope["n_systems"] == 1
+        assert envelope["reports"][0]["name"] == "golden"
+        assert len(envelope["canonical_sha256"]) == 64

@@ -1,0 +1,60 @@
+"""API-surface snapshot check (runs in the fast CI lane, ~seconds).
+
+``tests/api/api_surface.json`` is the committed public surface: the
+curated ``__all__`` of :mod:`repro` and :mod:`repro.api` plus the report
+``schema_version``.  An accidental export removal, rename, or schema
+bump fails here with an actionable diff; *intentional* changes update
+the snapshot in the same commit (regenerate with the command below).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import repro
+import repro.api
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "api_surface.json")
+
+REGENERATE = (
+    "python -c \"import json, repro, repro.api; json.dump("
+    "{'schema_version': repro.SCHEMA_VERSION, "
+    "'repro_all': sorted(repro.__all__), "
+    "'repro_api_all': sorted(repro.api.__all__), "
+    "'version': repro.__version__}, "
+    "open('tests/api/api_surface.json', 'w'), indent=2, sort_keys=True)\""
+)
+
+
+def _snapshot() -> dict:
+    with open(SNAPSHOT_PATH) as handle:
+        return json.load(handle)
+
+
+def test_repro_all_matches_snapshot():
+    assert sorted(repro.__all__) == _snapshot()["repro_all"], (
+        "public surface of 'repro' changed; if intentional, regenerate "
+        f"the snapshot: {REGENERATE}"
+    )
+
+
+def test_repro_api_all_matches_snapshot():
+    assert sorted(repro.api.__all__) == _snapshot()["repro_api_all"], (
+        "public surface of 'repro.api' changed; if intentional, "
+        f"regenerate the snapshot: {REGENERATE}"
+    )
+
+
+def test_schema_version_matches_snapshot():
+    assert repro.SCHEMA_VERSION == _snapshot()["schema_version"], (
+        "report schema_version changed; bump the snapshot (and the "
+        "golden report) deliberately in the same commit"
+    )
+
+
+def test_every_export_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None, name
