@@ -26,7 +26,12 @@ The library spans the paper's whole pipeline:
   point (:class:`ControlTaskSystem` -> :func:`analyze` ->
   :class:`AnalysisReport`) from system model to stability verdict, with
   a versioned canonical JSON schema and sweep-parallel
-  :func:`analyze_batch`.
+  :func:`analyze_batch`; :func:`assign` / :func:`assign_batch` add the
+  assignment-quality pillar on the same schema.
+* :mod:`repro.search` -- **the unified priority-assignment search
+  engine**: all five algorithms as strategies over a shared
+  :class:`SearchContext` with a memoised ``(task, hp-set)`` subproblem
+  cache and batched per-level kernels.
 
 Quickstart::
 
@@ -49,13 +54,17 @@ Quickstart::
 from repro.api import (
     SCHEMA_VERSION,
     AnalysisReport,
+    AssignmentOutcome,
     ControlTaskSystem,
     TaskVerdict,
     analyze,
     analyze_batch,
+    assign,
+    assign_batch,
     task_verdict,
     verdict_from_times,
 )
+from repro.search import AssignmentResult, SearchContext
 from repro.errors import (
     DimensionError,
     ModelError,
@@ -79,7 +88,7 @@ from repro.rta.interface import response_time_interface  # noqa: F401  (use anal
 from repro.rta.interface import taskset_is_schedulable  # noqa: F401  (use analyze().schedulable)
 from repro.rta.interface import taskset_is_stable  # noqa: F401  (use analyze().stable)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # the analysis façade
@@ -91,6 +100,12 @@ __all__ = [
     "task_verdict",
     "verdict_from_times",
     "SCHEMA_VERSION",
+    # the assignment search engine
+    "AssignmentOutcome",
+    "AssignmentResult",
+    "SearchContext",
+    "assign",
+    "assign_batch",
     # the task model
     "Task",
     "TaskSet",

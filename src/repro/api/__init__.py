@@ -10,6 +10,13 @@ pushes many systems through the same pipeline on the parallel sweep
 engine.  Reports serialise to a versioned canonical JSON schema
 (``SCHEMA_VERSION`` + ``canonical_sha256``).
 
+Assignment quality is the third pillar (after analysis and scenarios):
+:func:`assign` / :func:`assign_batch` run any :mod:`repro.search`
+strategy over a system, validate the found assignment through the same
+pipeline, and return an :class:`AssignmentOutcome` pairing the search
+metrics (logical evaluations, cache hits, backtracks) with the per-task
+verdicts.  Scriptable as ``python -m repro assign <model.json>``.
+
 Quickstart::
 
     from repro.api import ControlTaskSystem, analyze
@@ -41,8 +48,11 @@ from repro.api.report import (
     write_batch_report,
 )
 from repro.api.service import (
+    AssignmentOutcome,
     analyze,
     analyze_batch,
+    assign,
+    assign_batch,
     task_verdict,
     verdict_from_times,
 )
@@ -52,9 +62,12 @@ __all__ = [
     "PRIORITY_POLICIES",
     "ControlTaskSystem",
     "AnalysisReport",
+    "AssignmentOutcome",
     "TaskVerdict",
     "analyze",
     "analyze_batch",
+    "assign",
+    "assign_batch",
     "task_verdict",
     "verdict_from_times",
     "as_system",

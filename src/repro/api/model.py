@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Union
 
 from repro.assignment.audsley import assign_audsley
 from repro.assignment.backtracking import assign_backtracking
+from repro.assignment.exhaustive import assign_exhaustive
 from repro.assignment.heuristics import (
     assign_rate_monotonic,
     assign_slack_monotonic,
@@ -34,8 +35,9 @@ from repro.api.report import SCHEMA_VERSION
 
 #: Priority-assignment policies selectable by name.  ``as_given`` keeps
 #: the model's priorities (and rejects systems without a complete,
-#: distinct assignment); every other entry maps to an assignment
-#: algorithm of :mod:`repro.assignment`.
+#: distinct assignment); every other entry maps to a search strategy of
+#: :mod:`repro.search` through its :mod:`repro.assignment` entry point
+#: (``exhaustive`` is capped at 9 tasks and raises beyond).
 PRIORITY_POLICIES: Dict[str, Optional[Callable]] = {
     "as_given": None,
     "rate_monotonic": assign_rate_monotonic,
@@ -43,6 +45,7 @@ PRIORITY_POLICIES: Dict[str, Optional[Callable]] = {
     "audsley": assign_audsley,
     "backtracking": assign_backtracking,
     "unsafe_quadratic": assign_unsafe_quadratic,
+    "exhaustive": assign_exhaustive,
 }
 
 #: Cache attribute names (kept out of pickles so that a memoised system
@@ -83,6 +86,36 @@ class ControlTaskSystem:
             )
 
     # -- memoised resolution -------------------------------------------------
+    def bound_taskset(self) -> TaskSet:
+        """The task set with stability bounds derived, priorities untouched.
+
+        The input every priority-assignment search needs: plant-bound
+        tasks get their linear bounds, but the priority policy is *not*
+        applied (that is the searcher's job).  Cheap when no task needs
+        derivation; not memoised separately (the derived-bounds pass is
+        itself cached at the jitter-margin layer).
+        """
+        return _with_derived_bounds(self.taskset)
+
+    def assign(
+        self,
+        algorithm: Optional[str] = None,
+        *,
+        context: Optional[object] = None,
+        **options,
+    ):
+        """Search + validate a priority assignment for this system.
+
+        Convenience front end of :func:`repro.api.assign`; see there for
+        the ``algorithm``/``context``/``options`` semantics.  Returns an
+        :class:`~repro.api.service.AssignmentOutcome`.
+        """
+        from repro.api.service import assign as _assign
+
+        return _assign(
+            self, algorithm=algorithm, context=context, **options
+        )
+
     def resolved_taskset(self) -> TaskSet:
         """The analysable task set: bounds derived, priorities assigned.
 
@@ -94,7 +127,7 @@ class ControlTaskSystem:
         cached = self.__dict__.get("_cache_resolved")
         if cached is not None:
             return cached
-        taskset = _with_derived_bounds(self.taskset)
+        taskset = self.bound_taskset()
         assigner = PRIORITY_POLICIES[self.priority_policy]
         if assigner is None:
             taskset.check_distinct_priorities()

@@ -23,13 +23,19 @@ instead of re-deriving interface + slack + verdict locally.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.api.model import ControlTaskSystem, as_system
-from repro.api.report import AnalysisReport, TaskVerdict
+from repro.api.report import SCHEMA_VERSION, AnalysisReport, TaskVerdict
+from repro.errors import ModelError
 from repro.rta.batch import analyze_taskset
 from repro.rta.interface import ResponseTimes, latency_jitter
 from repro.rta.taskset import Task, TaskSet
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
+from repro.search.strategies import STRATEGIES
 
 
 def verdict_from_times(task: Task, times: ResponseTimes) -> TaskVerdict:
@@ -104,6 +110,274 @@ def analyze(
     )
     object.__setattr__(system, "_cache_report", report)
     return report
+
+
+@dataclass(frozen=True)
+class AssignmentOutcome:
+    """Outcome of :func:`assign`: the search result plus its validation.
+
+    ``result`` is the raw :class:`~repro.search.result.AssignmentResult`
+    (priorities, logical evaluation count, cache hits, backtracks);
+    ``report`` is the full :class:`~repro.api.report.AnalysisReport` of
+    the *assigned* system (``None`` when the algorithm found no
+    assignment); ``system`` is the assigned system itself, ready for
+    further analysis or serialisation (priorities baked in, policy
+    ``as_given``).
+    """
+
+    name: str
+    algorithm: str
+    result: AssignmentResult
+    system: Optional[ControlTaskSystem]
+    report: Optional[AnalysisReport]
+
+    @property
+    def assigned(self) -> bool:
+        return self.result.priorities is not None
+
+    @property
+    def ok(self) -> bool:
+        """An assignment was found and independently validates as stable.
+
+        Stricter than the algorithm's own belief: an Unsafe Quadratic
+        commit past a violation assigns but is not ``ok``.
+        """
+        return self.report is not None and self.report.stable
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned, canonical-JSON-ready record of the outcome."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "algorithm": self.algorithm,
+            "assigned": self.assigned,
+            "ok": self.ok,
+            "assignment": self.result.to_dict(),
+            "report": None if self.report is None else self.report.to_dict(),
+        }
+
+    def canonical_sha256(self) -> str:
+        """Hash of the outcome's canonical JSON form (wall-clock excluded)."""
+        import hashlib
+        import json as _json
+
+        from repro.sweep.result import encode_nonfinite
+
+        payload = _json.dumps(
+            encode_nonfinite(self.to_dict()),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        result = self.result
+        header = (
+            f"assign {self.name!r}: algorithm {self.algorithm}, "
+            f"{result.evaluations} evaluations "
+            f"({result.cache_hits} cached, {result.backtracks} backtracks)"
+        )
+        if self.report is None:
+            return header + "\n  no valid priority assignment found"
+        return header + "\n\n" + self.report.render()
+
+
+def assign(
+    system: Union[ControlTaskSystem, TaskSet],
+    *,
+    algorithm: Optional[str] = None,
+    name: str = "system",
+    context: Optional[SearchContext] = None,
+    **options,
+) -> AssignmentOutcome:
+    """Search a priority assignment for a system, then validate it.
+
+    The assignment-quality counterpart of :func:`analyze`: resolves the
+    system's stability bounds (deriving plant-bound tasks as usual), runs
+    the requested :mod:`repro.search` strategy, and -- when an assignment
+    is found -- analyses the assigned system so the outcome carries both
+    the search metrics and the independent per-task verdicts.
+
+    ``algorithm`` defaults to the system's ``priority_policy`` when that
+    names a search algorithm, else ``"backtracking"`` (the paper's
+    Algorithm 1).  ``context`` shares a search memo across calls;
+    ``options`` pass through to the strategy (e.g. ``max_evaluations``).
+    """
+    system = as_system(system, name=name)
+    if algorithm is None:
+        algorithm = (
+            system.priority_policy
+            if system.priority_policy in STRATEGIES
+            else "backtracking"
+        )
+    if algorithm not in STRATEGIES:
+        raise ModelError(
+            f"unknown assignment algorithm {algorithm!r}; "
+            f"known: {sorted(STRATEGIES)}"
+        )
+    taskset = system.bound_taskset()
+    result = run_strategy(algorithm, taskset, context=context, **options)
+    if result.priorities is None:
+        return AssignmentOutcome(
+            name=system.name,
+            algorithm=algorithm,
+            result=result,
+            system=None,
+            report=None,
+        )
+    assigned_system = ControlTaskSystem(
+        taskset=result.apply_to(taskset),
+        name=system.name,
+        priority_policy="as_given",
+    )
+    return AssignmentOutcome(
+        name=system.name,
+        algorithm=algorithm,
+        result=result,
+        system=assigned_system,
+        report=analyze(assigned_system),
+    )
+
+
+def _assign_worker(
+    item: Dict[str, int], params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Sweep worker: assign + validate one system of the batch (by index)."""
+    outcome = assign(
+        params["systems"][item["k"]],
+        algorithm=params.get("algorithm"),
+        **params.get("options", {}),
+    )
+    return {"k": item["k"], "outcome": outcome.to_dict()}
+
+
+def assign_batch(
+    systems: Sequence[Union[ControlTaskSystem, TaskSet]],
+    *,
+    algorithm: Optional[str] = None,
+    jobs: int = 1,
+    chunk_size: int = 32,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    **options,
+) -> List[AssignmentOutcome]:
+    """Assign many systems on the sweep engine.
+
+    Outcomes come back in input order, byte-identical in canonical form
+    across every ``jobs`` level (each worker call builds its own search
+    context, so memoisation never leaks across items -- determinism
+    before thrift).  A single-worker run without a cache directory skips
+    the engine, like :func:`analyze_batch`.
+    """
+    from repro.sweep import SweepSpec, resolve_jobs, run_sweep
+
+    normalised = tuple(
+        as_system(system, name=f"system-{k}")
+        for k, system in enumerate(systems)
+    )
+    if not normalised:
+        return []
+    if resolve_jobs(jobs) == 1 and cache_dir is None:
+        return [
+            assign(system, algorithm=algorithm, **options)
+            for system in normalised
+        ]
+    spec = SweepSpec(
+        name="api-assign",
+        worker=_assign_worker,
+        items=tuple({"k": k} for k in range(len(normalised))),
+        params={
+            "systems": normalised,
+            "algorithm": algorithm,
+            "options": options,
+        },
+        chunk_size=chunk_size,
+    )
+    result = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, resume=resume)
+    records = sorted(result.records, key=lambda r: r["k"])
+    return [
+        _outcome_from_dict(record["outcome"]) for record in records
+    ]
+
+
+def write_assign_report(
+    outcomes: Sequence[AssignmentOutcome],
+    path: str,
+    *,
+    batch: Optional[bool] = None,
+) -> None:
+    """Write one outcome, or a versioned batch envelope, atomically.
+
+    ``batch`` selects the shape like the analyze CLI does: a batch input
+    gets the envelope even when it holds a single system.  When omitted,
+    more than one outcome implies a batch.  The envelope hash covers the
+    per-outcome canonical hashes, so two batch artifacts compare by a
+    single field regardless of job count (the sweep-artifact convention).
+    """
+    import hashlib
+
+    from repro.api.report import _atomic_write_json
+
+    if batch is None:
+        batch = len(outcomes) > 1
+    if not batch:
+        _atomic_write_json(path, outcomes[0].to_dict())
+        return
+    shas = [outcome.canonical_sha256() for outcome in outcomes]
+    _atomic_write_json(
+        path,
+        {
+            "schema_version": SCHEMA_VERSION,
+            "n_systems": len(outcomes),
+            "outcomes": [outcome.to_dict() for outcome in outcomes],
+            "canonical_sha256": hashlib.sha256(
+                "\n".join(shas).encode("utf-8")
+            ).hexdigest(),
+        },
+    )
+
+
+def _outcome_from_dict(data: Dict[str, Any]) -> AssignmentOutcome:
+    """Rebuild an outcome from its worker record (sweep round trip)."""
+    assignment = data["assignment"]
+    result = AssignmentResult(
+        algorithm=assignment["algorithm"],
+        priorities=assignment["priorities"],
+        claims_valid=assignment["claims_valid"],
+        evaluations=assignment["evaluations"],
+        backtracks=assignment["backtracks"],
+        cache_hits=assignment["cache_hits"],
+    )
+    report = (
+        None
+        if data["report"] is None
+        else AnalysisReport.from_dict(data["report"])
+    )
+    system = None
+    if report is not None:
+        system = ControlTaskSystem(
+            taskset=TaskSet(
+                Task(
+                    name=v.name,
+                    period=v.period,
+                    wcet=v.wcet,
+                    bcet=v.bcet,
+                    priority=v.priority,
+                    stability=v.bound,
+                )
+                for v in report.verdicts
+            ),
+            name=data["name"],
+            priority_policy="as_given",
+        )
+    return AssignmentOutcome(
+        name=data["name"],
+        algorithm=data["algorithm"],
+        result=result,
+        system=system,
+        report=report,
+    )
 
 
 def _analyze_worker(

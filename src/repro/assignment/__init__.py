@@ -22,6 +22,13 @@ holds under the exact response-time interface.
 
 All algorithms report the number of stability-constraint evaluations they
 performed, the currency in which the paper measures design complexity.
+
+Since the ``repro.search`` refactor the algorithms are strategies of the
+unified search engine: every entry point accepts an optional
+``context=`` (:class:`repro.search.SearchContext`) that shares the
+memoised ``(task, hp-set)`` subproblem cache -- and the batched sibling
+kernels -- across runs, while the reported evaluation counts stay exactly
+the paper's logical metric.
 """
 
 from repro.assignment.audsley import assign_audsley

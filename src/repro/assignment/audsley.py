@@ -1,57 +1,31 @@
 """Classic Audsley optimal priority assignment (paper reference [16]).
 
 Bottom-up greedy *without* backtracking: at each level, commit to the
-first (or best-slack) task whose constraint holds; declare failure if none
-does.  Audsley's optimality theorem guarantees completeness when the
-feasibility predicate depends only on the *set* of higher-priority tasks
-and is monotone under removing interference.  The latency/jitter stability
+best-slack task whose constraint holds; declare failure if none does.
+Audsley's optimality theorem guarantees completeness when the feasibility
+predicate depends only on the *set* of higher-priority tasks and is
+monotone under removing interference.  The latency/jitter stability
 predicate satisfies the first condition but -- as the paper's anomalies
 show -- not always the second, so OPA here is sound but *incomplete*: it
 can fail on instances the backtracking algorithm solves.  Unlike Unsafe
 Quadratic, it never commits past a violated constraint.
+
+Implemented as the ``"audsley"`` strategy of :mod:`repro.search`; this
+module is the stable entry point.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List
+from typing import Optional
 
-from repro.assignment.predicate import EvaluationCounter, stability_slack
-from repro.assignment.result import AssignmentResult
-from repro.rta.taskset import Task, TaskSet
+from repro.rta.taskset import TaskSet
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
 
 
-def assign_audsley(taskset: TaskSet) -> AssignmentResult:
+def assign_audsley(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> AssignmentResult:
     """OPA with max-slack tie-breaking; fails cleanly at dead ends."""
-    remaining: List[Task] = [t.copy() for t in taskset]
-    counter = EvaluationCounter()
-    assignment: Dict[str, int] = {}
-    start = time.perf_counter()
-
-    for level in range(1, len(taskset) + 1):
-        best_index = -1
-        best_slack = float("-inf")
-        for index, candidate in enumerate(remaining):
-            others = remaining[:index] + remaining[index + 1 :]
-            slack = stability_slack(candidate, others, counter)
-            if slack > best_slack:
-                best_slack = slack
-                best_index = index
-        if best_slack < 0.0:
-            return AssignmentResult(
-                algorithm="audsley",
-                priorities=None,
-                claims_valid=False,
-                evaluations=counter.count,
-                elapsed_seconds=time.perf_counter() - start,
-            )
-        chosen = remaining.pop(best_index)
-        assignment[chosen.name] = level
-
-    return AssignmentResult(
-        algorithm="audsley",
-        priorities=assignment,
-        claims_valid=True,
-        evaluations=counter.count,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return run_strategy("audsley", taskset, context=context)

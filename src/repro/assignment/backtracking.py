@@ -17,79 +17,37 @@ and the run costs ``n + (n-1) + ... + 1`` constraint evaluations --
 quadratic on average, exactly the behaviour of Fig. 5.  The worst case is
 exponential; ``max_evaluations`` bounds the search for pathological
 instances (failure is then reported rather than silent).
+
+Implemented as the ``"backtracking"`` strategy of :mod:`repro.search`:
+levels are scored through the batched sibling kernel, and on a shared
+:class:`~repro.search.context.SearchContext` the tree never re-evaluates
+a visited ``(task, hp-set)`` subproblem.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.assignment.predicate import EvaluationCounter, stability_slack
-from repro.assignment.result import AssignmentResult
-from repro.errors import ScheduleError
-from repro.rta.taskset import Task, TaskSet
+from repro.rta.taskset import TaskSet
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
 
 
 def assign_backtracking(
     taskset: TaskSet,
     *,
     max_evaluations: int = 10_000_000,
+    context: Optional[SearchContext] = None,
 ) -> AssignmentResult:
     """Run Algorithm 1 and return the discovered assignment.
 
     Returns a result with ``priorities=None`` when the search space is
     exhausted (no valid assignment exists) or the evaluation budget is hit.
     """
-    tasks = [t.copy() for t in taskset]
-    counter = EvaluationCounter()
-    backtracks = 0
-    assignment: Dict[str, int] = {}
-    start = time.perf_counter()
-
-    def backtrack(remaining: List[Task], level: int) -> bool:
-        nonlocal backtracks
-        if not remaining:
-            return True  # paper line 8: terminate
-        if counter.count > max_evaluations:
-            raise _BudgetExhausted()
-        # Evaluate every candidate at this level (paper lines 10-12),
-        # then try them most-slack-first.
-        scored = []
-        for index, candidate in enumerate(remaining):
-            others = remaining[:index] + remaining[index + 1 :]
-            slack = stability_slack(candidate, others, counter)
-            scored.append((slack, index, candidate, others))
-        scored.sort(key=lambda item: (-item[0], item[1]))
-        for slack, _, candidate, others in scored:
-            if slack < 0.0:
-                break  # all remaining candidates are infeasible here
-            assignment[candidate.name] = level
-            if backtrack(others, level + 1):
-                return True
-            del assignment[candidate.name]  # paper line 15
-            backtracks += 1
-        return False
-
-    try:
-        found = backtrack(tasks, 1)
-    except _BudgetExhausted:
-        return AssignmentResult(
-            algorithm="backtracking",
-            priorities=None,
-            claims_valid=False,
-            evaluations=counter.count,
-            backtracks=backtracks,
-            elapsed_seconds=time.perf_counter() - start,
-        )
-    return AssignmentResult(
-        algorithm="backtracking",
-        priorities=dict(assignment) if found else None,
-        claims_valid=found,
-        evaluations=counter.count,
-        backtracks=backtracks,
-        elapsed_seconds=time.perf_counter() - start,
+    return run_strategy(
+        "backtracking",
+        taskset,
+        context=context,
+        max_evaluations=max_evaluations,
     )
-
-
-class _BudgetExhausted(ScheduleError):
-    """Internal: evaluation budget hit during the recursive search."""

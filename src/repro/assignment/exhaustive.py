@@ -6,73 +6,42 @@ possible design solutions are 20!, which takes more than 20 years to
 enumerate" -- so the module guards against accidental large-``n`` use.
 It also provides :func:`count_valid_orders`, used by the anomaly census to
 measure how constrained an instance really is.
+
+Implemented as the ``"exhaustive"`` strategy of :mod:`repro.search`.  The
+permutation tree revisits each ``(task, hp-set)`` subproblem up to
+``|hp|!`` times; on the engine those repeats come from the context memo
+(the logical evaluation count stays exactly the paper's).
 """
 
 from __future__ import annotations
 
 import itertools
-import math
-import time
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.assignment.predicate import EvaluationCounter, is_feasible
-from repro.assignment.result import AssignmentResult
-from repro.errors import ModelError
 from repro.rta.taskset import TaskSet
-
-#: Hard cap: 9! = 362880 orders is already ~1e6 constraint evaluations.
-_MAX_EXHAUSTIVE_TASKS = 9
-
-
-def _order_is_valid(order, counter: EvaluationCounter) -> bool:
-    """Check a complete order bottom-up, short-circuiting on violations.
-
-    ``order[0]`` has the lowest priority; task ``order[k]``'s
-    higher-priority set is ``order[k+1:]``.
-    """
-    for position, task in enumerate(order):
-        if not is_feasible(task, order[position + 1 :], counter):
-            return False
-    return True
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
+from repro.search.strategies import (
+    MAX_EXHAUSTIVE_TASKS as _MAX_EXHAUSTIVE_TASKS,
+)
+from repro.search.strategies import _order_is_valid, check_exhaustive_size
 
 
-def assign_exhaustive(taskset: TaskSet) -> AssignmentResult:
+def assign_exhaustive(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> AssignmentResult:
     """Try lexicographic priority orders until one is valid."""
-    if len(taskset) > _MAX_EXHAUSTIVE_TASKS:
-        raise ModelError(
-            f"exhaustive search limited to {_MAX_EXHAUSTIVE_TASKS} tasks; "
-            f"got {len(taskset)} ({math.factorial(len(taskset))} orders)"
-        )
-    counter = EvaluationCounter()
-    start = time.perf_counter()
-    tasks = [t.copy() for t in taskset]
-    for order in itertools.permutations(tasks):
-        if _order_is_valid(order, counter):
-            priorities = {task.name: level + 1 for level, task in enumerate(order)}
-            return AssignmentResult(
-                algorithm="exhaustive",
-                priorities=priorities,
-                claims_valid=True,
-                evaluations=counter.count,
-                elapsed_seconds=time.perf_counter() - start,
-            )
-    return AssignmentResult(
-        algorithm="exhaustive",
-        priorities=None,
-        claims_valid=False,
-        evaluations=counter.count,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return run_strategy("exhaustive", taskset, context=context)
 
 
-def count_valid_orders(taskset: TaskSet) -> int:
+def count_valid_orders(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> int:
     """Number of valid priority orders (exact, small ``n`` only)."""
-    if len(taskset) > _MAX_EXHAUSTIVE_TASKS:
-        raise ModelError(
-            f"count_valid_orders limited to {_MAX_EXHAUSTIVE_TASKS} tasks"
-        )
-    counter = EvaluationCounter()
-    tasks = [t.copy() for t in taskset]
+    check_exhaustive_size(len(taskset), "count_valid_orders")
+    run = (context if context is not None else SearchContext()).run()
+    ids = run.context.intern_all(taskset)
     return sum(
-        1 for order in itertools.permutations(tasks) if _order_is_valid(order, counter)
+        1 for order in itertools.permutations(ids) if _order_is_valid(order, run)
     )

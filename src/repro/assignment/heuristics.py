@@ -9,50 +9,30 @@
   arithmetic; trusts monotonicity twice over (both the ordering argument
   and the pessimism argument), so it fails more often than Unsafe
   Quadratic -- which is the point of the ablation.
+
+Implemented as the ``"rate_monotonic"`` / ``"slack_monotonic"``
+strategies of :mod:`repro.search`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Tuple
+from typing import Optional
 
-from repro.assignment.predicate import EvaluationCounter, stability_slack
-from repro.assignment.result import AssignmentResult
-from repro.rta.taskset import Task, TaskSet
+from repro.rta.taskset import TaskSet
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
 
 
-def assign_rate_monotonic(taskset: TaskSet) -> AssignmentResult:
+def assign_rate_monotonic(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> AssignmentResult:
     """Shorter period -> higher priority; performs no constraint checks."""
-    start = time.perf_counter()
-    ordered: List[Task] = sorted(taskset, key=lambda t: t.period, reverse=True)
-    priorities = {task.name: level + 1 for level, task in enumerate(ordered)}
-    return AssignmentResult(
-        algorithm="rate_monotonic",
-        priorities=priorities,
-        claims_valid=None,
-        evaluations=0,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return run_strategy("rate_monotonic", taskset, context=context)
 
 
-def assign_slack_monotonic(taskset: TaskSet) -> AssignmentResult:
+def assign_slack_monotonic(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> AssignmentResult:
     """Order by slack under the all-others-higher-priority assumption."""
-    counter = EvaluationCounter()
-    start = time.perf_counter()
-    tasks = [t.copy() for t in taskset]
-    scored: List[Tuple[float, str]] = []
-    for index, task in enumerate(tasks):
-        others = tasks[:index] + tasks[index + 1 :]
-        scored.append((stability_slack(task, others, counter), task.name))
-    # Most slack -> lowest priority (level 1 first).
-    scored.sort(key=lambda item: -item[0])
-    priorities: Dict[str, int] = {
-        name: level + 1 for level, (_, name) in enumerate(scored)
-    }
-    return AssignmentResult(
-        algorithm="slack_monotonic",
-        priorities=priorities,
-        claims_valid=None,
-        evaluations=counter.count,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return run_strategy("slack_monotonic", taskset, context=context)

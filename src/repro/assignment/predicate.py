@@ -2,29 +2,29 @@
 
 A single task is *feasible at the lowest priority* among a candidate set if
 its exact response-time interface against the rest of the set satisfies its
-stability bound (and its implicit deadline, which eq. (3) requires).  The
-evaluation counter threads through all algorithms so their complexity can
-be compared in constraint evaluations, the unit the paper uses alongside
-wall-clock time.
+stability bound (and its implicit deadline, which eq. (3) requires).
+
+:func:`stability_slack` is the scalar reference implementation of the
+predicate: one call, one pair of response-time fixed points, no sharing.
+The search engine (:mod:`repro.search`) evaluates the same predicate
+through its memoised, batched kernels, which are required to reproduce
+this function float-for-float (pinned by ``tests/search/``) -- when in
+doubt, this module is the ground truth.
+
+:class:`EvaluationCounter` (now in :mod:`repro.search.context`) threads
+through all algorithms so their complexity can be compared in constraint
+evaluations, the unit the paper uses alongside wall-clock time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from repro.rta.interface import latency_jitter
 from repro.rta.taskset import Task
+from repro.search.context import EvaluationCounter
 
-
-@dataclass
-class EvaluationCounter:
-    """Mutable counter shared across one algorithm run."""
-
-    count: int = 0
-
-    def tick(self) -> None:
-        self.count += 1
+__all__ = ["EvaluationCounter", "stability_slack", "is_feasible"]
 
 
 def stability_slack(

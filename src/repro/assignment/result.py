@@ -1,56 +1,12 @@
-"""Common result type of all priority-assignment algorithms."""
+"""Common result type of all priority-assignment algorithms.
+
+The dataclass itself lives in :mod:`repro.search.result` since the
+algorithms became strategies of the unified search engine; this module
+keeps the historical import path alive.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from repro.search.result import AssignmentResult
 
-from repro.rta.taskset import TaskSet
-
-
-@dataclass
-class AssignmentResult:
-    """Outcome of one priority-assignment run.
-
-    Attributes
-    ----------
-    algorithm:
-        Name of the algorithm that produced the result.
-    priorities:
-        Complete map task name -> priority (1 = lowest), or ``None`` when
-        the algorithm declared failure without committing to an
-        assignment (e.g. Audsley's OPA finding no feasible task).  Note
-        that *Unsafe Quadratic always commits* -- its possible invalidity
-        is only discovered by validation, which is the paper's point.
-    claims_valid:
-        What the algorithm believes about its own output: ``True`` if it
-        checked every constraint along the way, ``False`` if it knowingly
-        committed past a violated constraint, ``None`` if it performed no
-        checks at all (pure heuristics).
-    evaluations:
-        Number of stability-constraint evaluations performed (each is one
-        exact response-time interface computation + bound check) -- the
-        paper's complexity measure.
-    backtracks:
-        Number of times a partial assignment was abandoned.
-    elapsed_seconds:
-        Wall-clock time of the run (filled by the caller or the runner).
-    """
-
-    algorithm: str
-    priorities: Optional[Dict[str, int]]
-    claims_valid: Optional[bool]
-    evaluations: int = 0
-    backtracks: int = 0
-    elapsed_seconds: float = 0.0
-
-    @property
-    def succeeded(self) -> bool:
-        """An assignment was produced and the algorithm believes it valid."""
-        return self.priorities is not None and bool(self.claims_valid)
-
-    def apply_to(self, taskset: TaskSet) -> TaskSet:
-        """Return a copy of ``taskset`` carrying the assigned priorities."""
-        if self.priorities is None:
-            raise ValueError(f"{self.algorithm} produced no assignment")
-        return taskset.with_priorities(self.priorities)
+__all__ = ["AssignmentResult"]

@@ -17,50 +17,26 @@ the rare failures counted in Table I.
 
 Cost: level ``rho`` evaluates ``n - rho + 1`` candidates; the whole run is
 ``n(n+1)/2`` constraint evaluations -- the "Quadratic" in the name.
+Implemented as the ``"unsafe_quadratic"`` strategy of :mod:`repro.search`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List
+from typing import Optional
 
-from repro.assignment.predicate import EvaluationCounter, stability_slack
-from repro.assignment.result import AssignmentResult
-from repro.rta.taskset import Task, TaskSet
+from repro.rta.taskset import TaskSet
+from repro.search.context import SearchContext
+from repro.search.engine import run_strategy
+from repro.search.result import AssignmentResult
 
 
-def assign_unsafe_quadratic(taskset: TaskSet) -> AssignmentResult:
+def assign_unsafe_quadratic(
+    taskset: TaskSet, *, context: Optional[SearchContext] = None
+) -> AssignmentResult:
     """Run the monotonicity-trusting greedy; always commits to an order.
 
     ``claims_valid`` reports whether every committed task actually
     satisfied its constraint at commit time; the experiments re-validate
-    independently via :func:`repro.assignment.validate.validate_assignment`.
+    independently via :func:`repro.api.analyze`.
     """
-    remaining: List[Task] = [t.copy() for t in taskset]
-    counter = EvaluationCounter()
-    assignment: Dict[str, int] = {}
-    believed_valid = True
-    start = time.perf_counter()
-
-    for level in range(1, len(remaining) + 1):
-        best_index = -1
-        best_slack = float("-inf")
-        for index, candidate in enumerate(remaining):
-            others = remaining[:index] + remaining[index + 1 :]
-            slack = stability_slack(candidate, others, counter)
-            if slack > best_slack:
-                best_slack = slack
-                best_index = index
-        chosen = remaining.pop(best_index)
-        assignment[chosen.name] = level
-        if best_slack < 0.0:
-            believed_valid = False  # dead end: committed past a violation
-
-    return AssignmentResult(
-        algorithm="unsafe_quadratic",
-        priorities=assignment,
-        claims_valid=believed_valid,
-        evaluations=counter.count,
-        backtracks=0,
-        elapsed_seconds=time.perf_counter() - start,
-    )
+    return run_strategy("unsafe_quadratic", taskset, context=context)

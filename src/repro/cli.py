@@ -40,6 +40,18 @@ The input file holds one system (``{"name", "priority_policy",
 tasks may carry explicit ``stability`` bounds or a ``plant`` name from
 which the bound is derived.
 
+The ``assign`` subcommand searches (and independently validates) a
+priority assignment for the same model files through the unified search
+engine (:mod:`repro.search`)::
+
+    python -m repro assign examples/system.json
+    python -m repro assign systems.json --algorithm audsley --jobs auto
+    python -m repro assign taskset.json --algorithm backtracking --out out.json
+
+and ``sweep assign`` runs the census-scale algorithm comparison::
+
+    python -m repro sweep assign --benchmarks 200 --jobs auto --out assign.json
+
 Every ``--jobs`` option accepts ``auto`` (or ``0``) to use all cores.
 """
 
@@ -56,8 +68,9 @@ from repro.experiments.runner import REDUCERS, SWEEPS, run_experiment
 _ALL_ORDER = ("fig2", "fig4", "table1", "fig5", "census", "jittercurve")
 
 #: Registered sweeps without a direct experiment subcommand (the
-#: ``scenarios`` group is their front end).
-_SWEEP_ONLY = ("scenarios",)
+#: ``scenarios`` group and the ``assign`` model command are their front
+#: ends).
+_SWEEP_ONLY = ("scenarios", "assign")
 
 
 def _parse_jobs(value: str) -> int:
@@ -121,6 +134,22 @@ def _add_experiment_options(parser: argparse.ArgumentParser, name: str) -> None:
         parser.add_argument("--instances", type=int, default=32)
         parser.add_argument("--seed", type=int, default=7)
         parser.add_argument("--horizon-periods", type=int, default=None)
+    elif name == "assign":
+        parser.add_argument("--benchmarks", type=int, default=100)
+        parser.add_argument("--seed", type=int, default=2017)
+        parser.add_argument(
+            "--task-counts",
+            type=int,
+            nargs="+",
+            default=[4, 6, 8],
+            help="task counts of the benchmark population",
+        )
+        parser.add_argument(
+            "--exhaustive-max-n",
+            type=int,
+            default=6,
+            help="skip the exhaustive scan above this task count",
+        )
 
 
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, Any]:
@@ -139,6 +168,13 @@ def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, Any]:
             "instances": args.instances,
             "seed": args.seed,
             "horizon_periods": args.horizon_periods,
+        }
+    if name == "assign":
+        return {
+            "benchmarks": args.benchmarks,
+            "seed": args.seed,
+            "task_counts": tuple(args.task_counts),
+            "exhaustive_max_n": args.exhaustive_max_n,
         }
     return {}
 
@@ -161,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "census": "anomaly census (extension)",
         "jittercurve": "expected cost vs jitter (extension)",
         "scenarios": "Monte-Carlo scenario validation (extension)",
+        "assign": "priority-assignment suite comparison (extension)",
     }
     for name in _ALL_ORDER:
         experiment = sub.add_parser(name, help=help_lines[name])
@@ -234,6 +271,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="reuse cached chunks whose fingerprint matches",
     )
+
+    assign = sub.add_parser(
+        "assign",
+        help="search + validate priority assignments for system-model JSON",
+    )
+    assign.add_argument(
+        "model", help="system-model JSON file (one system or a batch)"
+    )
+    assign.add_argument(
+        "--algorithm",
+        type=str,
+        default=None,
+        help="assignment algorithm (rate_monotonic, slack_monotonic, "
+        "audsley, unsafe_quadratic, backtracking, exhaustive); default: "
+        "the system's priority policy, else backtracking",
+    )
+    assign.add_argument(
+        "--out", type=str, default=None, help="outcome JSON path"
+    )
+    assign.add_argument(
+        "--name", type=str, default=None, help="override the system name"
+    )
+    assign.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=None,
+        help="evaluation budget of the backtracking search",
+    )
+    _add_jobs_option(assign)
 
     analyze = sub.add_parser(
         "analyze",
@@ -395,6 +461,77 @@ def _run_scenarios_command(args: argparse.Namespace) -> int:
     return 0 if all_ok else 2
 
 
+def _load_system_dicts(path: str):
+    """Read a model file; returns ``(system_dicts, batch)`` or an error str."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        return f"cannot read {path}: {error}", None
+    except json.JSONDecodeError as error:
+        return f"{path} is not valid JSON: {error}", None
+    if isinstance(data, list):
+        return data, True
+    if isinstance(data, dict) and "systems" in data:
+        return data["systems"], True
+    return [data], False
+
+
+def _run_assign_command(args: argparse.Namespace) -> int:
+    from repro.api import ControlTaskSystem, assign_batch
+    from repro.api.service import write_assign_report
+    from repro.errors import ModelError, ReproError
+
+    loaded, batch = _load_system_dicts(args.model)
+    if batch is None:
+        print(f"assign: {loaded}", file=sys.stderr)
+        return 2
+    system_dicts = loaded
+    if args.name is not None and batch:
+        print(
+            "assign: --name applies to a single-system model only; "
+            "name batch systems in the input file",
+            file=sys.stderr,
+        )
+        return 2
+
+    options = {}
+    if args.max_evaluations is not None:
+        options["max_evaluations"] = args.max_evaluations
+    try:
+        systems = []
+        for k, entry in enumerate(system_dicts):
+            if not isinstance(entry, dict):
+                raise ModelError(
+                    f"system entry {k} must be an object, got "
+                    f"{type(entry).__name__}"
+                )
+            entry = dict(entry)
+            if args.name is not None:
+                entry["name"] = args.name
+            entry.setdefault("name", f"system-{k}" if batch else "system")
+            systems.append(ControlTaskSystem.from_dict(entry))
+        outcomes = assign_batch(
+            systems, algorithm=args.algorithm, jobs=args.jobs, **options
+        )
+    except ReproError as error:
+        print(f"assign: {error}", file=sys.stderr)
+        return 2
+
+    for outcome in outcomes:
+        print(outcome.render())
+        print()
+    ok = sum(1 for o in outcomes if o.ok)
+    print(
+        f"[assign: {len(outcomes)} system(s), {ok} assigned+stable, "
+        f"{len(outcomes) - ok} failing]"
+    )
+    if args.out:
+        write_assign_report(outcomes, args.out, batch=batch)
+        print(f"[outcome written to {args.out}]")
+    return 0 if ok == len(outcomes) else 1
+
+
 def _run_analyze_command(args: argparse.Namespace) -> int:
     from repro.api import (
         ControlTaskSystem,
@@ -404,25 +541,11 @@ def _run_analyze_command(args: argparse.Namespace) -> int:
     )
     from repro.errors import ModelError, ReproError
 
-    try:
-        with open(args.model) as handle:
-            data = json.load(handle)
-    except OSError as error:
-        print(f"analyze: cannot read {args.model}: {error}", file=sys.stderr)
+    loaded, batch = _load_system_dicts(args.model)
+    if batch is None:
+        print(f"analyze: {loaded}", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as error:
-        print(f"analyze: {args.model} is not valid JSON: {error}", file=sys.stderr)
-        return 2
-
-    if isinstance(data, list):
-        system_dicts = data
-        batch = True
-    elif isinstance(data, dict) and "systems" in data:
-        system_dicts = data["systems"]
-        batch = True
-    else:
-        system_dicts = [data]
-        batch = False
+    system_dicts = loaded
 
     if args.name is not None and batch:
         print(
@@ -484,6 +607,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep_command(args)
     if args.experiment == "scenarios":
         return _run_scenarios_command(args)
+    if args.experiment == "assign":
+        return _run_assign_command(args)
     if args.experiment == "analyze":
         return _run_analyze_command(args)
     kwargs = _experiment_kwargs(args.experiment, args)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.assignment.backtracking import assign_backtracking
+from repro.search.context import SearchContext
 from repro.control.cost import plant_lqg_cost
 from repro.control.plants import Plant, get_plant
 from repro.errors import ModelError
@@ -81,13 +82,20 @@ class PeriodCandidate:
 
 @dataclass(frozen=True)
 class CodesignResult:
-    """Outcome of the period-assignment search."""
+    """Outcome of the period-assignment search.
+
+    ``assignment_evaluations`` is the paper's logical count summed over
+    every combination tried; ``assignment_cache_hits`` is how many of
+    those the shared search context answered from its memo (combinations
+    differ in one loop's period, so most subproblems recur).
+    """
 
     chosen: Dict[str, PeriodCandidate]
     priorities: Dict[str, int]
     total_cost: float
     combinations_checked: int
     assignment_evaluations: int
+    assignment_cache_hits: int = 0
 
     def taskset(self, loops: Sequence[ControlLoopSpec]) -> TaskSet:
         """Materialise the chosen design as a prioritised task set."""
@@ -220,6 +228,11 @@ def assign_periods(
     seen = {start}
     checked = 0
     evaluations = 0
+    cache_hits = 0
+    # One search context for the whole combination loop: successive
+    # combinations differ in a single loop's period, so their assignment
+    # subproblems overlap heavily and the memo answers the repeats.
+    search_context = SearchContext()
 
     while heap and checked < max_combinations:
         cost, indices = heapq.heappop(heap)
@@ -242,8 +255,9 @@ def assign_periods(
                         for loop, c in zip(loops, candidates)
                     ]
                 )
-                result = assign_backtracking(tasks)
+                result = assign_backtracking(tasks, context=search_context)
                 evaluations += result.evaluations
+                cache_hits += result.cache_hits
                 if result.priorities is not None:
                     return CodesignResult(
                         chosen={
@@ -253,6 +267,7 @@ def assign_periods(
                         total_cost=cost,
                         combinations_checked=checked,
                         assignment_evaluations=evaluations,
+                        assignment_cache_hits=cache_hits,
                     )
         # Push single-coordinate successors (next-more-expensive options).
         for axis in range(len(loops)):

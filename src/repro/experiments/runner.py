@@ -17,7 +17,15 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
-from repro.experiments import census, fig2, fig4, fig5, jittercurve, table1
+from repro.experiments import (
+    assign,
+    census,
+    fig2,
+    fig4,
+    fig5,
+    jittercurve,
+    table1,
+)
 from repro.scenarios import validate as scenario_validate
 from repro.sweep import SweepResult, SweepSpec
 
@@ -31,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "census": census.run_census,
     "jittercurve": jittercurve.run_jittercurve,
     "scenarios": scenario_validate.run_scenarios,
+    "assign": assign.run_assign,
 }
 
 #: Registry: experiment id -> SweepSpec factory (same keyword surface as
@@ -43,6 +52,7 @@ SWEEPS: Dict[str, Callable[..., SweepSpec]] = {
     "census": census.sweep_spec,
     "jittercurve": jittercurve.sweep_spec,
     "scenarios": scenario_validate.sweep_spec,
+    "assign": assign.sweep_spec,
 }
 
 #: Registry: experiment id -> artifact reducer (SweepResult -> result object).
@@ -54,6 +64,7 @@ REDUCERS: Dict[str, Callable[[SweepResult], Any]] = {
     "census": census.from_sweep,
     "jittercurve": jittercurve.from_sweep,
     "scenarios": scenario_validate.from_sweep,
+    "assign": assign.from_sweep,
 }
 
 

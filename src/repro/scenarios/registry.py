@@ -299,3 +299,56 @@ register(
         tags=("contract-violation",),
     )
 )
+
+# -- assignment-policy axis: searched (not given) priority orders --------
+
+register(
+    ScenarioSpec(
+        name="paper_priority_raise_searched",
+        description=(
+            "The paper's pinned anomaly instance with priorities "
+            "*re-searched* by Algorithm 1 instead of taken as given: the "
+            "backtracking strategy must rediscover a valid order on the "
+            "boundary-sitting fixture, and the analytic verdict of the "
+            "searched design must agree with co-simulation."
+        ),
+        source=FixedSource(priority_raise_anomaly_example),
+        policy="backtracking",
+        execution="uniform",
+        horizon_periods=120,
+        band=0.02,
+        tags=("paper", "anomaly", "assignment"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="searched_audsley",
+        description=(
+            "Benchmark population under Audsley OPA-searched priorities; "
+            "exercises the greedy search end of the assignment axis "
+            "(failed searches are counted, not hidden)."
+        ),
+        source=BenchmarkSource(),
+        policy="audsley",
+        execution="uniform",
+        tags=("benchmark", "assignment"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="searched_unsafe_quadratic",
+        description=(
+            "High-utilisation benchmarks under Unsafe Quadratic searched "
+            "priorities: the greedy always commits, occasionally past a "
+            "violated constraint (the paper's Table I failures), and the "
+            "analysis must flag exactly those designs -- never the "
+            "other way around."
+        ),
+        source=BenchmarkSource(utilization_range=(0.6, 0.9)),
+        policy="unsafe_quadratic",
+        execution="uniform",
+        tags=("benchmark", "assignment", "policy"),
+    )
+)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.api.service import verdict_from_times
 from repro.errors import ModelError
 from repro.rta.taskset import Task
+from repro.search.context import SearchContext
 from repro.servers.model import PeriodicServer
 from repro.servers.rta import server_latency_jitter
 
@@ -52,6 +53,7 @@ def minimum_bandwidth_server(
     *,
     companions: Tuple[Task, ...] = (),
     grid_points: int = 64,
+    context: Optional[SearchContext] = None,
 ) -> Optional[ServerDesignResult]:
     """Smallest-budget periodic server keeping ``task`` stable.
 
@@ -60,6 +62,11 @@ def minimum_bandwidth_server(
     server.  Stability means: deadline met (``R^w <= h``) and, if the task
     carries a bound, ``L + aJ <= b``.  Returns ``None`` when no budget up
     to the full server period works.
+
+    The candidate scan runs through a :mod:`repro.search` context (pass
+    ``context=`` to pool its evaluation accounting with other searches);
+    server-supply subproblems are keyed by budget, not hp-set, so they
+    are counted rather than memoised.
     """
     if task.stability is None:
         raise ModelError(
@@ -71,21 +78,23 @@ def minimum_bandwidth_server(
     if grid_points < 2:
         raise ModelError("need at least two candidate budgets")
 
+    run = (context if context is not None else SearchContext()).run()
     budgets = np.linspace(0.0, server_period, grid_points + 1)[1:]
-    evaluations = 0
     stable: List[Tuple[float, float, float]] = []  # (budget, L, J)
     verdicts: List[bool] = []
     for budget in budgets:
         server = PeriodicServer(budget=float(budget), period=server_period)
-        evaluations += 1
         # Served-supply response times, judged by the same (L, J) -> margin
-        # step of the façade that dedicated-processor analyses use.
+        # step of the façade that dedicated-processor analyses use; the
+        # evaluation is tallied into the shared search-context counter.
+        run.count_external()
         verdict = verdict_from_times(
             task, server_latency_jitter(server, task, companions)
         )
         verdicts.append(verdict.ok)
         if verdict.ok:
             stable.append((float(budget), verdict.latency, verdict.jitter))
+    evaluations = run.counter.count
     if not stable:
         return None
     # Non-monotone stability across the grid = a server-budget anomaly.

@@ -128,7 +128,13 @@ class TestControlTaskSystem:
             "audsley",
             "backtracking",
             "unsafe_quadratic",
+            "exhaustive",
         } == set(PRIORITY_POLICIES)
+
+    def test_policy_registry_matches_search_strategies(self):
+        from repro.search import strategy_names
+
+        assert set(PRIORITY_POLICIES) == {"as_given", *strategy_names()}
 
 
 class TestVerdicts:

@@ -1,0 +1,14 @@
+"""Deterministic benchmark populations for the search-engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchgen.taskgen import generate_control_taskset
+from repro.rta.taskset import TaskSet
+
+
+def random_taskset(n: int, index: int, seed: int = 20260729) -> TaskSet:
+    """One UUniFast benchmark task set, deterministic in ``(seed, n, index)``."""
+    rng = np.random.default_rng([seed, n, index])
+    return generate_control_taskset(n, rng)

@@ -1,0 +1,172 @@
+"""Frozen copies of the pre-``repro.search`` assignment implementations.
+
+These are the seed algorithms verbatim (modulo cosmetic renames): scalar
+:func:`repro.assignment.predicate.stability_slack` per candidate, no
+memoisation, no batching, no sharing.  The equivalence tests pin the
+refactored engine against them byte-for-byte -- assignments, success
+flags, and logical evaluation counts -- on hundreds of random UUniFast
+task sets.  Do not "improve" this module; its value is that it does not
+change.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.assignment.predicate import (
+    EvaluationCounter,
+    is_feasible,
+    stability_slack,
+)
+from repro.rta.taskset import Task, TaskSet
+
+
+def seed_audsley(taskset: TaskSet):
+    remaining: List[Task] = [t.copy() for t in taskset]
+    counter = EvaluationCounter()
+    assignment: Dict[str, int] = {}
+    for level in range(1, len(taskset) + 1):
+        best_index = -1
+        best_slack = float("-inf")
+        for index, candidate in enumerate(remaining):
+            others = remaining[:index] + remaining[index + 1 :]
+            slack = stability_slack(candidate, others, counter)
+            if slack > best_slack:
+                best_slack = slack
+                best_index = index
+        if best_slack < 0.0:
+            return None, False, counter.count, 0
+        chosen = remaining.pop(best_index)
+        assignment[chosen.name] = level
+    return assignment, True, counter.count, 0
+
+
+def seed_unsafe_quadratic(taskset: TaskSet):
+    remaining: List[Task] = [t.copy() for t in taskset]
+    counter = EvaluationCounter()
+    assignment: Dict[str, int] = {}
+    believed_valid = True
+    for level in range(1, len(remaining) + 1):
+        best_index = -1
+        best_slack = float("-inf")
+        for index, candidate in enumerate(remaining):
+            others = remaining[:index] + remaining[index + 1 :]
+            slack = stability_slack(candidate, others, counter)
+            if slack > best_slack:
+                best_slack = slack
+                best_index = index
+        chosen = remaining.pop(best_index)
+        assignment[chosen.name] = level
+        if best_slack < 0.0:
+            believed_valid = False
+    return assignment, believed_valid, counter.count, 0
+
+
+def seed_backtracking(taskset: TaskSet, max_evaluations: int = 10_000_000):
+    tasks = [t.copy() for t in taskset]
+    counter = EvaluationCounter()
+    backtracks = 0
+    assignment: Dict[str, int] = {}
+
+    class _BudgetExhausted(Exception):
+        pass
+
+    def backtrack(remaining: List[Task], level: int) -> bool:
+        nonlocal backtracks
+        if not remaining:
+            return True
+        if counter.count > max_evaluations:
+            raise _BudgetExhausted()
+        scored = []
+        for index, candidate in enumerate(remaining):
+            others = remaining[:index] + remaining[index + 1 :]
+            slack = stability_slack(candidate, others, counter)
+            scored.append((slack, index, candidate, others))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        for slack, _, candidate, others in scored:
+            if slack < 0.0:
+                break
+            assignment[candidate.name] = level
+            if backtrack(others, level + 1):
+                return True
+            del assignment[candidate.name]
+            backtracks += 1
+        return False
+
+    try:
+        found = backtrack(tasks, 1)
+    except _BudgetExhausted:
+        return None, False, counter.count, backtracks
+    return (
+        (dict(assignment) if found else None),
+        found,
+        counter.count,
+        backtracks,
+    )
+
+
+def seed_rate_monotonic(taskset: TaskSet):
+    ordered = sorted(taskset, key=lambda t: t.period, reverse=True)
+    return (
+        {task.name: level + 1 for level, task in enumerate(ordered)},
+        None,
+        0,
+        0,
+    )
+
+
+def seed_slack_monotonic(taskset: TaskSet):
+    counter = EvaluationCounter()
+    tasks = [t.copy() for t in taskset]
+    scored: List[Tuple[float, str]] = []
+    for index, task in enumerate(tasks):
+        others = tasks[:index] + tasks[index + 1 :]
+        scored.append((stability_slack(task, others, counter), task.name))
+    scored.sort(key=lambda item: -item[0])
+    return (
+        {name: level + 1 for level, (_, name) in enumerate(scored)},
+        None,
+        counter.count,
+        0,
+    )
+
+
+def _order_is_valid(order, counter: EvaluationCounter) -> bool:
+    for position, task in enumerate(order):
+        if not is_feasible(task, order[position + 1 :], counter):
+            return False
+    return True
+
+
+def seed_exhaustive(taskset: TaskSet):
+    counter = EvaluationCounter()
+    tasks = [t.copy() for t in taskset]
+    for order in itertools.permutations(tasks):
+        if _order_is_valid(order, counter):
+            priorities = {
+                task.name: level + 1 for level, task in enumerate(order)
+            }
+            return priorities, True, counter.count, 0
+    return None, False, counter.count, 0
+
+
+def seed_count_valid_orders(taskset: TaskSet) -> int:
+    counter = EvaluationCounter()
+    tasks = [t.copy() for t in taskset]
+    return sum(
+        1
+        for order in itertools.permutations(tasks)
+        if _order_is_valid(order, counter)
+    )
+
+
+#: name -> (seed callable, engine entry point kwargs-compatible)
+SEED_ALGORITHMS = {
+    "rate_monotonic": seed_rate_monotonic,
+    "slack_monotonic": seed_slack_monotonic,
+    "audsley": seed_audsley,
+    "unsafe_quadratic": seed_unsafe_quadratic,
+    "backtracking": seed_backtracking,
+    "exhaustive": seed_exhaustive,
+}

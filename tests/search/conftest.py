@@ -1,0 +1,36 @@
+"""Fixtures for the search-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+@pytest.fixture
+def easy_taskset():
+    """Generously bounded set: any priority order is valid."""
+    return TaskSet(
+        [
+            Task(name="a", period=4.0, wcet=0.4, bcet=0.2,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+            Task(name="b", period=8.0, wcet=0.8, bcet=0.4,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+            Task(name="c", period=16.0, wcet=1.6, bcet=0.8,
+                 stability=LinearStabilityBound(a=1.0, b=100.0)),
+        ]
+    )
+
+
+@pytest.fixture
+def infeasible_taskset():
+    """No priority order satisfies both stability bounds."""
+    return TaskSet(
+        [
+            Task(name="x", period=4.0, wcet=2.0, bcet=2.0,
+                 stability=LinearStabilityBound(a=1.0, b=2.5)),
+            Task(name="y", period=4.0, wcet=2.0, bcet=2.0,
+                 stability=LinearStabilityBound(a=1.0, b=2.5)),
+        ]
+    )
