@@ -16,6 +16,7 @@ report schema of :mod:`repro.api.report`), which is what the CLI's
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Union
 
@@ -194,7 +195,7 @@ class ControlTaskSystem:
                 f"(expected {SCHEMA_VERSION})"
             )
         tasks_field = data.get("tasks")
-        if not tasks_field:
+        if not isinstance(tasks_field, (list, tuple)) or not tasks_field:
             raise ModelError("system schema needs a non-empty 'tasks' list")
         tasks = []
         for index, entry in enumerate(tasks_field):
@@ -217,6 +218,33 @@ class ControlTaskSystem:
                     f"task entry {index}: 'stability' must be an object "
                     "with fields 'a' and 'b'"
                 )
+            if isinstance(stability, dict):
+                for coeff in ("a", "b"):
+                    try:
+                        coeff_value = float(stability[coeff])
+                    except (TypeError, ValueError):
+                        continue  # the bound construction below reports these
+                    if not math.isfinite(coeff_value):
+                        raise ModelError(
+                            f"task entry {index}: stability coefficient "
+                            f"{coeff!r} must be finite, got {stability[coeff]!r}"
+                        )
+            # Task's own checks are comparison-based and NaN bypasses
+            # comparisons, so non-finite numbers from a JSON file (which
+            # json.loads accepts as bare NaN/Infinity) are rejected here
+            # at the schema boundary -- they would otherwise surface as
+            # opaque kernel errors (or a vacuous verdict) much later.
+            for field_name in ("period", "wcet", "bcet"):
+                raw = entry.get(field_name)
+                try:
+                    value = float(raw) if raw is not None else None
+                except (TypeError, ValueError):
+                    continue  # the Task construction below reports these
+                if value is not None and not math.isfinite(value):
+                    raise ModelError(
+                        f"task entry {index}: {field_name} must be finite, "
+                        f"got {raw!r}"
+                    )
             try:
                 tasks.append(
                     Task(
@@ -256,6 +284,28 @@ class ControlTaskSystem:
             name=str(data.get("name", "system")),
             priority_policy=str(data.get("priority_policy", "as_given")),
         )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of the model (sorted keys, compact, sentinels).
+
+        The input-side counterpart of the report's canonical form: two
+        structurally identical systems -- whatever dict ordering or float
+        spelling their source files used -- produce identical strings.
+        """
+        from repro.sweep.result import canonical_dumps
+
+        return canonical_dumps(self.to_dict())
+
+    def canonical_sha256(self) -> str:
+        """Content address of the model: the serve-layer cache key.
+
+        Covers exactly what :func:`analyze` consumes (tasks, bindings,
+        priority policy, name), so equal hashes guarantee byte-identical
+        analysis responses.
+        """
+        from repro.sweep.result import canonical_sha256_of
+
+        return canonical_sha256_of(self.to_dict())
 
     @classmethod
     def from_json(cls, path: str) -> "ControlTaskSystem":

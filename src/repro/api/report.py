@@ -10,21 +10,35 @@ versioned canonical JSON schema (``schema_version`` +
 floats encoded as sentinel strings, atomic writes.  Two reports of the
 same system -- produced serially, in a process pool, or reloaded from
 disk -- are byte-identical in canonical form.
+
+Schema note (sentinel escaping): string fields whose value reads as a
+non-finite sentinel (``"NaN"``/``"Infinity"``/``"-Infinity"``, optionally
+behind ``~`` escape markers) are escaped with one leading ``~`` in the
+JSON encoding and unescaped on load.  Encode and decode live strictly at
+the JSON boundary (``write``/``load``, the sweep chunk cache):
+``from_dict`` takes decoded dicts verbatim, so a task genuinely named
+``"NaN"`` -- or ``"~NaN"`` -- round-trips losslessly through files, the
+process-pool batch path, and the serve layer alike, and canonical hashes
+of reports without colliding names are unchanged by the rule.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.jittermargin.linearbound import LinearStabilityBound
 from repro.rta.interface import ResponseTimes
-from repro.sweep.result import decode_nonfinite, encode_nonfinite
+from repro.sweep.result import (
+    atomic_write_text,
+    canonical_dumps,
+    canonical_sha256_of,
+    decode_nonfinite,
+    encode_nonfinite,
+)
 
 #: Version of the report (and system-model) JSON schema.  Bump on any
 #: field addition/removal/semantic change; the API-surface snapshot test
@@ -33,6 +47,11 @@ SCHEMA_VERSION = 1
 
 #: Guard against division by a degenerate latency budget in ``rel_slack``.
 _MIN_BUDGET = 1e-12
+
+
+def _decode_float(value: Any) -> float:
+    """One numeric schema field -> float, sentinel strings included."""
+    return float(decode_nonfinite(value))
 
 
 @dataclass(frozen=True)
@@ -140,23 +159,36 @@ class TaskVerdict:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TaskVerdict":
-        data = decode_nonfinite(dict(data))
+        """Rebuild a verdict from its schema dict.
+
+        Expects *decoded* values: raw ``to_dict()`` output, a sweep
+        worker record, or a JSON file passed through
+        :func:`~repro.sweep.result.decode_nonfinite` (which
+        :meth:`AnalysisReport.load` does).  String fields are taken
+        verbatim -- unescaping happens only at the JSON boundary, where
+        escaping happened -- so a task genuinely named ``"NaN"`` or
+        ``"~NaN"`` survives every path.  Numeric fields tolerate
+        sentinel strings either way (field-typed decode).
+        """
         bound = data.get("bound")
         return cls(
-            name=data["name"],
-            period=float(data["period"]),
-            wcet=float(data["wcet"]),
-            bcet=float(data["bcet"]),
+            name=str(data["name"]),
+            period=_decode_float(data["period"]),
+            wcet=_decode_float(data["wcet"]),
+            bcet=_decode_float(data["bcet"]),
             priority=(
                 int(data["priority"]) if data.get("priority") is not None else None
             ),
             times=ResponseTimes(
-                best=float(data["best"]), worst=float(data["worst"])
+                best=_decode_float(data["best"]),
+                worst=_decode_float(data["worst"]),
             ),
             bound=(
                 None
                 if bound is None
-                else LinearStabilityBound(a=float(bound["a"]), b=float(bound["b"]))
+                else LinearStabilityBound(
+                    a=_decode_float(bound["a"]), b=_decode_float(bound["b"])
+                )
             ),
         )
 
@@ -216,15 +248,10 @@ class AnalysisReport:
 
     def canonical_json(self) -> str:
         """Deterministic JSON (sorted keys, compact, sentinel non-finites)."""
-        return json.dumps(
-            encode_nonfinite(self._canonical_dict()),
-            sort_keys=True,
-            separators=(",", ":"),
-            allow_nan=False,
-        )
+        return canonical_dumps(self._canonical_dict())
 
     def canonical_sha256(self) -> str:
-        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+        return canonical_sha256_of(self._canonical_dict())
 
     def to_dict(self) -> Dict[str, Any]:
         """Full schema dict: the canonical view plus its embedded hash."""
@@ -233,12 +260,7 @@ class AnalysisReport:
         return payload
 
     def report_json(self) -> str:
-        return json.dumps(
-            encode_nonfinite(self.to_dict()),
-            sort_keys=True,
-            separators=(",", ":"),
-            allow_nan=False,
-        )
+        return canonical_dumps(self.to_dict())
 
     def write(self, path: str) -> None:
         """Write the report atomically (temp file + rename), indented."""
@@ -246,7 +268,11 @@ class AnalysisReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "AnalysisReport":
-        data = decode_nonfinite(dict(data))
+        # No decoding here: from_dict takes decoded (in-memory) dicts,
+        # and load() decodes JSON files before calling it.  Unescaping a
+        # raw dict would corrupt names that legitimately start with the
+        # escape marker.  Numeric sentinel tolerance lives field-typed
+        # in TaskVerdict.from_dict.
         version = data.get("schema_version")
         if version != SCHEMA_VERSION:
             raise ModelError(
@@ -254,15 +280,18 @@ class AnalysisReport:
                 f"(expected {SCHEMA_VERSION})"
             )
         return cls(
-            name=data["name"],
-            priority_policy=data["priority_policy"],
+            name=str(data["name"]),
+            priority_policy=str(data["priority_policy"]),
             verdicts=tuple(TaskVerdict.from_dict(t) for t in data["tasks"]),
         )
 
     @classmethod
     def load(cls, path: str) -> "AnalysisReport":
         with open(path) as handle:
-            return cls.from_dict(json.load(handle))
+            # The file was encoded at write time; decode (floats back
+            # from sentinels, escaped strings unescaped) exactly once,
+            # at the same boundary.
+            return cls.from_dict(decode_nonfinite(json.load(handle)))
 
     def render(self) -> str:
         # Imported here: repro.experiments imports api through its drivers,
@@ -323,17 +352,7 @@ def write_batch_report(reports: Sequence[AnalysisReport], path: str) -> None:
 
 
 def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
     text = json.dumps(
         encode_nonfinite(payload), indent=2, sort_keys=True, allow_nan=False
     )
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text + "\n")
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    atomic_write_text(path, text + "\n")

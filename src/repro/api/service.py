@@ -156,20 +156,22 @@ class AssignmentOutcome:
             "report": None if self.report is None else self.report.to_dict(),
         }
 
+    def outcome_json(self) -> str:
+        """Canonical JSON of the outcome (sorted keys, compact, sentinels).
+
+        The serialisation the serve layer ships over the wire: identical
+        outcomes -- computed directly, batched, or replayed from the
+        daemon's content-addressed store -- are byte-identical here.
+        """
+        from repro.sweep.result import canonical_dumps
+
+        return canonical_dumps(self.to_dict())
+
     def canonical_sha256(self) -> str:
         """Hash of the outcome's canonical JSON form (wall-clock excluded)."""
-        import hashlib
-        import json as _json
+        from repro.sweep.result import canonical_sha256_of
 
-        from repro.sweep.result import encode_nonfinite
-
-        payload = _json.dumps(
-            encode_nonfinite(self.to_dict()),
-            sort_keys=True,
-            separators=(",", ":"),
-            allow_nan=False,
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return canonical_sha256_of(self.to_dict())
 
     def render(self) -> str:
         result = self.result

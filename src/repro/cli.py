@@ -52,6 +52,17 @@ and ``sweep assign`` runs the census-scale algorithm comparison::
 
     python -m repro sweep assign --benchmarks 200 --jobs auto --out assign.json
 
+The ``serve`` subcommand starts the long-lived analysis daemon
+(:mod:`repro.serve`: request coalescing + micro-batching over the
+batched façade entry points, content-addressed response store), and
+``request`` is its scriptable client::
+
+    python -m repro serve --port 8787 --cache-dir .serve-cache
+    python -m repro request examples/system.json
+    python -m repro request examples/system.json --assign --algorithm audsley
+    python -m repro request --stats
+    python -m repro request --shutdown
+
 Every ``--jobs`` option accepts ``auto`` (or ``0``) to use all cores.
 """
 
@@ -323,6 +334,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "--name", type=str, default=None, help="override the system name"
     )
     _add_jobs_option(analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the batched, cached analysis daemon (repro.serve)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory for the persistent response-store tier",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds to coalesce concurrent requests into one batch",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="requests per batch cap"
+    )
+    serve.add_argument(
+        "--store-entries",
+        type=int,
+        default=1024,
+        help="in-memory response-store capacity",
+    )
+    _add_jobs_option(serve)
+
+    request = sub.add_parser(
+        "request",
+        help="send system-model JSON to a running analysis daemon",
+    )
+    request.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="system-model JSON file (one system or a batch)",
+    )
+    request.add_argument("--host", type=str, default="127.0.0.1")
+    request.add_argument("--port", type=int, default=8787)
+    request.add_argument(
+        "--assign",
+        action="store_true",
+        help="request a priority assignment instead of an analysis",
+    )
+    request.add_argument(
+        "--algorithm",
+        type=str,
+        default=None,
+        help="assignment algorithm for --assign (default: server default)",
+    )
+    request.add_argument(
+        "--out", type=str, default=None, help="write the response(s) here"
+    )
+    request.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="request a seeded scenario population draw instead of a "
+        "model analysis (with --instances/--seed)",
+    )
+    request.add_argument("--instances", type=int, default=8)
+    request.add_argument("--seed", type=int, default=7)
+    request.add_argument(
+        "--health", action="store_true", help="print daemon health and exit"
+    )
+    request.add_argument(
+        "--stats", action="store_true", help="print daemon counters and exit"
+    )
+    request.add_argument(
+        "--shutdown", action="store_true", help="stop the daemon and exit"
+    )
 
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
@@ -596,6 +683,128 @@ def _run_analyze_command(args: argparse.Namespace) -> int:
     return 0 if stable == len(reports) else 1
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from repro.serve import AnalysisDaemon
+
+    daemon = AnalysisDaemon(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        store_entries=args.store_entries,
+    )
+
+    # Print the endpoint once the socket is bound (port 0 resolves to a
+    # real ephemeral port there), from a helper thread so run() can own
+    # the main thread and its KeyboardInterrupt handling.
+    import threading
+
+    def announce() -> None:
+        if daemon.started.wait(10.0):
+            print(
+                f"[repro serve] listening on http://{daemon.host}:{daemon.port} "
+                f"(jobs={daemon.jobs}, window={daemon.batcher.window * 1e3:.1f} ms, "
+                f"cache-dir={args.cache_dir or 'none'}); "
+                "POST /v1/shutdown or Ctrl-C to stop",
+                flush=True,
+            )
+
+    threading.Thread(target=announce, daemon=True).start()
+    daemon.run()
+    return 0
+
+
+def _run_request_command(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.health:
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+            return 0
+        if args.scenario is not None:
+            status, body = client.scenarios_run_raw(
+                args.scenario, instances=args.instances, seed=args.seed
+            )
+            text = body.decode("utf-8")
+            if status != 200:
+                print(f"request: rejected ({status}): {text}", file=sys.stderr)
+                return 2
+            print(text)
+            if args.out:
+                with open(args.out, "wb") as handle:
+                    handle.write(body + b"\n")
+                print(f"[response written to {args.out}]", file=sys.stderr)
+            return 0
+    except ServeClientError as error:
+        print(f"request: {error}", file=sys.stderr)
+        return 2
+
+    if args.model is None:
+        print(
+            "request: give a model file, or --scenario/--health/--stats/"
+            "--shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    loaded, batch = _load_system_dicts(args.model)
+    if batch is None:
+        print(f"request: {loaded}", file=sys.stderr)
+        return 2
+
+    bodies: List[bytes] = []
+    all_ok = True
+    try:
+        for k, entry in enumerate(loaded):
+            if not isinstance(entry, dict):
+                print(
+                    f"request: system entry {k} must be an object, got "
+                    f"{type(entry).__name__}",
+                    file=sys.stderr,
+                )
+                return 2
+            entry = dict(entry)
+            entry.setdefault("name", f"system-{k}" if batch else "system")
+            if args.assign:
+                status, body = client.assign_raw(entry, algorithm=args.algorithm)
+            else:
+                status, body = client.analyze_raw(entry)
+            text = body.decode("utf-8")
+            if status != 200:
+                print(f"request: entry {k} rejected ({status}): {text}", file=sys.stderr)
+                return 2
+            # The body is the exact canonical façade serialisation --
+            # print it untouched so shell pipelines see the real bytes.
+            print(text)
+            bodies.append(body)
+            response = json.loads(text)
+            all_ok = all_ok and bool(
+                response.get("ok" if args.assign else "stable")
+            )
+    except ServeClientError as error:
+        print(f"request: {error}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        with open(args.out, "wb") as handle:
+            if batch:
+                handle.write(
+                    b"[\n" + b",\n".join(bodies) + b"\n]\n"
+                )
+            else:
+                handle.write(bodies[0] + b"\n")
+        print(f"[response written to {args.out}]", file=sys.stderr)
+    return 0 if all_ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "all":
@@ -611,6 +820,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_assign_command(args)
     if args.experiment == "analyze":
         return _run_analyze_command(args)
+    if args.experiment == "serve":
+        return _run_serve_command(args)
+    if args.experiment == "request":
+        return _run_request_command(args)
     kwargs = _experiment_kwargs(args.experiment, args)
     kwargs["jobs"] = args.jobs
     print(run_experiment(args.experiment, **kwargs).render())

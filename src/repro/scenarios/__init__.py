@@ -49,8 +49,18 @@ from repro.scenarios.validate import (
     validate_registry,
     validate_scenario,
 )
+from repro.scenarios.workload import (
+    scenario_request_pool,
+    scenario_request_stream,
+    scenario_run_json,
+    scenario_run_payload,
+)
 
 __all__ = [
+    "scenario_request_pool",
+    "scenario_request_stream",
+    "scenario_run_json",
+    "scenario_run_payload",
     "ScenarioSpec",
     "ScenarioInstance",
     "BenchmarkSource",

@@ -1,0 +1,153 @@
+"""Scenario-drawn request streams for the serving layer.
+
+The serve benchmark (and any load test of :mod:`repro.serve`) needs
+request traffic that is *diverse* -- different task counts, utilisations,
+perturbation structures -- and *repetitive* -- real serving traffic
+re-analyses the same designs, which is what the daemon's
+content-addressed store exploits.  Instead of inventing a synthetic
+model generator, the stream draws its systems from the scenario
+catalogue: every registered :class:`~repro.scenarios.spec.ScenarioSpec`
+already is a seeded generator of concrete, analysable task sets.
+
+A stream is fully determined by ``(seed, scenario names, sizes)``; like
+everything sweep-adjacent, two processes asking for the same stream get
+the same models in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.model import ControlTaskSystem
+from repro.errors import ModelError
+from repro.scenarios.registry import get_scenario, scenario_names
+
+#: Default scenarios behind a request stream: structurally different
+#: sources (fixed single loop, benchmark draws, perturbed populations),
+#: all with pre-assigned priorities so every request is analysable.
+DEFAULT_STREAM_SCENARIOS = (
+    "smoke_single_loop",
+    "benchmark_baseline",
+    "bursty_interference",
+    "transient_overload",
+    "wcet_inflation",
+)
+
+
+def scenario_request_pool(
+    *,
+    unique: int = 24,
+    seed: int = 7,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[ControlTaskSystem]:
+    """Distinct analysable systems drawn round-robin from the catalogue.
+
+    Each pool entry is one scenario instance's *analysis* view wrapped as
+    a :class:`ControlTaskSystem` (priorities as drawn, so serving costs
+    no search).  Instances whose priority policy failed to assign are
+    skipped -- the pool always reaches ``unique`` members.
+    """
+    if unique < 1:
+        raise ModelError(f"pool needs >= 1 unique systems, got {unique}")
+    names = tuple(scenarios) if scenarios else DEFAULT_STREAM_SCENARIOS
+    specs = [get_scenario(name) for name in names]  # validates the names
+    pool: List[ControlTaskSystem] = []
+    index = 0
+    # Round-robin over the scenarios; index walks each scenario's own
+    # deterministic instance sequence.  The attempt cap turns a
+    # pathological scenario set (every draw unassignable) into an error
+    # instead of an unbounded re-search loop.
+    max_attempts = max(50 * unique, 200)
+    while len(pool) < unique:
+        if index >= max_attempts:
+            raise ModelError(
+                f"could not draw {unique} analysable systems from "
+                f"{list(names)} within {max_attempts} attempts "
+                f"({len(pool)} found); are the scenarios assignable?"
+            )
+        spec = specs[index % len(specs)]
+        instance = spec.instance(index // len(specs), seed)
+        index += 1
+        if not instance.assigned or instance.analysis is None:
+            continue
+        pool.append(
+            ControlTaskSystem(
+                taskset=instance.analysis,
+                name=f"{instance.scenario}-{instance.index}",
+                priority_policy="as_given",
+            )
+        )
+    return pool
+
+
+def scenario_run_payload(
+    name: str, *, instances: int, seed: int = 7
+) -> Dict[str, Any]:
+    """The ``scenarios run`` result as a versioned, serialisable record.
+
+    What ``python -m repro scenarios run`` computes (the analytic
+    records of the first ``instances`` draws), shaped for the serving
+    layer: the daemon's ``POST /v1/scenarios/run`` response is exactly
+    :func:`scenario_run_json` of this payload.
+    """
+    from repro.api.report import SCHEMA_VERSION
+    from repro.scenarios.validate import analytic_records
+
+    if instances < 1:
+        raise ModelError(f"instances must be >= 1, got {instances}")
+    spec = get_scenario(name)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": spec.name,
+        "instances": instances,
+        "seed": seed,
+        "records": analytic_records(spec, instances=instances, seed=seed),
+    }
+
+
+def scenario_run_json(name: str, *, instances: int, seed: int = 7) -> str:
+    """Canonical JSON of :func:`scenario_run_payload` (the wire form)."""
+    from repro.sweep.result import canonical_dumps
+
+    return canonical_dumps(
+        scenario_run_payload(name, instances=instances, seed=seed)
+    )
+
+
+def scenario_request_stream(
+    n_requests: int,
+    *,
+    unique: int = 24,
+    repeat_fraction: float = 0.5,
+    seed: int = 7,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[ControlTaskSystem]:
+    """A request stream of ``n_requests`` systems with realistic repeats.
+
+    ``repeat_fraction`` of the requests (in expectation) re-submit a
+    model already seen earlier in the stream -- the traffic shape a
+    content-addressed cache is built for; the rest walk forward through
+    the pool of ``unique`` distinct systems.  ``repeat_fraction=0`` with
+    ``n_requests <= unique`` gives an all-distinct stream (the
+    cache-hostile worst case).
+    """
+    if n_requests < 1:
+        raise ModelError(f"stream needs >= 1 requests, got {n_requests}")
+    if not (0.0 <= repeat_fraction <= 1.0):
+        raise ModelError(
+            f"repeat_fraction must be in [0, 1], got {repeat_fraction}"
+        )
+    pool = scenario_request_pool(unique=unique, seed=seed, scenarios=scenarios)
+    rng = np.random.default_rng([seed, 0x5EB7E, n_requests])
+    stream: List[ControlTaskSystem] = []
+    fresh = 0
+    for _ in range(n_requests):
+        seen = min(fresh, len(pool))
+        if seen and (fresh >= len(pool) or rng.random() < repeat_fraction):
+            stream.append(pool[int(rng.integers(seen))])
+        else:
+            stream.append(pool[fresh])
+            fresh += 1
+    return stream

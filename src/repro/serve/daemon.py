@@ -1,0 +1,502 @@
+"""The analysis daemon: long-lived HTTP front end of :mod:`repro.api`.
+
+A stdlib-only (``asyncio`` streams, no third-party framework) HTTP/1.1
+server exposing the façade to concurrent clients:
+
+* ``POST /v1/analyze``  -- system-model JSON in, the versioned
+  :class:`~repro.api.AnalysisReport` schema out.  The response body is
+  byte-identical to ``analyze(system).report_json()`` computed directly
+  in-process -- same schema, same ``canonical_sha256``.
+* ``POST /v1/assign[?algorithm=...]`` -- the assignment counterpart;
+  byte-identical to ``assign(system, ...).outcome_json()``.
+* ``GET /v1/scenarios`` / ``POST /v1/scenarios/run`` -- the catalogue
+  listing and seeded population draws (``scenarios run`` as a service);
+  byte-identical to :func:`repro.scenarios.scenario_run_json`.
+* ``GET /v1/health`` / ``GET /v1/stats`` -- liveness + counters.
+* ``POST /v1/shutdown`` -- clean shutdown (responds, then exits).
+
+Two mechanics keep the hot path on the batched kernels instead of paying
+scalar cost per request:
+
+1. **Coalescing + micro-batching** (:mod:`repro.serve.batcher`):
+   requests arriving within ``--batch-window`` are grouped and pushed
+   through ``analyze_batch``/``assign_batch`` as one call; identical
+   models in a batch are computed once.
+2. **Content-addressed store** (:mod:`repro.serve.store`): responses are
+   cached under the model's ``canonical_sha256`` (in-memory LRU +
+   optional disk tier under ``--cache-dir``), so repeated models are
+   replayed without recomputation.
+
+CLI: ``python -m repro serve [--port --jobs --cache-dir ...]``; drive it
+with ``python -m repro request <model.json>`` or plain ``curl``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.model import ControlTaskSystem
+from repro.api.service import analyze, analyze_batch, assign, assign_batch
+from repro.errors import ModelError
+from repro.search.strategies import STRATEGIES
+from repro.serve.batcher import MicroBatcher
+from repro.serve.store import ResultStore
+from repro.sweep import resolve_jobs
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """A malformed request, carrying the response to send back."""
+
+    def __init__(self, status: int, body: str):
+        super().__init__(body)
+        self.status = status
+        self.body = body
+
+#: Upper bound on accepted request bodies (a 10k-task model is ~1 MB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Bodies above this parse + hash off-loop (asyncio.to_thread): a
+#: multi-MB model would otherwise stall every concurrent handler for the
+#: json.loads + canonical-dump duration.  Typical models are a few KB
+#: and stay inline.
+OFFLOAD_PARSE_BYTES = 256 * 1024
+
+
+def _json_body(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class AnalysisDaemon:
+    """One serving process: HTTP front end + batcher + result store."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        batch_window: float = 0.005,
+        max_batch: int = 64,
+        store_entries: int = 1024,
+        cache_responses: bool = True,
+        read_timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.jobs = resolve_jobs(jobs)
+        self.cache_dir = cache_dir
+        #: ``False`` turns the content-addressed store off entirely --
+        #: the per-request-dispatch baseline the serve benchmark compares
+        #: against.  Production serving keeps it on.
+        self.cache_responses = cache_responses
+        #: Budget for *receiving* a request (line + headers + body).  A
+        #: client that connects and stalls is cut off instead of pinning
+        #: a handler task and fd forever; computation time is unbounded
+        #: by this (it starts after the body arrived).
+        self.read_timeout = read_timeout
+        self.store = ResultStore(max_entries=store_entries, cache_dir=cache_dir)
+        self.batcher = MicroBatcher(
+            self._dispatch, window=batch_window, max_batch=max_batch
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Created in start(), on the running loop (Python 3.9 binds
+        # asyncio primitives to the construction-time loop).
+        self._shutdown: Optional[asyncio.Event] = None
+        #: Set once the socket is bound; ``port`` then holds the real port
+        #: (relevant with ``port=0``).  Threading event so test/bench
+        #: harnesses can run the daemon in a background thread.
+        self.started = threading.Event()
+        self.requests_total = 0
+        self.responses_from_cache = 0
+        self.errors = 0
+
+    # -- computation ---------------------------------------------------------
+    def _dispatch(
+        self, group: Tuple[str, ...], payloads: List[Any]
+    ) -> List[Tuple[bool, str]]:
+        """Batched computation (runs on the batcher's worker thread).
+
+        Returns ``(ok, body)`` per payload.  Model groups ride
+        ``analyze_batch``/``assign_batch`` whole; if any system poisons
+        the batched call, fall back to per-system computation so one bad
+        model cannot fail its batch-mates.  Scenario runs are computed
+        per payload (each is already a whole population draw).
+        """
+        # Broad catches throughout: the isolation guarantee covers *any*
+        # per-model failure (a NaN-period model dies in the numeric
+        # kernels with a ValueError, not a ReproError), and an escaped
+        # exception here would fail every coalesced batch-mate with 500.
+        if group[0] == "scenarios":
+            from repro.scenarios import scenario_run_json
+
+            results: List[Tuple[bool, str]] = []
+            for name, instances, seed in payloads:
+                try:
+                    results.append(
+                        (True, scenario_run_json(name, instances=instances, seed=seed))
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    results.append((False, _json_body({"error": str(exc)})))
+            return results
+        systems = payloads
+        try:
+            if group[0] == "analyze":
+                reports = analyze_batch(systems, jobs=self.jobs)
+                return [(True, r.report_json()) for r in reports]
+            outcomes = assign_batch(systems, algorithm=group[1], jobs=self.jobs)
+            return [(True, o.outcome_json()) for o in outcomes]
+        except Exception:  # noqa: BLE001 -- isolate the poisoned model
+            results = []
+            for system in systems:
+                try:
+                    if group[0] == "analyze":
+                        results.append((True, analyze(system).report_json()))
+                    else:
+                        results.append(
+                            (True, assign(system, algorithm=group[1]).outcome_json())
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    results.append(
+                        (False, _json_body({"error": str(exc)}))
+                    )
+            return results
+
+    async def _compute(
+        self, kind_group: Tuple[str, ...], sha: str, payload: Any
+    ) -> Tuple[int, str]:
+        """Cache lookup -> coalesced batch submit -> cache fill.
+
+        With a disk tier configured, store traffic runs off-loop
+        (``asyncio.to_thread``): a slow or contended disk must never
+        stall the accept/coalesce loop.  The pure-memory store is a dict
+        lookup -- called inline.
+        """
+        store_kind = "-".join(part for part in kind_group if part)
+        if self.cache_responses:
+            if self.cache_dir:
+                cached = await asyncio.to_thread(self.store.get, store_kind, sha)
+            else:
+                cached = self.store.get(store_kind, sha)
+            if cached is not None:
+                self.responses_from_cache += 1
+                return 200, cached
+        ok, body = await self.batcher.submit(kind_group, sha, payload)
+        if not ok:
+            self.errors += 1
+            return 422, body
+        # Coalesced waiters all resolve with the same body; only the
+        # first one past this check pays the store write.
+        if self.cache_responses and not self.store.seen(store_kind, sha):
+            if self.cache_dir:
+                await asyncio.to_thread(self.store.put, store_kind, sha, body)
+            else:
+                self.store.put(store_kind, sha, body)
+        return 200, body
+
+    # -- HTTP plumbing -------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    self._read_request(reader), timeout=self.read_timeout
+                )
+            except asyncio.TimeoutError:
+                self.errors += 1
+                status, body = 408, _json_body(
+                    {"error": f"request not received within {self.read_timeout} s"}
+                )
+            except _HttpError as exc:
+                self.errors += 1
+                status, body = exc.status, exc.body
+            else:
+                status, body = await self._handle_request(*request)
+        except Exception as exc:  # noqa: BLE001 -- never kill the server
+            self.errors += 1
+            status, body = 500, _json_body({"error": repr(exc)})
+        try:
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away before reading; nothing to tell it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        """Receive one request; raises :class:`_HttpError` on bad input."""
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(
+                400, _json_body({"error": f"malformed request line {request_line!r}"})
+            )
+        method, target, _ = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, _json_body({"error": "bad Content-Length"})) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(
+                400,
+                _json_body(
+                    {"error": f"Content-Length must be in [0, {MAX_BODY_BYTES}]"}
+                ),
+            )
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError as exc:
+            raise _HttpError(
+                400,
+                _json_body(
+                    {"error": f"body truncated ({len(exc.partial)}/{length} bytes)"}
+                ),
+            ) from None
+        return method, target, body
+
+    async def _handle_request(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str]:
+        self.requests_total += 1
+
+        split = urlsplit(target)
+        path, query = split.path, parse_qs(split.query)
+
+        if path == "/v1/health":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            from repro import __version__
+            from repro.api.report import SCHEMA_VERSION
+
+            return 200, _json_body(
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "schema_version": SCHEMA_VERSION,
+                    "jobs": self.jobs,
+                }
+            )
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            return 200, _json_body(self.stats())
+        if path == "/v1/shutdown":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            # Respond first, then trip the event: the connection is
+            # written before serve_forever tears the server down.
+            asyncio.get_running_loop().call_soon(self._shutdown.set)
+            return 200, _json_body({"status": "shutting down"})
+        if path == "/v1/analyze":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            return await self._model_request(("analyze",), body)
+        if path == "/v1/assign":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            algorithm = query.get("algorithm", [None])[0]
+            if algorithm is not None and algorithm not in STRATEGIES:
+                return 400, _json_body(
+                    {
+                        "error": f"unknown algorithm {algorithm!r}",
+                        "known": sorted(STRATEGIES),
+                    }
+                )
+            return await self._model_request(("assign", algorithm), body)
+        if path == "/v1/scenarios":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            from repro.scenarios import scenario_names
+
+            return 200, _json_body({"scenarios": list(scenario_names())})
+        if path == "/v1/scenarios/run":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            return await self._scenario_request(body)
+        return 404, _json_body(
+            {
+                "error": f"no route {method} {path}",
+                "routes": [
+                    "GET /v1/health",
+                    "GET /v1/stats",
+                    "GET /v1/scenarios",
+                    "POST /v1/analyze",
+                    "POST /v1/assign[?algorithm=...]",
+                    "POST /v1/scenarios/run",
+                    "POST /v1/shutdown",
+                ],
+            }
+        )
+
+    @staticmethod
+    def _parse_model(body: bytes) -> Tuple[ControlTaskSystem, str]:
+        """Body bytes -> (system, content hash); raises on bad input."""
+        data = json.loads(body)
+        if not isinstance(data, dict):
+            raise ModelError("body must be a single system-model object")
+        system = ControlTaskSystem.from_dict(data)
+        return system, system.canonical_sha256()
+
+    async def _model_request(
+        self, kind_group: Tuple[str, ...], body: bytes
+    ) -> Tuple[int, str]:
+        try:
+            if len(body) > OFFLOAD_PARSE_BYTES:
+                system, sha = await asyncio.to_thread(self._parse_model, body)
+            else:
+                system, sha = self._parse_model(body)
+        except json.JSONDecodeError as exc:
+            self.errors += 1
+            return 400, _json_body({"error": f"body is not valid JSON: {exc}"})
+        except ModelError as exc:
+            self.errors += 1
+            return 400, _json_body({"error": str(exc)})
+        return await self._compute(kind_group, sha, system)
+
+    async def _scenario_request(self, body: bytes) -> Tuple[int, str]:
+        """``POST /v1/scenarios/run``: a seeded scenario population draw.
+
+        Body: ``{"scenario": name, "instances": n, "seed": s}`` (seed
+        optional).  The response is byte-identical to the in-process
+        :func:`repro.scenarios.scenario_run_json`, and -- the draws being
+        fully seed-determined -- content-addressable by the request
+        itself.
+        """
+        import hashlib
+
+        from repro.scenarios import scenario_names
+
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self.errors += 1
+            return 400, _json_body({"error": f"body is not valid JSON: {exc}"})
+        if not isinstance(data, dict) or "scenario" not in data:
+            self.errors += 1
+            return 400, _json_body(
+                {"error": "body must be {'scenario': name, 'instances': n, 'seed': s}"}
+            )
+        name = data["scenario"]
+        if name not in scenario_names():
+            self.errors += 1
+            return 400, _json_body(
+                {
+                    "error": f"unknown scenario {name!r}",
+                    "known": list(scenario_names()),
+                }
+            )
+        try:
+            instances = int(data.get("instances", 8))
+            seed = int(data.get("seed", 7))
+        except (TypeError, ValueError):
+            self.errors += 1
+            return 400, _json_body({"error": "instances/seed must be integers"})
+        if not (1 <= instances <= 4096):
+            self.errors += 1
+            return 400, _json_body(
+                {"error": f"instances must be in [1, 4096], got {instances}"}
+            )
+        key = f"{name}:{instances}:{seed}"
+        sha = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return await self._compute(("scenarios",), sha, (name, instances, seed))
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the batcher; sets :attr:`started`."""
+        self._shutdown = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started.set()
+
+    async def serve_until_shutdown(self) -> None:
+        if self._shutdown is None:
+            raise RuntimeError("daemon not started; call start() first")
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+
+    async def _main(self) -> None:
+        await self.start()
+        try:
+            await self.serve_until_shutdown()
+        finally:
+            await self.aclose()
+
+    def run(self) -> None:
+        """Blocking entry point (the ``python -m repro serve`` body)."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:
+            pass
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "requests_total": self.requests_total,
+            "responses_from_cache": self.responses_from_cache,
+            "errors": self.errors,
+            "jobs": self.jobs,
+            "batcher": self.batcher.stats(),
+            "store": self.store.stats(),
+        }
+
+
+def run_daemon_in_thread(daemon: AnalysisDaemon, timeout: float = 10.0):
+    """Start ``daemon.run()`` on a background thread; wait until bound.
+
+    The harness entry point shared by the tests and the serve benchmark:
+    returns the started ``threading.Thread`` (join it after posting
+    ``/v1/shutdown``).  Raises if the socket does not come up in time.
+    """
+    thread = threading.Thread(
+        target=daemon.run, name="repro-serve-daemon", daemon=True
+    )
+    thread.start()
+    if not daemon.started.wait(timeout):
+        raise RuntimeError(f"daemon did not start within {timeout} s")
+    return thread

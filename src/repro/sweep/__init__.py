@@ -17,7 +17,12 @@ from ``(seed, item)`` alone.
 """
 
 from repro.sweep.executor import SweepError, resolve_jobs, run_sweep
-from repro.sweep.result import SweepResult
+from repro.sweep.result import (
+    SweepResult,
+    atomic_write_text,
+    decode_nonfinite,
+    encode_nonfinite,
+)
 from repro.sweep.spec import SweepSpec, SweepWorker
 
 __all__ = [
@@ -27,4 +32,7 @@ __all__ = [
     "SweepError",
     "resolve_jobs",
     "run_sweep",
+    "atomic_write_text",
+    "encode_nonfinite",
+    "decode_nonfinite",
 ]

@@ -34,3 +34,21 @@ def pid_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     import os
 
     return {"pid": os.getpid()}
+
+
+def sentinel_string_worker(
+    item: Any, params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Worker emitting sentinel-colliding strings *and* real non-finites.
+
+    Exercises the escape rule of :mod:`repro.sweep.result` end to end:
+    ``label``/``tilded`` are genuine strings that must survive cache and
+    artifact round trips as strings, while ``margin`` is a real ``nan``.
+    """
+    return {
+        "index": item["index"],
+        "label": "NaN",
+        "tilded": "~Infinity",
+        "margin": float("nan"),
+        "cost": float("inf"),
+    }

@@ -20,13 +20,17 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.sweep.result import SweepResult, decode_nonfinite, encode_nonfinite
+from repro.sweep.result import (
+    SweepResult,
+    atomic_write_text,
+    decode_nonfinite,
+    encode_nonfinite,
+)
 from repro.sweep.spec import SweepSpec, SweepWorker
 
 #: Cache file schema version (independent of the artifact format).
@@ -71,6 +75,8 @@ def resolve_jobs(jobs) -> int:
     ``None``, ``0`` and ``"auto"`` (case-insensitive) resolve to
     ``os.cpu_count()`` so multi-core hosts scale without hand-tuning;
     positive integers pass through; anything else is a :class:`SweepError`.
+    Non-integral numbers are rejected rather than truncated -- a script
+    passing ``--jobs 1.5`` gets an error, not a silent serial run.
     """
     if jobs is None:
         return os.cpu_count() or 1
@@ -83,6 +89,12 @@ def resolve_jobs(jobs) -> int:
             raise SweepError(
                 f"jobs must be a positive integer, 0, or 'auto'; got {jobs!r}"
             ) from None
+    if isinstance(jobs, float):
+        if not jobs.is_integer():
+            raise SweepError(
+                f"jobs must be a whole number of workers, got {jobs!r}"
+            )
+        jobs = int(jobs)
     if jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
@@ -123,6 +135,13 @@ def _chunk_cache_path(
 def _load_cached_chunk(
     path: str, fingerprint: str, chunk_index: int
 ) -> Optional[List[Dict[str, Any]]]:
+    """Load one chunk-cache file, or ``None`` to recompute.
+
+    Resume semantics: *any* corruption -- a truncated file from a killed
+    run, valid JSON of the wrong shape, a missing ``records`` list, a
+    fingerprint or format mismatch -- silently falls back to recomputing
+    the chunk.  A damaged cache can cost time, never correctness.
+    """
     if not os.path.exists(path):
         return None
     try:
@@ -131,12 +150,18 @@ def _load_cached_chunk(
     except (OSError, json.JSONDecodeError):
         return None  # truncated file from a killed run: recompute
     if (
-        data.get("format") != _CACHE_FORMAT
+        not isinstance(data, dict)
+        or data.get("format") != _CACHE_FORMAT
         or data.get("fingerprint") != fingerprint
         or data.get("chunk") != chunk_index
     ):
         return None
-    return [decode_nonfinite(r) for r in data["records"]]
+    records = data.get("records")
+    if not isinstance(records, list) or not all(
+        isinstance(r, dict) for r in records
+    ):
+        return None
+    return [decode_nonfinite(r) for r in records]
 
 
 def _store_cached_chunk(
@@ -154,17 +179,7 @@ def _store_cached_chunk(
         },
         allow_nan=False,
     )
-    directory = os.path.dirname(path)
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    atomic_write_text(path, payload)
 
 
 def run_sweep(

@@ -6,6 +6,18 @@ across ``--jobs 1`` and ``--jobs N`` runs of the same spec.  The artifact
 file keeps the full records plus a ``meta`` block (jobs, elapsed, cache
 hits) that is allowed to differ between runs; the canonical SHA-256 is
 embedded so two artifacts can be compared without re-parsing.
+
+Sentinel-escape rule (schema note): non-finite floats are written as the
+strings ``"NaN"``/``"Infinity"``/``"-Infinity"``.  To keep the encode ->
+decode round trip lossless for *genuine string values* with those
+spellings, :func:`encode_nonfinite` escapes any string that reads as a
+sentinel (optionally behind escape markers) by prepending one ``"~"``:
+``"NaN"`` -> ``"~NaN"``, ``"~NaN"`` -> ``"~~NaN"``.  :func:`decode_nonfinite`
+maps bare sentinels to floats and strips exactly one marker from escaped
+forms.  All other strings pass through untouched, so canonical hashes of
+artifacts that never contained colliding strings are unchanged, and
+artifacts written before this rule existed still decode identically
+(their only sentinel spellings came from floats).
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ import hashlib
 import json
 import math
 import os
+import re
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
@@ -30,15 +43,48 @@ ARTIFACT_FORMAT = 1
 #: them as these strings instead and decode them on load.
 _NONFINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
 
+#: Strings that are ambiguous on decode: a sentinel spelling, possibly
+#: behind one or more escape markers.  Exactly these get (un)escaped.
+_SENTINEL_LIKE = re.compile(r"~*(?:NaN|Infinity|-Infinity)\Z")
+
+
+def escape_sentinel(value: str) -> str:
+    """Escape one string if it would collide with a non-finite sentinel."""
+    if _SENTINEL_LIKE.fullmatch(value):
+        return "~" + value
+    return value
+
+
+def unescape_sentinel(value: str) -> str:
+    """Strip one escape marker from an escaped sentinel-like string.
+
+    The string half of :func:`decode_nonfinite`, for schema fields that
+    are strings *by type* (names): ``"~NaN"`` -> ``"NaN"``, while a bare
+    ``"NaN"`` passes through -- in a string-typed field it can only be a
+    genuine name, never an encoded float.
+    """
+    if value.startswith("~") and _SENTINEL_LIKE.fullmatch(value):
+        return value[1:]
+    return value
+
 
 def encode_nonfinite(value: Any) -> Any:
-    """Recursively replace non-finite floats with sentinel strings."""
+    """Recursively replace non-finite floats with sentinel strings.
+
+    Genuine strings that would collide with a sentinel spelling are
+    escaped (see the module docstring), so
+    ``decode_nonfinite(encode_nonfinite(x)) == x`` for every JSON-able
+    ``x`` -- including records whose string values are literally
+    ``"NaN"``/``"Infinity"``/``"-Infinity"``.
+    """
     if isinstance(value, float):
         if math.isnan(value):
             return "NaN"
         if math.isinf(value):
             return "Infinity" if value > 0 else "-Infinity"
         return value
+    if isinstance(value, str):
+        return escape_sentinel(value)
     if isinstance(value, dict):
         return {k: encode_nonfinite(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -47,14 +93,71 @@ def encode_nonfinite(value: Any) -> Any:
 
 
 def decode_nonfinite(value: Any) -> Any:
-    """Inverse of :func:`encode_nonfinite` (sentinel strings -> floats)."""
-    if isinstance(value, str) and value in _NONFINITE:
-        return _NONFINITE[value]
+    """Inverse of :func:`encode_nonfinite`.
+
+    Bare sentinel strings become floats; escaped sentinel-like strings
+    lose one escape marker; everything else passes through.  Only apply
+    this to data that went through :func:`encode_nonfinite` (artifact
+    files, chunk-cache records) -- on raw, never-encoded data it would
+    eat genuine sentinel-spelled strings, which is exactly the corruption
+    the escape rule exists to prevent.
+    """
+    if isinstance(value, str):
+        if value in _NONFINITE:
+            return _NONFINITE[value]
+        return unescape_sentinel(value)
     if isinstance(value, dict):
         return {k: decode_nonfinite(v) for k, v in value.items()}
     if isinstance(value, list):
         return [decode_nonfinite(v) for v in value]
     return value
+
+
+def canonical_dumps(payload: Any) -> str:
+    """The canonical JSON serialisation every artifact hash is built on.
+
+    One idiom, one place: sentinel-encoded non-finites, sorted keys,
+    compact separators, strict RFC-8259 output.  Reports, assignment
+    outcomes, system models, scenario draws, and sweep records all hash
+    this exact byte form -- the serving layer's byte-identity contract
+    and the content-addressed caches depend on every producer agreeing.
+    """
+    return json.dumps(
+        encode_nonfinite(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def canonical_sha256_of(payload: Any) -> str:
+    """SHA-256 content address of :func:`canonical_dumps` of ``payload``.
+
+    The one definition of "canonical hash" shared by reports, assignment
+    outcomes, system models (the serve cache key), and sweep artifacts.
+    """
+    return hashlib.sha256(canonical_dumps(payload).encode("utf-8")).hexdigest()
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The shared write discipline of every artifact producer (sweep
+    artifacts, chunk-cache files, analysis reports, serve disk tier): a
+    reader never observes a half-written file, and a killed writer leaves
+    the previous version intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 @dataclass
@@ -83,18 +186,13 @@ class SweepResult:
         Identical specs must produce identical strings regardless of the
         job count, chunking, or cache state of the run that made them.
         """
-        return json.dumps(
-            encode_nonfinite(
-                {
-                    "name": self.name,
-                    "seed": self.seed,
-                    "fingerprint": self.fingerprint,
-                    "records": self.canonical_records(),
-                }
-            ),
-            sort_keys=True,
-            separators=(",", ":"),
-            allow_nan=False,
+        return canonical_dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "fingerprint": self.fingerprint,
+                "records": self.canonical_records(),
+            }
         )
 
     def canonical_sha256(self) -> str:
@@ -121,23 +219,13 @@ class SweepResult:
 
     def write(self, path: str) -> None:
         """Write the artifact atomically (temp file + rename)."""
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
         payload = json.dumps(
             encode_nonfinite(self.to_dict()),
             indent=2,
             sort_keys=True,
             allow_nan=False,
         )
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload + "\n")
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_text(path, payload + "\n")
 
     @classmethod
     def load(cls, path: str) -> "SweepResult":

@@ -1,0 +1,117 @@
+"""Tests of the scenario-drawn request streams feeding the serve layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import analyze
+from repro.errors import ModelError
+from repro.scenarios import scenario_request_pool, scenario_request_stream
+
+pytestmark = pytest.mark.scenario
+
+
+class TestPool:
+    def test_pool_is_deterministic(self):
+        a = scenario_request_pool(unique=8, seed=7)
+        b = scenario_request_pool(unique=8, seed=7)
+        assert [s.canonical_sha256() for s in a] == [
+            s.canonical_sha256() for s in b
+        ]
+
+    def test_pool_members_are_distinct_and_analysable(self):
+        pool = scenario_request_pool(unique=8, seed=7)
+        shas = [s.canonical_sha256() for s in pool]
+        assert len(set(shas)) == len(pool)
+        report = analyze(pool[0])
+        assert report.n_tasks >= 1
+
+    def test_pool_mixes_scenarios(self):
+        pool = scenario_request_pool(unique=8, seed=7)
+        sources = {system.name.rsplit("-", 1)[0] for system in pool}
+        assert len(sources) > 1
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ModelError, match="unknown scenario"):
+            scenario_request_pool(unique=4, scenarios=["no_such_scenario"])
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            scenario_request_pool(unique=0)
+
+
+class TestStream:
+    def test_stream_is_deterministic(self):
+        a = scenario_request_stream(30, unique=8, seed=7)
+        b = scenario_request_stream(30, unique=8, seed=7)
+        assert [s.canonical_sha256() for s in a] == [
+            s.canonical_sha256() for s in b
+        ]
+
+    def test_repeats_bounded_by_unique_pool(self):
+        stream = scenario_request_stream(
+            50, unique=8, repeat_fraction=0.5, seed=7
+        )
+        shas = {s.canonical_sha256() for s in stream}
+        assert len(stream) == 50
+        assert 1 < len(shas) <= 8
+
+    def test_zero_repeat_fraction_is_all_distinct(self):
+        stream = scenario_request_stream(
+            8, unique=8, repeat_fraction=0.0, seed=7
+        )
+        assert len({s.canonical_sha256() for s in stream}) == 8
+
+    def test_full_repeat_fraction_reuses_the_first_model(self):
+        stream = scenario_request_stream(
+            10, unique=8, repeat_fraction=1.0, seed=7
+        )
+        # First request is necessarily fresh; everything after repeats.
+        assert len({s.canonical_sha256() for s in stream}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError, match="requests"):
+            scenario_request_stream(0)
+        with pytest.raises(ModelError, match="repeat_fraction"):
+            scenario_request_stream(5, repeat_fraction=1.5)
+
+    def test_models_round_trip_through_the_schema(self):
+        # The benchmark ships these over HTTP as JSON model dicts; the
+        # dict form must rebuild into an identically-hashed system.
+        from repro.api import ControlTaskSystem
+
+        for system in scenario_request_stream(6, unique=6, seed=7):
+            rebuilt = ControlTaskSystem.from_dict(system.to_dict())
+            assert rebuilt.canonical_sha256() == system.canonical_sha256()
+
+
+class TestUndrawablePool:
+    def test_unassignable_scenarios_error_instead_of_spinning(self):
+        from repro.jittermargin.linearbound import LinearStabilityBound
+        from repro.rta.taskset import Task, TaskSet
+        from repro.scenarios import ScenarioSpec, register
+        from repro.scenarios.registry import _REGISTRY
+        from repro.scenarios.spec import FixedSource
+
+        # A fixture no policy can schedule: utilisation > 1.
+        infeasible = TaskSet(
+            [
+                Task("a", period=1.0, wcet=0.9, bcet=0.9,
+                     stability=LinearStabilityBound(a=1.0, b=0.5)),
+                Task("b", period=1.0, wcet=0.9, bcet=0.9),
+            ]
+        )
+        name = "_test_undrawable_pool"
+        register(
+            ScenarioSpec(
+                name=name,
+                description="test-only: never assignable",
+                source=FixedSource(factory=lambda: (infeasible, "a")),
+                policy="backtracking",
+            )
+        )
+        try:
+            with pytest.raises(ModelError, match="attempts"):
+                scenario_request_pool(unique=2, scenarios=[name])
+        finally:
+            del _REGISTRY[name]

@@ -1,0 +1,237 @@
+"""Tests of the micro-batcher: coalescing, grouping, windows, failure."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class _Recorder:
+    """Dispatch stub that records every (group, payloads) call."""
+
+    def __init__(self, result=lambda group, payload: f"r:{payload}"):
+        self.calls = []
+        self._result = result
+        self.block = None  # optional threading.Event to stall dispatch
+
+    def __call__(self, group, payloads):
+        if self.block is not None:
+            self.block.wait(5.0)
+        self.calls.append((group, list(payloads)))
+        return [self._result(group, p) for p in payloads]
+
+
+class TestCoalescing:
+    def test_identical_keys_compute_once(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.05, max_batch=16)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(("analyze",), "sha-1", "m1"),
+                batcher.submit(("analyze",), "sha-1", "m1"),
+                batcher.submit(("analyze",), "sha-2", "m2"),
+            )
+            await batcher.close()
+            return results
+
+        results = _run(scenario())
+        assert results == ["r:m1", "r:m1", "r:m2"]
+        # One batch, two unique payloads: the duplicate was coalesced.
+        assert len(recorder.calls) == 1
+        assert recorder.calls[0][1] == ["m1", "m2"]
+
+    def test_coalesce_counter(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.05, max_batch=16)
+            batcher.start()
+            await asyncio.gather(
+                *(batcher.submit(("analyze",), "same", "m") for _ in range(5))
+            )
+            stats = batcher.stats()
+            await batcher.close()
+            return stats
+
+        stats = _run(scenario())
+        assert stats["requests"] == 5
+        assert stats["coalesced"] == 4
+
+
+class TestGrouping:
+    def test_groups_dispatch_separately(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.05, max_batch=16)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(("analyze",), "a", "m-a"),
+                batcher.submit(("assign", "audsley"), "a", "m-a"),
+                batcher.submit(("assign", "backtracking"), "a", "m-a"),
+            )
+            await batcher.close()
+            return results
+
+        results = _run(scenario())
+        assert results[0] == "r:m-a"
+        groups = [group for group, _ in recorder.calls]
+        assert sorted(groups) == [
+            ("analyze",),
+            ("assign", "audsley"),
+            ("assign", "backtracking"),
+        ]
+
+
+class TestBatchingMechanics:
+    def test_burst_during_computation_forms_one_batch(self):
+        """Requests queued while a batch computes are drained together."""
+        recorder = _Recorder()
+        recorder.block = threading.Event()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.0, max_batch=16)
+            batcher.start()
+            first = asyncio.ensure_future(
+                batcher.submit(("analyze",), "k0", "m0")
+            )
+            await asyncio.sleep(0.05)  # first dispatch is now blocked
+            rest = [
+                asyncio.ensure_future(batcher.submit(("analyze",), f"k{i}", f"m{i}"))
+                for i in range(1, 5)
+            ]
+            await asyncio.sleep(0.05)
+            recorder.block.set()
+            results = await asyncio.gather(first, *rest)
+            await batcher.close()
+            return results
+
+        results = _run(scenario())
+        assert results == [f"r:m{i}" for i in range(5)]
+        # Batch 1 = the blocked single; batch 2 = the accumulated burst,
+        # despite window=0 (queue drain needs no waiting).
+        assert [len(p) for _, p in recorder.calls] == [1, 4]
+
+    def test_max_batch_caps_collection(self):
+        recorder = _Recorder()
+        recorder.block = threading.Event()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.0, max_batch=2)
+            batcher.start()
+            futures = [
+                asyncio.ensure_future(batcher.submit(("g",), f"k{i}", f"m{i}"))
+                for i in range(5)
+            ]
+            await asyncio.sleep(0.05)
+            recorder.block.set()
+            results = await asyncio.gather(*futures)
+            await batcher.close()
+            return results
+
+        results = _run(scenario())
+        assert results == [f"r:m{i}" for i in range(5)]
+        assert all(len(p) <= 2 for _, p in recorder.calls)
+
+    def test_quiet_gap_dispatches_before_window_expires(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            # A one-second window would be fatal to latency if it were
+            # always waited out; the quiet gap must cut it short.
+            batcher = MicroBatcher(
+                recorder, window=1.0, max_batch=16, quiet_gap=0.005
+            )
+            batcher.start()
+            start = loop.time()
+            await batcher.submit(("analyze",), "k", "m")
+            elapsed = loop.time() - start
+            await batcher.close()
+            return elapsed
+
+        assert _run(scenario()) < 0.5
+
+
+class TestFailure:
+    def test_dispatch_exception_fans_out_to_waiters(self):
+        def explode(group, payloads):
+            raise RuntimeError("kernel on fire")
+
+        async def scenario():
+            batcher = MicroBatcher(explode, window=0.02, max_batch=16)
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit(("g",), "a", "m1"),
+                batcher.submit(("g",), "a", "m1"),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = _run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                lambda group, payloads: [], window=0.0, max_batch=4
+            )
+            batcher.start()
+            result = await asyncio.gather(
+                batcher.submit(("g",), "a", "m"), return_exceptions=True
+            )
+            await batcher.close()
+            return result
+
+        (result,) = _run(scenario())
+        assert isinstance(result, RuntimeError)
+
+    def test_submit_after_close_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(_Recorder(), window=0.0)
+            batcher.start()
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit(("g",), "a", "m")
+
+        _run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(_Recorder(), window=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(_Recorder(), max_batch=0)
+        with pytest.raises(ValueError, match="quiet_gap"):
+            MicroBatcher(_Recorder(), quiet_gap=-0.1)
+
+
+class TestShutdownRace:
+    def test_close_fails_stragglers(self):
+        """A request that slips into the queue around the _CLOSE sentinel
+        must fail cleanly at close(), never hang its handler forever."""
+        from repro.serve.batcher import _CLOSE
+
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.0)
+            batcher.start()
+            await batcher._queue.put(_CLOSE)  # kills the collector early
+            pending = asyncio.ensure_future(batcher.submit(("g",), "k", "m"))
+            await asyncio.sleep(0.05)
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await pending
+
+        _run(scenario())

@@ -1,0 +1,102 @@
+"""Tests of the content-addressed response store (LRU + disk tier)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.serve.store import STORE_FORMAT, ResultStore
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        store = ResultStore(max_entries=4)
+        assert store.get("analyze", "sha-a") is None
+        store.put("analyze", "sha-a", "body-a")
+        assert store.get("analyze", "sha-a") == "body-a"
+        assert store.stats() == {
+            "entries": 1,
+            "max_entries": 4,
+            "hits_memory": 1,
+            "hits_disk": 0,
+            "misses": 1,
+        }
+
+    def test_kind_namespaces_are_separate(self):
+        store = ResultStore(max_entries=4)
+        store.put("analyze", "sha", "report")
+        store.put("assign-audsley", "sha", "outcome")
+        assert store.get("analyze", "sha") == "report"
+        assert store.get("assign-audsley", "sha") == "outcome"
+        assert store.get("assign-backtracking", "sha") is None
+
+    def test_lru_evicts_least_recently_used(self):
+        store = ResultStore(max_entries=2)
+        store.put("analyze", "a", "A")
+        store.put("analyze", "b", "B")
+        assert store.get("analyze", "a") == "A"  # refresh a
+        store.put("analyze", "c", "C")  # evicts b
+        assert store.get("analyze", "b") is None
+        assert store.get("analyze", "a") == "A"
+        assert store.get("analyze", "c") == "C"
+
+
+class TestDiskTier:
+    def test_survives_a_fresh_store(self, tmp_path):
+        first = ResultStore(max_entries=8, cache_dir=str(tmp_path))
+        first.put("analyze", "sha", "persisted-body")
+        # A restarted daemon: empty memory, same cache_dir.
+        second = ResultStore(max_entries=8, cache_dir=str(tmp_path))
+        assert second.get("analyze", "sha") == "persisted-body"
+        assert second.stats()["hits_disk"] == 1
+        # ... and the entry is now promoted to memory.
+        assert second.get("analyze", "sha") == "persisted-body"
+        assert second.stats()["hits_memory"] == 1
+
+    def test_disk_files_follow_cache_conventions(self, tmp_path):
+        store = ResultStore(cache_dir=str(tmp_path))
+        store.put("analyze", "sha", "body")
+        files = os.listdir(tmp_path / "serve")
+        assert len(files) == 1
+        data = json.loads((tmp_path / "serve" / files[0]).read_text())
+        assert data["format"] == STORE_FORMAT
+        assert data["body"] == "body"
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        writer = ResultStore(cache_dir=str(tmp_path))
+        writer.put("analyze", "sha", "body")
+        (path,) = [
+            tmp_path / "serve" / name
+            for name in os.listdir(tmp_path / "serve")
+        ]
+        for corruption in (
+            "{truncated",
+            "[1, 2]",
+            json.dumps({"format": STORE_FORMAT + 1, "key": "x", "body": "b"}),
+            json.dumps({"format": STORE_FORMAT, "key": "wrong", "body": "b"}),
+            json.dumps({"format": STORE_FORMAT, "key": "analyze-sha", "body": 3}),
+        ):
+            path.write_text(corruption)
+            fresh = ResultStore(cache_dir=str(tmp_path))
+            assert fresh.get("analyze", "sha") is None, corruption
+
+    def test_memory_only_store_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        store = ResultStore()
+        store.put("analyze", "sha", "body")
+        assert os.listdir(tmp_path) == []
+
+    def test_entries_from_another_version_are_misses(self, tmp_path):
+        writer = ResultStore(cache_dir=str(tmp_path))
+        writer.put("analyze", "sha", "body")
+        (path,) = [
+            tmp_path / "serve" / name
+            for name in os.listdir(tmp_path / "serve")
+        ]
+        data = json.loads(path.read_text())
+        assert "/" in data["version"]  # package version / schema stamp
+        data["version"] = "0.0.1/schema1"
+        path.write_text(json.dumps(data))
+        fresh = ResultStore(cache_dir=str(tmp_path))
+        # Stale-producer bytes must never be replayed as current output.
+        assert fresh.get("analyze", "sha") is None

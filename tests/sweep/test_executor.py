@@ -212,3 +212,110 @@ class TestExperimentDeterminism:
         # wall-clock samples are volatile, counts are not
         assert "bt_seconds" not in serial.canonical_records()[0]
         assert "bt_evaluations" in serial.canonical_records()[0]
+
+
+class TestJobsFloatRejection:
+    """PR-5 regression: non-integral job counts must error, not truncate."""
+
+    @pytest.mark.parametrize("jobs", [1.5, 2.7, 0.5, -1.5, float("nan"), float("inf")])
+    def test_non_integral_floats_rejected(self, jobs):
+        with pytest.raises(SweepError, match="jobs"):
+            resolve_jobs(jobs)
+
+    def test_integral_floats_accepted(self):
+        # A float that *is* a whole number is unambiguous; accept it.
+        assert resolve_jobs(2.0) == 2
+        assert resolve_jobs(0.0) == (os.cpu_count() or 1)
+
+    def test_fractional_string_rejected(self):
+        with pytest.raises(SweepError, match="jobs"):
+            resolve_jobs("1.5")
+
+    def test_run_sweep_rejects_fractional_jobs(self):
+        with pytest.raises(SweepError, match="jobs"):
+            run_sweep(_draw_spec(), jobs=2.5)
+
+
+class TestCorruptedCacheResume:
+    """Resume semantics: any damaged cache file recomputes, never crashes.
+
+    The truncated-file case was covered before PR 5; these pin the
+    valid-JSON-wrong-shape corruptions that used to raise (KeyError /
+    AttributeError) out of ``_load_cached_chunk``.
+    """
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "[1, 2, 3]",  # valid JSON, not an object
+            '"just a string"',
+            "null",
+            json.dumps({"format": 1}),  # object, fingerprint/records missing
+            json.dumps({"format": 1, "fingerprint": "x", "chunk": 0}),
+            json.dumps(
+                {"format": 1, "fingerprint": "x", "chunk": 0, "records": "no"}
+            ),
+        ],
+        ids=["list", "string", "null", "bare-format", "no-records", "bad-records"],
+    )
+    def test_wrong_shape_cache_file_recomputed(self, tmp_path, payload):
+        spec = _draw_spec()
+        run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        victim = sorted(
+            name for name in os.listdir(tmp_path) if name.endswith(".json")
+        )[0]
+        (tmp_path / victim).write_text(payload)
+        resumed = run_sweep(spec, jobs=1, cache_dir=str(tmp_path), resume=True)
+        assert resumed.meta["cache_hits"] == spec.n_chunks - 1
+        assert resumed.canonical_json() == run_sweep(spec, jobs=1).canonical_json()
+
+    def test_records_with_non_dict_entries_recomputed(self, tmp_path):
+        spec = _draw_spec()
+        run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        victim = sorted(
+            name for name in os.listdir(tmp_path) if name.endswith(".json")
+        )[0]
+        data = json.loads((tmp_path / victim).read_text())
+        data["records"] = [1, 2, 3]
+        (tmp_path / victim).write_text(json.dumps(data))
+        resumed = run_sweep(spec, jobs=1, cache_dir=str(tmp_path), resume=True)
+        assert resumed.meta["cache_hits"] == spec.n_chunks - 1
+        assert resumed.canonical_json() == run_sweep(spec, jobs=1).canonical_json()
+
+
+class TestSentinelStringsThroughChunkCache:
+    """Genuine sentinel-spelled record strings survive cache round trips."""
+
+    def test_colliding_strings_survive_resume(self, tmp_path):
+        from repro.sweep._testing import sentinel_string_worker
+
+        spec = SweepSpec(
+            name="sentinels",
+            worker=sentinel_string_worker,
+            items=tuple({"index": i} for i in range(4)),
+            chunk_size=2,
+        )
+        cold = run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        warm = run_sweep(spec, jobs=1, cache_dir=str(tmp_path), resume=True)
+        assert warm.meta["cache_hits"] == spec.n_chunks
+        for result in (cold, warm):
+            record = result.canonical_records()[0]
+            assert record["label"] == "NaN"  # a *string*, not a float
+            assert record["tilded"] == "~Infinity"
+            assert record["margin"] != record["margin"]  # a real nan float
+        assert warm.canonical_json() == cold.canonical_json()
+
+    def test_colliding_strings_survive_artifact_io(self, tmp_path):
+        from repro.sweep._testing import sentinel_string_worker
+
+        spec = SweepSpec(
+            name="sentinels",
+            worker=sentinel_string_worker,
+            items=tuple({"index": i} for i in range(2)),
+        )
+        result = run_sweep(spec, jobs=1)
+        path = tmp_path / "artifact.json"
+        result.write(str(path))
+        loaded = SweepResult.load(str(path))
+        assert loaded.canonical_json() == result.canonical_json()
+        assert loaded.records[0]["label"] == "NaN"
