@@ -30,8 +30,14 @@ The library spans the paper's whole pipeline:
   assignment-quality pillar on the same schema.
 * :mod:`repro.search` -- **the unified priority-assignment search
   engine**: all five algorithms as strategies over a shared
-  :class:`SearchContext` with a memoised ``(task, hp-set)`` subproblem
+  :class:`AnalysisMemo` with a memoised ``(task, hp-set)`` subproblem
   cache and batched per-level kernels.
+* :mod:`repro.memo` -- **the shared analysis-memo layer** (v1.4):
+  :class:`AnalysisMemo` promotes the search engine's content-interned
+  subproblem cache to a stack-wide, thread-safe, LRU-bounded layer;
+  passing ``memo=`` to :func:`analyze`/:func:`assign` (or running the
+  serve daemon) makes repeated analysis of near-identical models
+  incremental while keeping reports byte-identical.
 
 Quickstart::
 
@@ -64,6 +70,7 @@ from repro.api import (
     task_verdict,
     verdict_from_times,
 )
+from repro.memo import AnalysisMemo
 from repro.search import AssignmentResult, SearchContext
 from repro.errors import (
     DimensionError,
@@ -88,7 +95,7 @@ from repro.rta.interface import response_time_interface  # noqa: F401  (use anal
 from repro.rta.interface import taskset_is_schedulable  # noqa: F401  (use analyze().schedulable)
 from repro.rta.interface import taskset_is_stable  # noqa: F401  (use analyze().stable)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # the analysis façade
@@ -100,7 +107,8 @@ __all__ = [
     "task_verdict",
     "verdict_from_times",
     "SCHEMA_VERSION",
-    # the assignment search engine
+    # the assignment search engine + shared analysis memo
+    "AnalysisMemo",
     "AssignmentOutcome",
     "AssignmentResult",
     "SearchContext",

@@ -24,7 +24,6 @@ of reports without colliding names are unchanged by the rule.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -35,7 +34,9 @@ from repro.rta.interface import ResponseTimes
 from repro.sweep.result import (
     atomic_write_text,
     canonical_dumps,
+    canonical_json_with_hash,
     canonical_sha256_of,
+    combined_sha256,
     decode_nonfinite,
     encode_nonfinite,
 )
@@ -256,11 +257,14 @@ class AnalysisReport:
     def to_dict(self) -> Dict[str, Any]:
         """Full schema dict: the canonical view plus its embedded hash."""
         payload = self._canonical_dict()
-        payload["canonical_sha256"] = self.canonical_sha256()
+        payload["canonical_sha256"] = canonical_sha256_of(payload)
         return payload
 
     def report_json(self) -> str:
-        return canonical_dumps(self.to_dict())
+        # Single canonical-dict build + single encoding walk: the hot
+        # serving path serialises every computed response through here.
+        json_with_hash, _ = canonical_json_with_hash(self._canonical_dict())
+        return json_with_hash
 
     def write(self, path: str) -> None:
         """Write the report atomically (temp file + rename), indented."""
@@ -335,9 +339,7 @@ def batch_report_dict(reports: Sequence[AnalysisReport]) -> Dict[str, Any]:
     artifacts can be compared by a single field regardless of job count.
     """
     dicts = [r.to_dict() for r in reports]
-    combined = hashlib.sha256(
-        "\n".join(d["canonical_sha256"] for d in dicts).encode("utf-8")
-    ).hexdigest()
+    combined = combined_sha256([d["canonical_sha256"] for d in dicts])
     return {
         "schema_version": SCHEMA_VERSION,
         "n_systems": len(reports),

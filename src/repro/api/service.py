@@ -19,6 +19,16 @@ verdict):
 
 Every consumer package routes its stability plumbing through one of these
 instead of re-deriving interface + slack + verdict locally.
+
+Incremental analysis (v1.4): :func:`analyze`, :func:`analyze_batch`,
+:func:`assign`, and :func:`assign_batch` accept a uniform optional
+``memo=`` argument -- a shared :class:`repro.memo.AnalysisMemo` that
+routes every per-task RTA -> (L, J) evaluation through the
+content-interned subproblem memo.  Reports and outcomes are
+byte-identical to the fresh computation (the memo evaluates in the same
+task-set order as the scalar contract); what changes is the cost: a
+system differing from an already-analysed one in a single task pays only
+for the subproblems whose ``(task, hp-set)`` key is actually new.
 """
 
 from __future__ import annotations
@@ -29,10 +39,10 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.api.model import ControlTaskSystem, as_system
 from repro.api.report import SCHEMA_VERSION, AnalysisReport, TaskVerdict
 from repro.errors import ModelError
+from repro.memo import AnalysisMemo
 from repro.rta.batch import analyze_taskset
 from repro.rta.interface import ResponseTimes, latency_jitter
 from repro.rta.taskset import Task, TaskSet
-from repro.search.context import SearchContext
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 from repro.search.strategies import STRATEGIES
@@ -76,6 +86,7 @@ def analyze(
     system: Union[ControlTaskSystem, TaskSet],
     *,
     name: str = "system",
+    memo: Optional[AnalysisMemo] = None,
 ) -> AnalysisReport:
     """Analyse one system: the façade's headline entry point.
 
@@ -84,13 +95,23 @@ def analyze(
     or a bare prioritised :class:`TaskSet`.  The per-task pass runs on
     the batched shared-hp analysis of :mod:`repro.rta.batch`, so a call
     costs one priority-ordered sweep regardless of task count.
+
+    Passing a shared :class:`~repro.memo.AnalysisMemo` via ``memo=``
+    makes repeated analysis of *near*-identical systems incremental:
+    only tasks whose ``(task, hp-set)`` subproblem is new are recomputed
+    (one WCET edit of an n-task model costs ~1 task, not n).  The report
+    is byte-identical either way -- the memo evaluates each task against
+    its hp-set in the same task-set order as the scalar contract.
     """
     system = as_system(system, name=name)
     cached = system.__dict__.get("_cache_report")
     if cached is not None:
         return cached
     taskset = system.resolved_taskset()
-    analysis = analyze_taskset(taskset)
+    if memo is not None:
+        analysis = memo.taskset_analysis(taskset)
+    else:
+        analysis = analyze_taskset(taskset)
     verdicts = tuple(
         TaskVerdict(
             name=task.name,
@@ -190,7 +211,9 @@ def assign(
     *,
     algorithm: Optional[str] = None,
     name: str = "system",
-    context: Optional[SearchContext] = None,
+    memo: Optional[AnalysisMemo] = None,
+    context: Optional[AnalysisMemo] = None,
+    validation_memo: Optional[AnalysisMemo] = None,
     **options,
 ) -> AssignmentOutcome:
     """Search a priority assignment for a system, then validate it.
@@ -203,8 +226,16 @@ def assign(
 
     ``algorithm`` defaults to the system's ``priority_policy`` when that
     names a search algorithm, else ``"backtracking"`` (the paper's
-    Algorithm 1).  ``context`` shares a search memo across calls;
-    ``options`` pass through to the strategy (e.g. ``max_evaluations``).
+    Algorithm 1).  ``memo`` shares an :class:`~repro.memo.AnalysisMemo`
+    across calls: both the strategy's search tree and the validation
+    analysis route through it.  Note that a warm search memo is visible
+    in the outcome (``result.cache_hits`` is part of the canonical
+    record); callers that need outcomes byte-identical to cold calls but
+    still want incremental *validation* pass ``validation_memo`` instead,
+    which routes only the post-search :func:`analyze` (the serve daemon's
+    mode).  ``context`` is the pre-1.4 spelling of ``memo``, kept for
+    compatibility.  ``options`` pass through to the strategy (e.g.
+    ``max_evaluations``).
     """
     system = as_system(system, name=name)
     if algorithm is None:
@@ -218,8 +249,19 @@ def assign(
             f"unknown assignment algorithm {algorithm!r}; "
             f"known: {sorted(STRATEGIES)}"
         )
+    if memo is None:
+        memo = context
+    elif context is not None and context is not memo:
+        raise ModelError(
+            "pass either memo= or its pre-1.4 alias context=, not both"
+        )
+    if memo is not None and validation_memo is not None:
+        raise ModelError(
+            "memo= already routes the validation analysis; "
+            "validation_memo= is for memo-less (wire-stable) calls only"
+        )
     taskset = system.bound_taskset()
-    result = run_strategy(algorithm, taskset, context=context, **options)
+    result = run_strategy(algorithm, taskset, memo=memo, **options)
     if result.priorities is None:
         return AssignmentOutcome(
             name=system.name,
@@ -238,7 +280,10 @@ def assign(
         algorithm=algorithm,
         result=result,
         system=assigned_system,
-        report=analyze(assigned_system),
+        report=analyze(
+            assigned_system,
+            memo=memo if memo is not None else validation_memo,
+        ),
     )
 
 
@@ -262,6 +307,8 @@ def assign_batch(
     chunk_size: int = 32,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    memo: Optional[AnalysisMemo] = None,
+    validation_memo: Optional[AnalysisMemo] = None,
     **options,
 ) -> List[AssignmentOutcome]:
     """Assign many systems on the sweep engine.
@@ -271,6 +318,11 @@ def assign_batch(
     context, so memoisation never leaks across items -- determinism
     before thrift).  A single-worker run without a cache directory skips
     the engine, like :func:`analyze_batch`.
+
+    ``memo``/``validation_memo`` (semantics as in :func:`assign`) are
+    in-process objects and only apply on that serial inline path; they
+    are rejected when the engine (worker processes / chunk cache) would
+    run, where sharing them is impossible.
     """
     from repro.sweep import SweepSpec, resolve_jobs, run_sweep
 
@@ -282,9 +334,21 @@ def assign_batch(
         return []
     if resolve_jobs(jobs) == 1 and cache_dir is None:
         return [
-            assign(system, algorithm=algorithm, **options)
+            assign(
+                system,
+                algorithm=algorithm,
+                memo=memo,
+                validation_memo=validation_memo,
+                **options,
+            )
             for system in normalised
         ]
+    if memo is not None or validation_memo is not None:
+        raise ModelError(
+            "memo=/validation_memo= require the inline path "
+            "(jobs=1 and no cache_dir): an in-process memo cannot be "
+            "shared with sweep worker processes"
+        )
     spec = SweepSpec(
         name="api-assign",
         worker=_assign_worker,
@@ -317,9 +381,8 @@ def write_assign_report(
     per-outcome canonical hashes, so two batch artifacts compare by a
     single field regardless of job count (the sweep-artifact convention).
     """
-    import hashlib
-
     from repro.api.report import _atomic_write_json
+    from repro.sweep.result import combined_sha256
 
     if batch is None:
         batch = len(outcomes) > 1
@@ -333,9 +396,7 @@ def write_assign_report(
             "schema_version": SCHEMA_VERSION,
             "n_systems": len(outcomes),
             "outcomes": [outcome.to_dict() for outcome in outcomes],
-            "canonical_sha256": hashlib.sha256(
-                "\n".join(shas).encode("utf-8")
-            ).hexdigest(),
+            "canonical_sha256": combined_sha256(shas),
         },
     )
 
@@ -402,6 +463,7 @@ def analyze_batch(
     chunk_size: int = 32,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    memo: Optional[AnalysisMemo] = None,
 ) -> List[AnalysisReport]:
     """Analyse many systems on the sweep engine.
 
@@ -413,6 +475,12 @@ def analyze_batch(
     A single-worker run without a cache directory skips the engine and
     its record round trip entirely -- the serial hot path stays at the
     raw batched-kernel speed (pinned by ``BENCH_api.json``).
+
+    ``memo`` routes every report through a shared
+    :class:`~repro.memo.AnalysisMemo` (see :func:`analyze`) and only
+    applies on that serial inline path; it is rejected when the engine
+    (worker processes / chunk cache) would run, where sharing an
+    in-process memo is impossible.
     """
     from repro.sweep import SweepSpec, resolve_jobs, run_sweep
 
@@ -423,7 +491,13 @@ def analyze_batch(
     if not normalised:
         return []
     if resolve_jobs(jobs) == 1 and cache_dir is None:
-        return [analyze(system) for system in normalised]
+        return [analyze(system, memo=memo) for system in normalised]
+    if memo is not None:
+        raise ModelError(
+            "memo= requires the inline path (jobs=1 and no cache_dir): "
+            "an in-process memo cannot be shared with sweep worker "
+            "processes"
+        )
     spec = SweepSpec(
         name="api-analyze",
         worker=_analyze_worker,

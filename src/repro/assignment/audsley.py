@@ -19,13 +19,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.rta.taskset import TaskSet
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 
 
 def assign_audsley(
-    taskset: TaskSet, *, context: Optional[SearchContext] = None
+    taskset: TaskSet, *, context: Optional[AnalysisMemo] = None
 ) -> AssignmentResult:
     """OPA with max-slack tie-breaking; fails cleanly at dead ends."""
     return run_strategy("audsley", taskset, context=context)

@@ -20,7 +20,7 @@ instances (failure is then reported rather than silent).
 
 Implemented as the ``"backtracking"`` strategy of :mod:`repro.search`:
 levels are scored through the batched sibling kernel, and on a shared
-:class:`~repro.search.context.SearchContext` the tree never re-evaluates
+:class:`~repro.memo.AnalysisMemo` the tree never re-evaluates
 a visited ``(task, hp-set)`` subproblem.
 """
 
@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.rta.taskset import TaskSet
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 
@@ -38,7 +38,7 @@ def assign_backtracking(
     taskset: TaskSet,
     *,
     max_evaluations: int = 10_000_000,
-    context: Optional[SearchContext] = None,
+    context: Optional[AnalysisMemo] = None,
 ) -> AssignmentResult:
     """Run Algorithm 1 and return the discovered assignment.
 

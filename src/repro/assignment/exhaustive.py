@@ -19,7 +19,7 @@ import itertools
 from typing import Optional
 
 from repro.rta.taskset import TaskSet
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 from repro.search.strategies import (
@@ -29,18 +29,18 @@ from repro.search.strategies import _order_is_valid, check_exhaustive_size
 
 
 def assign_exhaustive(
-    taskset: TaskSet, *, context: Optional[SearchContext] = None
+    taskset: TaskSet, *, context: Optional[AnalysisMemo] = None
 ) -> AssignmentResult:
     """Try lexicographic priority orders until one is valid."""
     return run_strategy("exhaustive", taskset, context=context)
 
 
 def count_valid_orders(
-    taskset: TaskSet, *, context: Optional[SearchContext] = None
+    taskset: TaskSet, *, context: Optional[AnalysisMemo] = None
 ) -> int:
     """Number of valid priority orders (exact, small ``n`` only)."""
     check_exhaustive_size(len(taskset), "count_valid_orders")
-    run = (context if context is not None else SearchContext()).run()
+    run = (context if context is not None else AnalysisMemo()).run()
     ids = run.context.intern_all(taskset)
     return sum(
         1 for order in itertools.permutations(ids) if _order_is_valid(order, run)

@@ -19,20 +19,20 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.rta.taskset import TaskSet
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 
 
 def assign_rate_monotonic(
-    taskset: TaskSet, *, context: Optional[SearchContext] = None
+    taskset: TaskSet, *, context: Optional[AnalysisMemo] = None
 ) -> AssignmentResult:
     """Shorter period -> higher priority; performs no constraint checks."""
     return run_strategy("rate_monotonic", taskset, context=context)
 
 
 def assign_slack_monotonic(
-    taskset: TaskSet, *, context: Optional[SearchContext] = None
+    taskset: TaskSet, *, context: Optional[AnalysisMemo] = None
 ) -> AssignmentResult:
     """Order by slack under the all-others-higher-priority assumption."""
     return run_strategy("slack_monotonic", taskset, context=context)

@@ -11,7 +11,7 @@ through its memoised, batched kernels, which are required to reproduce
 this function float-for-float (pinned by ``tests/search/``) -- when in
 doubt, this module is the ground truth.
 
-:class:`EvaluationCounter` (now in :mod:`repro.search.context`) threads
+:class:`EvaluationCounter` (now in :mod:`repro.memo`) threads
 through all algorithms so their complexity can be compared in constraint
 evaluations, the unit the paper uses alongside wall-clock time.
 """
@@ -22,7 +22,7 @@ from typing import Sequence
 
 from repro.rta.interface import latency_jitter
 from repro.rta.taskset import Task
-from repro.search.context import EvaluationCounter
+from repro.memo import EvaluationCounter
 
 __all__ = ["EvaluationCounter", "stability_slack", "is_feasible"]
 

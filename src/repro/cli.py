@@ -364,6 +364,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="in-memory response-store capacity",
     )
+    serve.add_argument(
+        "--memo-entries",
+        type=int,
+        default=65536,
+        help=(
+            "daemon-lifetime analysis-memo capacity (per-task subproblem "
+            "LRU; 0 disables incremental analysis)"
+        ),
+    )
     _add_jobs_option(serve)
 
     request = sub.add_parser(
@@ -694,6 +703,7 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         store_entries=args.store_entries,
+        memo_entries=args.memo_entries,
     )
 
     # Print the endpoint once the socket is bound (port 0 resolves to a

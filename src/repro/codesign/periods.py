@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.assignment.backtracking import assign_backtracking
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.control.cost import plant_lqg_cost
 from repro.control.plants import Plant, get_plant
 from repro.errors import ModelError
@@ -86,7 +86,7 @@ class CodesignResult:
 
     ``assignment_evaluations`` is the paper's logical count summed over
     every combination tried; ``assignment_cache_hits`` is how many of
-    those the shared search context answered from its memo (combinations
+    those the shared analysis memo answered from its cache (combinations
     differ in one loop's period, so most subproblems recur).
     """
 
@@ -229,10 +229,10 @@ def assign_periods(
     checked = 0
     evaluations = 0
     cache_hits = 0
-    # One search context for the whole combination loop: successive
+    # One analysis memo for the whole combination loop: successive
     # combinations differ in a single loop's period, so their assignment
     # subproblems overlap heavily and the memo answers the repeats.
-    search_context = SearchContext()
+    search_memo = AnalysisMemo()
 
     while heap and checked < max_combinations:
         cost, indices = heapq.heappop(heap)
@@ -255,7 +255,7 @@ def assign_periods(
                         for loop, c in zip(loops, candidates)
                     ]
                 )
-                result = assign_backtracking(tasks, context=search_context)
+                result = assign_backtracking(tasks, context=search_memo)
                 evaluations += result.evaluations
                 cache_hits += result.cache_hits
                 if result.priorities is not None:

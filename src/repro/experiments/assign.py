@@ -8,7 +8,7 @@ census population on the sweep engine and reports both axes per
 algorithm and task count.
 
 Every instance runs its suite on one *shared*
-:class:`~repro.search.context.SearchContext`: the algorithms evaluate
+:class:`~repro.memo.AnalysisMemo`: the algorithms evaluate
 heavily overlapping ``(task, hp-set)`` subproblems (the greedy level
 scans of Audsley/Unsafe Quadratic are prefixes of the backtracking tree;
 the exhaustive scan revisits everything), so the comparison -- the
@@ -32,7 +32,8 @@ import numpy as np
 from repro.api.service import analyze
 from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
 from repro.experiments.report import format_table
-from repro.search import SearchContext, run_strategy
+from repro.search import run_strategy
+from repro.memo import AnalysisMemo
 from repro.sweep import SweepResult, SweepSpec, run_sweep
 
 #: Suite order (fixed: it determines which run warms the shared memo).
@@ -108,7 +109,7 @@ class AssignResult:
             ],
             table_rows,
             title=(
-                "Priority-assignment comparison (shared search context per "
+                "Priority-assignment comparison (shared analysis memo per "
                 f"instance, {self.benchmarks_per_count} benchmarks/count)"
             ),
         )
@@ -121,7 +122,7 @@ def _assign_worker(
     n, index = item["n"], item["index"]
     rng = np.random.default_rng([seed, n, index])
     taskset = generate_control_taskset(n, rng, config=params.get("config"))
-    context = SearchContext()
+    context = AnalysisMemo()
     record: Dict[str, Any] = {"n": n, "index": index}
     for algorithm in params["algorithms"]:
         if algorithm == "exhaustive" and n > params["exhaustive_max_n"]:

@@ -1,0 +1,337 @@
+"""The shared analysis memo: interned tasks, subproblem cache, counters.
+
+An :class:`AnalysisMemo` is the state every analysis consumer plugs into
+(search strategies, the :mod:`repro.api` facade, the serve daemon, the
+codesign loop):
+
+* **interning** -- each distinct task *content* ``(name, period, wcet,
+  bcet, bound)`` gets a small integer id and a precomputed
+  :data:`~repro.memo.kernels.TaskRecord`; hp-sets become frozensets of
+  ids, cheap to build and hash.  Content (not object identity) keys the
+  memo, so an edited model -- one WCET changed out of twelve tasks --
+  shares every untouched subproblem with its parent.
+* **memo** -- ``(task_id, frozenset(hp_ids)) -> (best, worst, slack)``.
+  The first evaluation of a subproblem fixes its value; all callers that
+  enumerate hp-sets in task-set order (the facade and every algorithm
+  except the exhaustive permutation scan) therefore observe floats
+  bit-identical to the scalar seed path.
+* **counters** -- each run carries its own :class:`EvaluationCounter`;
+  ``count`` is the paper's logical metric (every predicate query ticks,
+  memo hit or not), ``hits`` tallies memo hits, and ``recomputations =
+  count - hits`` is what was actually paid.  The memo aggregates totals
+  across runs for benchmarking and the daemon's ``/stats``.
+
+Memos are deliberately cheap to create: a fresh memo per task set is the
+default; passing one memo across several runs (or several task sets, in
+codesign and the serve daemon) is what unlocks the sharing.
+
+Process-lifetime use: pass ``max_entries`` to bound the subproblem memo
+-- least-recently-used entries are evicted past the bound (interned task
+records are tiny and are kept unbounded).  All mutating operations and
+``stats()`` snapshots are serialised on an internal lock, so one memo
+may be shared between the serve daemon's event loop, its dispatch
+worker, and direct facade calls without lost counter updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.memo.kernels import TaskRecord, evaluate_candidate, make_record
+from repro.rta.batch import TasksetAnalysis
+from repro.rta.interface import ResponseTimes
+from repro.rta.taskset import Task, TaskSet
+
+#: Memo value: ``(best, worst, slack)`` of one (task, hp-set) subproblem.
+MemoEntry = Tuple[float, float, float]
+
+
+@dataclass
+class EvaluationCounter:
+    """The paper's constraint-evaluation metric, memo-aware.
+
+    ``count`` ticks on every logical predicate query -- byte-compatible
+    with the seed counters, so complexity tables stay comparable to the
+    paper.  ``hits`` additionally counts the queries answered from the
+    memo; the difference is the number of exact response-time interfaces
+    actually computed.
+    """
+
+    count: int = 0
+    hits: int = 0
+
+    def tick(self) -> None:
+        self.count += 1
+
+    @property
+    def recomputations(self) -> int:
+        """Predicate evaluations that ran the RTA kernels (memo misses)."""
+        return self.count - self.hits
+
+
+def _task_key(task: Task) -> tuple:
+    bound = task.stability
+    return (
+        task.name,
+        task.period,
+        task.wcet,
+        task.bcet,
+        None if bound is None else (bound.a, bound.b),
+    )
+
+
+class AnalysisMemo:
+    """Shared subproblem memo + interning across analyses and task sets.
+
+    Thread safe; optionally size-bounded (``max_entries``) with LRU
+    eviction for daemon-lifetime use.  ``SearchContext`` is the
+    deprecated pre-1.4 name of this class.
+    """
+
+    def __init__(self, *, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ModelError(
+                f"max_entries must be a positive integer, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._ids: Dict[tuple, int] = {}
+        self._records: List[TaskRecord] = []
+        self._tasks: List[Task] = []
+        self.memo: "OrderedDict[Tuple[int, FrozenSet[int]], MemoEntry]" = (
+            OrderedDict()
+        )
+        self.evictions = 0
+        #: Aggregate over every run opened on this memo.
+        self.total = EvaluationCounter()
+
+    # -- interning -----------------------------------------------------------
+    def intern(self, task: Task) -> int:
+        """Id of the task's content (registering it on first sight)."""
+        key = _task_key(task)
+        with self._lock:
+            tid = self._ids.get(key)
+            if tid is None:
+                tid = len(self._records)
+                self._ids[key] = tid
+                self._records.append(
+                    make_record(
+                        task.period, task.wcet, task.bcet, task.stability, task.name
+                    )
+                )
+                self._tasks.append(task)
+        return tid
+
+    def intern_all(self, tasks: Sequence[Task]) -> List[int]:
+        """Ids of every task's content, registering new ones, one lock.
+
+        Equivalent to ``[self.intern(t) for t in tasks]`` but takes the
+        lock once -- the difference between O(n) and O(n^2) lock
+        round-trips per task set on the hot serving path.
+        """
+        keys = [_task_key(task) for task in tasks]
+        ids: List[int] = []
+        with self._lock:
+            for key, task in zip(keys, tasks):
+                tid = self._ids.get(key)
+                if tid is None:
+                    tid = len(self._records)
+                    self._ids[key] = tid
+                    self._records.append(
+                        make_record(
+                            task.period,
+                            task.wcet,
+                            task.bcet,
+                            task.stability,
+                            task.name,
+                        )
+                    )
+                    self._tasks.append(task)
+                ids.append(tid)
+        return ids
+
+    def task(self, tid: int) -> Task:
+        """The representative task of an interned id."""
+        return self._tasks[tid]
+
+    def name(self, tid: int) -> str:
+        return self._records[tid][5]
+
+    # -- runs ----------------------------------------------------------------
+    def run(self) -> "MemoRun":
+        """Open an analysis/strategy run with its own logical counter."""
+        return MemoRun(self, EvaluationCounter())
+
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Consistent snapshot of interning, memo, and counter totals."""
+        with self._lock:
+            return {
+                "interned_tasks": len(self._records),
+                "memo_entries": len(self.memo),
+                "max_entries": self.max_entries,
+                "evictions": self.evictions,
+                "evaluations": self.total.count,
+                "cache_hits": self.total.hits,
+                "recomputations": self.total.recomputations,
+            }
+
+    # -- whole-taskset analysis ---------------------------------------------
+    def taskset_analysis(
+        self, taskset: TaskSet, counter: Optional[EvaluationCounter] = None
+    ) -> TasksetAnalysis:
+        """Memoised drop-in for :func:`repro.rta.batch.analyze_taskset`.
+
+        Each task is evaluated against its hp-set in *task-set order*
+        (exactly ``taskset.higher_priority(task)``), the scalar-contract
+        enumeration, so the resulting interfaces -- and hence canonical
+        report bytes -- are identical to the fresh pass while paying only
+        for subproblems whose ``(task, hp-set)`` key is new.
+        """
+        taskset.check_distinct_priorities()
+        if counter is None:
+            counter = EvaluationCounter()
+        tasks = list(taskset)
+        ids = self.intern_all(tasks)
+        priorities = [task.priority for task in tasks]
+        times: Dict[str, ResponseTimes] = {}
+        violating: List[str] = []
+        for tid, task, priority in zip(ids, tasks, priorities):
+            # hp ids in task-set order -- exactly the
+            # ``taskset.higher_priority(task)`` enumeration (priorities
+            # are distinct), without re-interning per task.
+            hp_ids = [
+                ids[j]
+                for j, other in enumerate(priorities)
+                if other > priority
+            ]
+            entry = self._entry(tid, hp_ids, frozenset(hp_ids), counter)
+            interface = ResponseTimes(best=entry[0], worst=entry[1])
+            times[task.name] = interface
+            ok = interface.finite
+            if ok and task.stability is not None:
+                ok = task.stability.is_stable(
+                    interface.latency, interface.jitter
+                )
+            if not ok:
+                violating.append(task.name)
+        return TasksetAnalysis(
+            times=times,
+            deadlines_met=all(t.finite for t in times.values()),
+            stable=not violating,
+            violating=tuple(violating),
+        )
+
+    # -- evaluation core -----------------------------------------------------
+    def _entry(
+        self,
+        tid: int,
+        hp_ids: Sequence[int],
+        hp_key: FrozenSet[int],
+        counter: EvaluationCounter,
+    ) -> MemoEntry:
+        """One logical predicate query, memo first.
+
+        ``hp_ids`` gives the evaluation *order* on a miss (the caller's
+        enumeration order -- what makes the floats match the seed path);
+        ``hp_key`` is the content key.  The per-run ``counter`` belongs
+        to the calling run (single-threaded by construction); the shared
+        totals only mutate under the lock.
+        """
+        counter.count += 1
+        memo_key = (tid, hp_key)
+        bounded = self.max_entries is not None
+        with self._lock:
+            self.total.count += 1
+            entry = self.memo.get(memo_key)
+            if entry is not None:
+                counter.hits += 1
+                self.total.hits += 1
+                if bounded:
+                    self.memo.move_to_end(memo_key)
+                return entry
+            records = self._records
+            record = records[tid]
+            hp_records = [records[i] for i in hp_ids]
+        # Evaluate outside the lock: the kernels are the expensive part.
+        entry = evaluate_candidate(record, hp_records)
+        with self._lock:
+            # Put-if-absent: the first evaluation fixes the value, so a
+            # racing thread that computed concurrently adopts the stored
+            # entry (all enumeration orders of interest agree anyway).
+            stored = self.memo.setdefault(memo_key, entry)
+            if stored is entry and bounded:
+                while len(self.memo) > self.max_entries:
+                    self.memo.popitem(last=False)
+                    self.evictions += 1
+        return stored
+
+
+@dataclass
+class MemoRun:
+    """One analysis/strategy run on a memo: own counter, shared memo.
+
+    The attribute is named ``context`` for compatibility with the search
+    engine's pre-1.4 vocabulary; ``memo`` aliases it.
+    """
+
+    context: AnalysisMemo
+    counter: EvaluationCounter = field(default_factory=EvaluationCounter)
+
+    @property
+    def memo(self) -> AnalysisMemo:
+        return self.context
+
+    def slack_ids(self, tid: int, hp_ids: Sequence[int]) -> float:
+        """Stability slack of one candidate against an explicit hp id list."""
+        return self.context._entry(
+            tid, hp_ids, frozenset(hp_ids), self.counter
+        )[2]
+
+    def level_slacks(self, ids: Sequence[int]) -> List[float]:
+        """Batched sibling scoring: slack of every candidate of one level.
+
+        ``ids[i]`` is scored against ``ids[:i] + ids[i+1:]`` -- one call
+        per level instead of one scalar predicate call per candidate.
+        """
+        ids = list(ids)
+        base = frozenset(ids)
+        entry = self.context._entry
+        counter = self.counter
+        return [
+            entry(tid, ids[:i] + ids[i + 1 :], base - {tid}, counter)[2]
+            for i, tid in enumerate(ids)
+        ]
+
+    def times_ids(
+        self, tid: int, hp_ids: Sequence[int]
+    ) -> Tuple[float, float]:
+        """``(best, worst)`` response times of one subproblem (memoised)."""
+        entry = self.context._entry(
+            tid, hp_ids, frozenset(hp_ids), self.counter
+        )
+        return entry[0], entry[1]
+
+    def slack(self, task: Task, higher_priority: Sequence[Task]) -> float:
+        """Task-object convenience wrapper over :meth:`slack_ids`."""
+        context = self.context
+        return self.slack_ids(
+            context.intern(task), context.intern_all(higher_priority)
+        )
+
+    def count_external(self) -> None:
+        """Tick one non-memoisable candidate evaluation into this run.
+
+        For candidate scans whose predicate is computed outside the
+        kernels (e.g. the periodic-server budget search, whose response
+        times come from a different supply model): the evaluation enters
+        this run's logical counter so complexity accounting stays
+        uniform, but nothing is memoised.
+        """
+        self.counter.count += 1
+        with self.context._lock:
+            self.context.total.count += 1

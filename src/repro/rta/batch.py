@@ -7,11 +7,9 @@ higher-priority tuple, re-sums utilisations, and evaluates the interference
 term task-by-task in Python.  This module analyses a *whole task set* (and
 lists of task sets) in one call:
 
-* tasks are processed in decreasing priority order, so the hp-interference
-  lists (periods, WCETs, BCETs) and their running sums/utilisations are
-  built incrementally once per set and shared between the WCRT and BCRT
-  fixed points -- no per-task ``higher_priority`` scans, no re-summed
-  utilisation screens;
+* per-task records ``(period, wcet, bcet, bcet/period)`` are precomputed
+  once per set and shared between the WCRT and BCRT fixed points -- no
+  per-task attribute re-derivation inside the iterations;
 * an early-exit utilisation screen settles saturated (``U_hp >= 1``) and
   first-iterate deadline misses without entering the iteration.
 
@@ -19,10 +17,15 @@ The task sets of the paper's benchmarks are small (n <= 20), where NumPy
 per-iteration allocations cost more than they save, so the fixed points
 run in scalar Python over the precomputed lists; :func:`guarded_ceil_array`
 is provided for grid-shaped workloads.  Equivalence with the scalar
-analyses is exact in the guard decisions and agrees to floating-point
-summation order (~1 ulp: the per-task code sums interference in task-set
-order, the batched pass in priority order), which the test suite pins down
-on hundreds of random UUniFast task sets.
+analyses is *bit-exact*: each task's hp list is enumerated in task-set
+order (the :meth:`~repro.rta.taskset.TaskSet.higher_priority` order the
+per-task analyses use) and the interference sums accumulate with the
+same operand order and associativity, so the floats here are identical
+to :func:`repro.rta.interface.latency_jitter` -- and therefore to the
+shared-memo kernels of :mod:`repro.memo.kernels`, which is what makes
+memoised and fresh façade analyses byte-identical.  An earlier revision
+summed interference in priority order instead, which diverged from the
+scalar path in the last ulp on some UUniFast populations.
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ import numpy as np
 
 from repro.errors import ScheduleError
 from repro.rta.interface import ResponseTimes
-from repro.rta.taskset import Task, TaskSet
+from repro.rta.taskset import TaskSet
 from repro.rta.wcrt import _CEIL_RTOL
 
 #: Convergence tolerance shared with the scalar fixed points.
@@ -70,15 +73,17 @@ def _guarded_ceil(quotient: float) -> float:
 def _wcrt_fast(
     wcet: float,
     period: float,
-    hp: List[Tuple[float, float, float]],
+    hp: List[Tuple[float, float, float, float]],
     hp_wcet_sum: float,
     hp_util: float,
     name: str,
 ) -> float:
     """Least fixed point of eq. (3) with ``limit = period`` semantics.
 
-    ``hp`` holds ``(period, wcet, bcet)`` triples; the running sums are
-    maintained by the caller across the whole priority-ordered pass.
+    ``hp`` holds ``(period, wcet, bcet, bcet/period)`` records in
+    task-set order; the sums are derived by the caller from the same
+    records.  The iteration mirrors the scalar analysis operation for
+    operation, so finite results are bit-identical.
     """
     if not hp:
         return wcet
@@ -94,7 +99,7 @@ def _wcrt_fast(
     response = wcet
     for _ in range(_MAX_ITERATIONS):
         interference = 0.0
-        for hp_period, hp_wcet, _ in hp:
+        for hp_period, hp_wcet, _, _ in hp:
             interference += _guarded_ceil(response / hp_period) * hp_wcet
         updated = wcet + interference
         if updated > period:
@@ -110,22 +115,30 @@ def _wcrt_fast(
 
 def _bcrt_fast(
     bcet: float,
-    hp: List[Tuple[float, float, float]],
+    hp: List[Tuple[float, float, float, float]],
     hp_bcet_util: float,
     name: str,
 ) -> float:
-    """Greatest fixed point of eq. (4), seeded from the utilisation bound."""
+    """Greatest fixed point of eq. (4), seeded from the utilisation bound.
+
+    ``hp_bcet_util`` must be the sum of the precomputed ``bcet/period``
+    record entries in task-set order (same operands and order as the
+    scalar analysis), since it seeds the iteration numerically.  The
+    interference accumulates into a separate term added to ``bcet`` once
+    per iterate -- the scalar associativity.
+    """
     if not hp:
         return bcet
     if hp_bcet_util + 1e-12 >= 1.0:
         return float("inf")
     response = bcet / (1.0 - hp_bcet_util) + 1e-9
     for _ in range(_MAX_ITERATIONS):
-        updated = bcet
-        for hp_period, _, hp_bcet in hp:
+        interference = 0.0
+        for hp_period, _, hp_bcet, _ in hp:
             factor = _guarded_ceil(response / hp_period) - 1.0
             if factor > 0.0:
-                updated += factor * hp_bcet
+                interference += factor * hp_bcet
+        updated = bcet + interference
         if updated > response + _FP_RTOL * max(1.0, response):
             raise ScheduleError(
                 f"BCRT iteration increased for task {name!r}; "
@@ -153,20 +166,34 @@ class TasksetAnalysis:
 def analyze_taskset(taskset: TaskSet) -> TasksetAnalysis:
     """Exact latency/jitter interface of every task, one pass.
 
-    Requires distinct priorities (like the per-task interface).  Tasks are
-    visited in decreasing priority order so the interference arrays grow
-    incrementally; verdicts match
+    Requires distinct priorities (like the per-task interface).  Each
+    task's hp records are selected from one precomputed per-set table in
+    task-set order -- the ``higher_priority`` order of the scalar path --
+    so every float is bit-identical to the per-task analyses (and to the
+    shared-memo kernels); verdicts match
     :func:`repro.assignment.validate.validate_assignment`.
     """
     taskset.check_distinct_priorities()
-    ordered = taskset.sorted_by_priority(descending=True)
-    hp: List[Tuple[float, float, float]] = []
-    hp_wcet_sum = 0.0
-    hp_util = 0.0
-    hp_bcet_util = 0.0
+    tasks = list(taskset)
+    records: List[Tuple[float, float, float, float]] = [
+        (t.period, t.wcet, t.bcet, t.bcet / t.period) for t in tasks
+    ]
+    priorities = [t.priority for t in tasks]
     times: Dict[str, ResponseTimes] = {}
     violating: List[str] = []
-    for task in ordered:
+    for task, priority in zip(tasks, priorities):
+        hp = [
+            records[j]
+            for j, other in enumerate(priorities)
+            if other > priority
+        ]
+        hp_wcet_sum = 0.0
+        hp_util = 0.0
+        hp_bcet_util = 0.0
+        for hp_period, hp_wcet, _, hp_quotient in hp:
+            hp_wcet_sum += hp_wcet
+            hp_util += hp_wcet / hp_period
+            hp_bcet_util += hp_quotient
         worst = _wcrt_fast(
             task.wcet, task.period, hp, hp_wcet_sum, hp_util, task.name
         )
@@ -178,20 +205,12 @@ def analyze_taskset(taskset: TaskSet) -> TasksetAnalysis:
             ok = task.stability.is_stable(interface.latency, interface.jitter)
         if not ok:
             violating.append(task.name)
-        hp.append((task.period, task.wcet, task.bcet))
-        hp_wcet_sum += task.wcet
-        hp_util += task.wcet / task.period
-        hp_bcet_util += task.bcet / task.period
     deadlines_met = all(t.finite for t in times.values())
-    # Report in task-set order, matching ValidationReport conventions.
-    times = {task.name: times[task.name] for task in taskset}
     return TasksetAnalysis(
         times=times,
         deadlines_met=deadlines_met,
         stable=not violating,
-        violating=tuple(
-            task.name for task in taskset if task.name in set(violating)
-        ),
+        violating=tuple(violating),
     )
 
 

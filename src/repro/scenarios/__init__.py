@@ -50,6 +50,7 @@ from repro.scenarios.validate import (
     validate_scenario,
 )
 from repro.scenarios.workload import (
+    edited_model_request_stream,
     scenario_request_pool,
     scenario_request_stream,
     scenario_run_json,
@@ -57,6 +58,7 @@ from repro.scenarios.workload import (
 )
 
 __all__ = [
+    "edited_model_request_stream",
     "scenario_request_pool",
     "scenario_request_stream",
     "scenario_run_json",

@@ -16,12 +16,16 @@ the same models in the same order.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.api.model import ControlTaskSystem
+from repro.benchgen.uunifast import uunifast
 from repro.errors import ModelError
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
 from repro.scenarios.registry import get_scenario, scenario_names
 
 #: Default scenarios behind a request stream: structurally different
@@ -80,6 +84,92 @@ def scenario_request_pool(
             )
         )
     return pool
+
+
+def edited_model_request_stream(
+    n_requests: int,
+    *,
+    n_tasks: int = 44,
+    edit_tail: int = 4,
+    repeat_fraction: float = 0.25,
+    utilization: float = 0.8,
+    seed: int = 11,
+) -> List[ControlTaskSystem]:
+    """Near-identical request traffic: one base model, one-field edits.
+
+    ROADMAP item 2's observed traffic shape, which whole-model caching
+    cannot exploit: ``repeat_fraction`` of the requests (in expectation)
+    re-submit an edit already seen earlier in the stream (these are
+    content-addressed store hits), the rest submit a *fresh* one-WCET
+    edit of the shared base model -- a store miss that still shares
+    all-but-a-few ``(task, hp-set)`` subproblems with every earlier
+    request.  Edits target the ``edit_tail`` lowest-priority tasks, so
+    a warm :class:`~repro.memo.AnalysisMemo` replays the untouched head
+    of the priority order and recomputes only the edited tail.
+
+    Priorities are rate monotonic and baked into the models
+    (``as_given``), so serving costs analysis, not search; determinism
+    follows the stream conventions above.
+    """
+    if n_requests < 1:
+        raise ModelError(f"stream needs >= 1 requests, got {n_requests}")
+    if not (0.0 <= repeat_fraction <= 1.0):
+        raise ModelError(
+            f"repeat_fraction must be in [0, 1], got {repeat_fraction}"
+        )
+    if not (1 <= edit_tail <= n_tasks):
+        raise ModelError(
+            f"edit_tail must be in [1, n_tasks={n_tasks}], got {edit_tail}"
+        )
+    rng = np.random.default_rng([seed, 0xED17ED, n_tasks])
+    shares = uunifast(n_tasks, utilization, rng)
+    periods = rng.choice(
+        [1.0, 2.0, 2.5, 4.0, 5.0, 8.0, 10.0, 20.0], size=n_tasks
+    )
+    # Rate monotonic, ties broken by index: shortest period -> highest
+    # priority value (the repo-wide larger-is-higher convention).
+    by_rate = sorted(range(n_tasks), key=lambda k: (periods[k], k))
+    priorities = {k: n_tasks - rank for rank, k in enumerate(by_rate)}
+    base: List[Task] = []
+    for k, (share, period) in enumerate(zip(shares, periods)):
+        wcet = min(max(float(share * period), 1e-6), float(period))
+        stability = None
+        if rng.uniform() < 0.7:
+            stability = LinearStabilityBound(
+                a=1.0 + float(rng.uniform(0.0, 1.5)),
+                b=float(period) * float(rng.uniform(0.1, 1.2)),
+            )
+        base.append(
+            Task(
+                name=f"t{k}",
+                period=float(period),
+                wcet=wcet,
+                bcet=0.4 * wcet,
+                priority=priorities[k],
+                stability=stability,
+            )
+        )
+    tail = by_rate[::-1][:edit_tail]  # the edit_tail lowest-priority tasks
+    stream: List[ControlTaskSystem] = []
+    seen: List[ControlTaskSystem] = []
+    for r in range(n_requests):
+        if seen and rng.random() < repeat_fraction:
+            stream.append(seen[int(rng.integers(len(seen)))])
+            continue
+        index = int(tail[int(rng.integers(len(tail)))])
+        factor = float(rng.uniform(0.7, 0.999))
+        tasks = [t.copy() for t in base]
+        tasks[index] = replace(
+            tasks[index], wcet=max(tasks[index].bcet, tasks[index].wcet * factor)
+        )
+        system = ControlTaskSystem(
+            taskset=TaskSet(tasks),
+            name=f"edited-{len(seen)}",
+            priority_policy="as_given",
+        )
+        seen.append(system)
+        stream.append(system)
+    return stream
 
 
 def scenario_run_payload(

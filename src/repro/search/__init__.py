@@ -7,16 +7,18 @@ subproblems: *"is task tau feasible at the lowest priority among a
 candidate set?"*.  The seed implementations each re-derived that
 predicate from scratch; this package factors the search machinery out:
 
-* :class:`~repro.search.context.SearchContext` -- a shared evaluation
-  context holding a memo keyed by ``(task, frozenset(hp-set))`` so that
-  overlapping subproblems (the backtracking/exhaustive trees, repeated
-  algorithm runs over one instance, the codesign combination loop) are
-  never recomputed;
-* :mod:`~repro.search.kernels` -- batched sibling evaluation: all
-  candidates of one search level are scored through a shared-
-  precomputation pass that is float-for-float identical to the scalar
-  analyses of :mod:`repro.rta` (the equivalence the golden tests pin);
-* :class:`~repro.search.context.EvaluationCounter` -- the paper's
+* :class:`~repro.memo.AnalysisMemo` (v1.4, formerly ``SearchContext``)
+  -- the shared evaluation memo of :mod:`repro.memo`, keyed by
+  ``(task, frozenset(hp-set))`` so that overlapping subproblems (the
+  backtracking/exhaustive trees, repeated algorithm runs over one
+  instance, the codesign combination loop, edited models in the serve
+  daemon) are never recomputed;
+* :mod:`~repro.search.kernels` -- batched sibling evaluation (now
+  re-exported from :mod:`repro.memo.kernels`): all candidates of one
+  search level are scored through a shared-precomputation pass that is
+  float-for-float identical to the scalar analyses of :mod:`repro.rta`
+  (the equivalence the golden tests pin);
+* :class:`~repro.memo.EvaluationCounter` -- the paper's
   logical-evaluation metric, unchanged: every predicate *query* counts,
   memo hits are tallied separately, so complexity tables stay comparable
   to the paper while ``recomputations`` exposes the engine's saving;
@@ -26,21 +28,24 @@ predicate from scratch; this package factors the search machinery out:
 
 Quickstart::
 
-    from repro.search import SearchContext, run_strategy
+    from repro.memo import AnalysisMemo
+    from repro.search import run_strategy
 
-    context = SearchContext()                     # share the memo ...
-    opa = run_strategy("audsley", taskset, context=context)
-    alg1 = run_strategy("backtracking", taskset, context=context)
+    memo = AnalysisMemo()                         # share the memo ...
+    opa = run_strategy("audsley", taskset, memo=memo)
+    alg1 = run_strategy("backtracking", taskset, memo=memo)
     # ... alg1.evaluations matches the paper's count; alg1.cache_hits
     # shows how much of the tree the OPA run already paid for.
 """
 
-from repro.search.context import EvaluationCounter, SearchContext, SearchRun
+from repro.memo import AnalysisMemo, EvaluationCounter
+from repro.search.context import SearchContext, SearchRun
 from repro.search.engine import run_strategy
 from repro.search.result import AssignmentResult
 from repro.search.strategies import STRATEGIES, SearchStrategy, strategy_names
 
 __all__ = [
+    "AnalysisMemo",
     "AssignmentResult",
     "EvaluationCounter",
     "SearchContext",

@@ -1,209 +1,47 @@
-"""The shared search context: interned tasks, memo, evaluation counters.
+"""Back-compat layer: the search context is now the shared analysis memo.
 
-A :class:`SearchContext` is the state every strategy run plugs into:
+The interning + memo + counter machinery that used to live here was
+promoted to :mod:`repro.memo` (v1.4.0) so the facade and the serve
+daemon share one implementation with the search engine.  This module
+keeps the historical names importable:
 
-* **interning** -- each distinct task *content* ``(name, period, wcet,
-  bcet, bound)`` gets a small integer id and a precomputed
-  :data:`~repro.search.kernels.TaskRecord`; hp-sets become frozensets of
-  ids, cheap to build and hash.  Content (not object identity) keys the
-  memo, so the codesign loop -- which re-submits mostly-identical task
-  sets with one period changed -- shares subproblems across combinations.
-* **memo** -- ``(task_id, frozenset(hp_ids)) -> (best, worst, slack)``.
-  The first evaluation of a subproblem fixes its value; all callers that
-  enumerate hp-sets in task-set order (every algorithm except the
-  exhaustive permutation scan) therefore observe floats bit-identical to
-  the scalar seed path.
-* **counters** -- each strategy run carries its own
-  :class:`EvaluationCounter`; ``count`` is the paper's logical metric
-  (every predicate query ticks, memo hit or not), ``hits`` tallies memo
-  hits, and ``recomputations = count - hits`` is what the engine actually
-  paid.  The context aggregates totals across runs for benchmarking.
-
-Contexts are deliberately cheap to create: a fresh context per task set
-is the default; passing one context across several algorithm runs (or
-several task sets, in codesign) is what unlocks the sharing.
+* :class:`SearchContext` -- deprecated subclass of
+  :class:`repro.memo.AnalysisMemo` (identical behaviour; instantiation
+  emits a :class:`DeprecationWarning`);
+* ``SearchRun`` -- alias of :class:`repro.memo.MemoRun`;
+* ``EvaluationCounter`` / ``MemoEntry`` -- re-exports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+import warnings
+from typing import Optional
 
-from repro.rta.taskset import Task
-from repro.search.kernels import TaskRecord, evaluate_candidate, make_record
+from repro.memo.core import (  # noqa: F401
+    AnalysisMemo,
+    EvaluationCounter,
+    MemoEntry,
+    MemoRun,
+    _task_key,
+)
 
-#: Memo value: ``(best, worst, slack)`` of one (task, hp-set) subproblem.
-MemoEntry = Tuple[float, float, float]
+#: Pre-1.4 name of :class:`repro.memo.MemoRun`.
+SearchRun = MemoRun
 
 
-@dataclass
-class EvaluationCounter:
-    """The paper's constraint-evaluation metric, memo-aware.
+class SearchContext(AnalysisMemo):
+    """Deprecated pre-1.4 name of :class:`repro.memo.AnalysisMemo`.
 
-    ``count`` ticks on every logical predicate query -- byte-compatible
-    with the seed counters, so complexity tables stay comparable to the
-    paper.  ``hits`` additionally counts the queries answered from the
-    memo; the difference is the number of exact response-time interfaces
-    actually computed.
+    .. deprecated:: 1.4.0
+       Use :class:`repro.memo.AnalysisMemo`; same interface, shared by
+       search, the api facade, and the serve daemon.
     """
 
-    count: int = 0
-    hits: int = 0
-
-    def tick(self) -> None:
-        self.count += 1
-
-    @property
-    def recomputations(self) -> int:
-        """Predicate evaluations that ran the RTA kernels (memo misses)."""
-        return self.count - self.hits
-
-
-def _task_key(task: Task) -> tuple:
-    bound = task.stability
-    return (
-        task.name,
-        task.period,
-        task.wcet,
-        task.bcet,
-        None if bound is None else (bound.a, bound.b),
-    )
-
-
-class SearchContext:
-    """Shared memo + interning across strategy runs (and task sets)."""
-
-    def __init__(self) -> None:
-        self._ids: Dict[tuple, int] = {}
-        self._records: List[TaskRecord] = []
-        self._tasks: List[Task] = []
-        self.memo: Dict[Tuple[int, FrozenSet[int]], MemoEntry] = {}
-        #: Aggregate over every run opened on this context.
-        self.total = EvaluationCounter()
-
-    # -- interning -----------------------------------------------------------
-    def intern(self, task: Task) -> int:
-        """Id of the task's content (registering it on first sight)."""
-        key = _task_key(task)
-        tid = self._ids.get(key)
-        if tid is None:
-            tid = len(self._records)
-            self._ids[key] = tid
-            self._records.append(
-                make_record(
-                    task.period, task.wcet, task.bcet, task.stability, task.name
-                )
-            )
-            self._tasks.append(task)
-        return tid
-
-    def intern_all(self, tasks: Sequence[Task]) -> List[int]:
-        return [self.intern(task) for task in tasks]
-
-    def task(self, tid: int) -> Task:
-        """The representative task of an interned id."""
-        return self._tasks[tid]
-
-    def name(self, tid: int) -> str:
-        return self._records[tid][5]
-
-    # -- runs ----------------------------------------------------------------
-    def run(self) -> "SearchRun":
-        """Open a strategy run with its own logical counter."""
-        return SearchRun(self, EvaluationCounter())
-
-    # -- statistics ----------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
-        return {
-            "interned_tasks": len(self._records),
-            "memo_entries": len(self.memo),
-            "evaluations": self.total.count,
-            "cache_hits": self.total.hits,
-            "recomputations": self.total.recomputations,
-        }
-
-    # -- evaluation core -----------------------------------------------------
-    def _entry(
-        self,
-        tid: int,
-        hp_ids: Sequence[int],
-        hp_key: FrozenSet[int],
-        counter: EvaluationCounter,
-    ) -> MemoEntry:
-        """One logical predicate query, memo first.
-
-        ``hp_ids`` gives the evaluation *order* on a miss (the caller's
-        enumeration order -- what makes the floats match the seed path);
-        ``hp_key`` is the content key.
-        """
-        counter.count += 1
-        self.total.count += 1
-        memo_key = (tid, hp_key)
-        entry = self.memo.get(memo_key)
-        if entry is not None:
-            counter.hits += 1
-            self.total.hits += 1
-            return entry
-        records = self._records
-        entry = evaluate_candidate(
-            records[tid], [records[i] for i in hp_ids]
+    def __init__(self, *, max_entries: Optional[int] = None) -> None:
+        warnings.warn(
+            "SearchContext is deprecated since v1.4.0; use "
+            "repro.memo.AnalysisMemo (identical interface)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.memo[memo_key] = entry
-        return entry
-
-
-@dataclass
-class SearchRun:
-    """One strategy run on a context: its own counter, the shared memo."""
-
-    context: SearchContext
-    counter: EvaluationCounter
-
-    def slack_ids(self, tid: int, hp_ids: Sequence[int]) -> float:
-        """Stability slack of one candidate against an explicit hp id list."""
-        return self.context._entry(
-            tid, hp_ids, frozenset(hp_ids), self.counter
-        )[2]
-
-    def level_slacks(self, ids: Sequence[int]) -> List[float]:
-        """Batched sibling scoring: slack of every candidate of one level.
-
-        ``ids[i]`` is scored against ``ids[:i] + ids[i+1:]`` -- one call
-        per level instead of one scalar predicate call per candidate.
-        """
-        ids = list(ids)
-        base = frozenset(ids)
-        entry = self.context._entry
-        counter = self.counter
-        return [
-            entry(tid, ids[:i] + ids[i + 1 :], base - {tid}, counter)[2]
-            for i, tid in enumerate(ids)
-        ]
-
-    def times_ids(
-        self, tid: int, hp_ids: Sequence[int]
-    ) -> Tuple[float, float]:
-        """``(best, worst)`` response times of one subproblem (memoised)."""
-        entry = self.context._entry(
-            tid, hp_ids, frozenset(hp_ids), self.counter
-        )
-        return entry[0], entry[1]
-
-    def slack(self, task: Task, higher_priority: Sequence[Task]) -> float:
-        """Task-object convenience wrapper over :meth:`slack_ids`."""
-        context = self.context
-        return self.slack_ids(
-            context.intern(task), context.intern_all(higher_priority)
-        )
-
-    def count_external(self) -> None:
-        """Tick one non-memoisable candidate evaluation into this run.
-
-        For candidate scans whose predicate is computed outside the
-        kernels (e.g. the periodic-server budget search, whose response
-        times come from a different supply model): the evaluation enters
-        this run's logical counter so complexity accounting stays
-        uniform, but nothing is memoised.
-        """
-        self.counter.count += 1
-        self.context.total.count += 1
+        super().__init__(max_entries=max_entries)

@@ -3,8 +3,9 @@
 ``run_strategy`` is what the thin wrappers in :mod:`repro.assignment`,
 the façade's :func:`repro.api.assign`, the codesign loop, and the
 ``assign`` experiment all call.  Passing an explicit
-:class:`~repro.search.context.SearchContext` shares the subproblem memo
-across runs; omitting it gives the classic cold-start behaviour.
+:class:`~repro.memo.AnalysisMemo` via ``memo=`` (or the pre-1.4 alias
+``context=``) shares the subproblem memo across runs; omitting it gives
+the classic cold-start behaviour.
 """
 
 from __future__ import annotations
@@ -13,8 +14,8 @@ import time
 from typing import Optional
 
 from repro.errors import ModelError
+from repro.memo import AnalysisMemo
 from repro.rta.taskset import TaskSet
-from repro.search.context import SearchContext
 from repro.search.result import AssignmentResult
 from repro.search.strategies import STRATEGIES
 
@@ -23,14 +24,17 @@ def run_strategy(
     algorithm: str,
     taskset: TaskSet,
     *,
-    context: Optional[SearchContext] = None,
+    memo: Optional[AnalysisMemo] = None,
+    context: Optional[AnalysisMemo] = None,
     **options,
 ) -> AssignmentResult:
-    """Run one assignment algorithm, optionally on a shared context.
+    """Run one assignment algorithm, optionally on a shared memo.
 
     ``options`` are strategy-specific (``max_evaluations`` for
-    ``backtracking``); unknown options are rejected by name.  The result
-    reports the paper's logical evaluation count plus the context's
+    ``backtracking``); unknown options are rejected by name.  ``memo``
+    and ``context`` name the same parameter (``context`` is the pre-1.4
+    spelling, kept for compatibility); passing both is rejected.  The
+    result reports the paper's logical evaluation count plus the memo's
     ``cache_hits`` for this run.
     """
     strategy = STRATEGIES.get(algorithm)
@@ -39,7 +43,13 @@ def run_strategy(
             f"unknown assignment algorithm {algorithm!r}; "
             f"known: {sorted(STRATEGIES)}"
         )
-    run = (context if context is not None else SearchContext()).run()
+    if memo is not None and context is not None and memo is not context:
+        raise ModelError(
+            "pass either memo= or its pre-1.4 alias context=, not both"
+        )
+    if memo is None:
+        memo = context
+    run = (memo if memo is not None else AnalysisMemo()).run()
     start = time.perf_counter()
     priorities, claims_valid, backtracks = strategy.search(
         taskset, run, **options

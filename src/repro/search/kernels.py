@@ -1,141 +1,19 @@
-"""Batched, float-exact evaluation kernels for the search engine.
+"""Back-compat re-export: the evaluation kernels moved to ``repro.memo``.
 
-The predicate every assignment algorithm evaluates is the exact
-response-time interface of one candidate against one higher-priority set
-(:func:`repro.rta.interface.latency_jitter`) followed by the linear
-stability bound.  The seed algorithms called the per-task analyses once
-per candidate, rebuilding hp tuples and re-deriving utilisations every
-time; the kernels here score *all sibling candidates of a search level in
-one call* over interned per-task records ``(period, wcet, bcet,
-bcet/period, bound)`` that the :class:`~repro.search.context.SearchContext`
-precomputes once.
-
-Equivalence contract (the foundation of the golden tests in
-``tests/search/``): for the same candidate and the same hp *order*, these
-kernels return bit-identical floats to the scalar analyses of
-:mod:`repro.rta.wcrt` / :mod:`repro.rta.bcrt` -- same accumulation order,
-same guarded ceilings, same convergence tests.  This is deliberately
-*stricter* than :mod:`repro.rta.batch` (whose priority-ordered pass is
-documented to differ in the last ulp): assignment searches sort
-candidates by slack, and an ulp can flip an argmax.
+The batched, float-exact kernels that score one candidate against one
+higher-priority set now live in :mod:`repro.memo.kernels`, where the
+whole stack (facade, search, serve, codesign) shares them.  This module
+keeps the historical import path working unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence, Tuple
+from repro.memo.kernels import (  # noqa: F401
+    TaskRecord,
+    _bcrt_exact,
+    _wcrt_exact,
+    evaluate_candidate,
+    make_record,
+)
 
-from repro.errors import ScheduleError
-from repro.jittermargin.linearbound import LinearStabilityBound
-from repro.rta.wcrt import _CEIL_RTOL
-
-#: Interned per-task record: ``(period, wcet, bcet, bcet/period, bound,
-#: name)``.  The division is precomputed once per task; summing the
-#: precomputed quotients in hp order reproduces the scalar generator sums
-#: exactly (same operands, same order).
-TaskRecord = Tuple[float, float, float, float, Optional[LinearStabilityBound], str]
-
-_PERIOD, _WCET, _BCET, _BCET_UTIL, _BOUND, _NAME = range(6)
-
-_MAX_ITERATIONS = 10_000
-
-_INF = float("inf")
-_NEG_INF = float("-inf")
-
-
-def make_record(
-    period: float,
-    wcet: float,
-    bcet: float,
-    bound: Optional[LinearStabilityBound],
-    name: str,
-) -> TaskRecord:
-    return (period, wcet, bcet, bcet / period, bound, name)
-
-
-def _wcrt_exact(
-    wcet: float, period: float, hp: Sequence[TaskRecord], name: str
-) -> float:
-    """Replica of :func:`repro.rta.wcrt.worst_case_response_time` with
-    ``limit = period`` (the implicit deadline every search predicate uses).
-
-    The scalar analysis also derives the hp utilisation, but with a finite
-    limit only consults it on the infinite-limit path -- so skipping it
-    here changes no result.
-    """
-    response = wcet
-    for _ in range(_MAX_ITERATIONS):
-        interference = 0.0
-        for record in hp:
-            quotient = response / record[0]
-            nearest = round(quotient)
-            if abs(quotient - nearest) <= _CEIL_RTOL * max(1.0, abs(quotient)):
-                factor = nearest
-            else:
-                factor = int(math.ceil(quotient))
-            interference += factor * record[1]
-        updated = wcet + interference
-        if updated > period:
-            return _INF
-        if abs(updated - response) <= 1e-12 * max(1.0, updated):
-            return updated
-        response = updated
-    raise ScheduleError(
-        f"WCRT iteration did not converge within {_MAX_ITERATIONS} steps "
-        f"for task {name!r}"
-    )
-
-
-def _bcrt_exact(bcet: float, hp: Sequence[TaskRecord], name: str) -> float:
-    """Replica of :func:`repro.rta.bcrt.best_case_response_time`."""
-    bcet_util = 0.0
-    for record in hp:
-        bcet_util += record[3]
-    if bcet_util + 1e-12 >= 1.0:
-        return _INF
-    response = bcet / (1.0 - bcet_util) + 1e-9
-    for _ in range(_MAX_ITERATIONS):
-        interference = 0.0
-        for record in hp:
-            quotient = response / record[0]
-            nearest = round(quotient)
-            if abs(quotient - nearest) <= _CEIL_RTOL * max(1.0, abs(quotient)):
-                factor = nearest
-            else:
-                factor = int(math.ceil(quotient))
-            interference += max(0, factor - 1) * record[2]
-        updated = bcet + interference
-        if updated > response + 1e-12 * max(1.0, response):
-            raise ScheduleError(
-                f"BCRT iteration increased for task {name!r}; "
-                "seed was not an upper bound (numerical inconsistency)"
-            )
-        if abs(updated - response) <= 1e-12 * max(1.0, updated):
-            return updated
-        response = updated
-    raise ScheduleError(
-        f"BCRT iteration did not converge within {_MAX_ITERATIONS} steps "
-        f"for task {name!r}"
-    )
-
-
-def evaluate_candidate(
-    record: TaskRecord, hp: Sequence[TaskRecord]
-) -> Tuple[float, float, float]:
-    """``(best, worst, slack)`` of one candidate at the lowest priority.
-
-    The slack convention matches
-    :func:`repro.assignment.predicate.stability_slack`: ``-inf`` on a
-    deadline miss, the (scaled) deadline slack for tasks without a
-    stability bound, the signed bound margin otherwise.
-    """
-    worst = _wcrt_exact(record[1], record[0], hp, record[5])
-    best = _bcrt_exact(record[2], hp, record[5])
-    if worst == _INF:
-        return best, worst, _NEG_INF
-    bound = record[4]
-    if bound is None:
-        return best, worst, record[0] - worst
-    return best, worst, bound.slack(best, worst - best)
-
-
+__all__ = ["TaskRecord", "evaluate_candidate", "make_record"]

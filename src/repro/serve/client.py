@@ -43,10 +43,17 @@ class ServeClient:
         self.timeout = timeout
 
     # -- transport -----------------------------------------------------------
-    def request_raw(
+    def request_full(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, bytes]:
-        """One HTTP exchange; returns ``(status, body_bytes)``."""
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange; ``(status, headers, body_bytes)``.
+
+        Header names come back lower-cased.  The daemon's out-of-band
+        metadata rides here: ``x-repro-source`` (``store``/``computed``)
+        and, on memo-routed computations, ``x-repro-memo-hits`` /
+        ``x-repro-memo-recomputations`` -- response bodies stay
+        byte-identical to direct façade output.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -58,7 +65,10 @@ class ServeClient:
                 headers={"Content-Type": "application/json"},
             )
             response = connection.getresponse()
-            return response.status, response.read()
+            headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, headers, response.read()
         except (ConnectionError, socket.timeout, OSError) as exc:
             raise ServeClientError(
                 f"no analysis daemon at {self.host}:{self.port} ({exc}); "
@@ -66,6 +76,13 @@ class ServeClient:
             ) from exc
         finally:
             connection.close()
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, body_bytes)``."""
+        status, _, payload = self.request_full(method, path, body)
+        return status, payload
 
     def _json(self, method: str, path: str, body: Optional[bytes] = None) -> Dict[str, Any]:
         status, payload = self.request_raw(method, path, body)
@@ -86,6 +103,14 @@ class ServeClient:
     def analyze_raw(self, model: Dict[str, Any]) -> Tuple[int, bytes]:
         """``POST /v1/analyze``; the exact wire bytes, no re-parsing."""
         return self.request_raw(
+            "POST", "/v1/analyze", json.dumps(model).encode("utf-8")
+        )
+
+    def analyze_full(
+        self, model: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """``POST /v1/analyze`` with response headers (memo metadata)."""
+        return self.request_full(
             "POST", "/v1/analyze", json.dumps(model).encode("utf-8")
         )
 

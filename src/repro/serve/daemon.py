@@ -26,6 +26,20 @@ scalar cost per request:
    cached under the model's ``canonical_sha256`` (in-memory LRU +
    optional disk tier under ``--cache-dir``), so repeated models are
    replayed without recomputation.
+3. **Daemon-lifetime analysis memo** (:mod:`repro.memo`): on a
+   whole-model store miss, per-task subproblems are routed through one
+   shared :class:`~repro.memo.AnalysisMemo`, so a *near*-identical model
+   (one WCET edit of an already-served 12-task system) recomputes only
+   the tasks whose ``(task, hp-set)`` key is new -- roughly 1 of 12
+   instead of all of them.  Response bodies stay byte-identical to the
+   direct façade output (the memo's task-set-order contract); the
+   incremental accounting is surfaced out-of-band in response headers
+   (``X-Repro-Source``, ``X-Repro-Memo-Hits``,
+   ``X-Repro-Memo-Recomputations``) and aggregated in ``GET /v1/stats``
+   under ``"memo"``.  ``--memo-entries 0`` disables the layer (the
+   benchmark's memo-off baseline); with ``--jobs > 1`` model batches go
+   to worker processes, which an in-process memo cannot reach, so the
+   memo only serves the ``jobs == 1`` hot path.
 
 CLI: ``python -m repro serve [--port --jobs --cache-dir ...]``; drive it
 with ``python -m repro request <model.json>`` or plain ``curl``.
@@ -42,6 +56,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api.model import ControlTaskSystem
 from repro.api.service import analyze, analyze_batch, assign, assign_batch
 from repro.errors import ModelError
+from repro.memo import AnalysisMemo
 from repro.search.strategies import STRATEGIES
 from repro.serve.batcher import MicroBatcher
 from repro.serve.store import ResultStore
@@ -95,11 +110,20 @@ class AnalysisDaemon:
         store_entries: int = 1024,
         cache_responses: bool = True,
         read_timeout: float = 30.0,
+        memo_entries: int = 65536,
     ):
         self.host = host
         self.port = port
         self.jobs = resolve_jobs(jobs)
         self.cache_dir = cache_dir
+        #: Daemon-lifetime analysis memo: incremental recomputation for
+        #: near-identical models.  ``memo_entries`` bounds the subproblem
+        #: cache (LRU); ``0`` disables the layer.  Only consulted on the
+        #: in-process (``jobs == 1``) path -- worker processes cannot
+        #: share it.
+        self.memo: Optional[AnalysisMemo] = (
+            AnalysisMemo(max_entries=memo_entries) if memo_entries > 0 else None
+        )
         #: ``False`` turns the content-addressed store off entirely --
         #: the per-request-dispatch baseline the serve benchmark compares
         #: against.  Production serving keeps it on.
@@ -128,14 +152,22 @@ class AnalysisDaemon:
     # -- computation ---------------------------------------------------------
     def _dispatch(
         self, group: Tuple[str, ...], payloads: List[Any]
-    ) -> List[Tuple[bool, str]]:
+    ) -> List[Tuple[bool, str, Optional[Dict[str, int]]]]:
         """Batched computation (runs on the batcher's worker thread).
 
-        Returns ``(ok, body)`` per payload.  Model groups ride
-        ``analyze_batch``/``assign_batch`` whole; if any system poisons
-        the batched call, fall back to per-system computation so one bad
-        model cannot fail its batch-mates.  Scenario runs are computed
-        per payload (each is already a whole population draw).
+        Returns ``(ok, body, meta)`` per payload -- ``meta`` carries the
+        memo's per-request hit/recompute deltas (``None`` when the memo
+        is off or not consulted).  With the memo active, model groups are
+        computed per system through the shared
+        :class:`~repro.memo.AnalysisMemo` (``analyze`` routes the whole
+        per-task pass; ``assign`` routes only the *validation* analysis
+        via ``validation_memo=``, because a warm search memo would change
+        the outcome's canonical ``cache_hits`` field and break wire
+        byte-identity with cold façade calls).  Without it, model groups
+        ride ``analyze_batch``/``assign_batch`` whole; if any system
+        poisons a batched call, fall back to per-system computation so
+        one bad model cannot fail its batch-mates.  Scenario runs are
+        computed per payload (each is already a whole population draw).
         """
         # Broad catches throughout: the isolation guarantee covers *any*
         # per-model failure (a NaN-period model dies in the numeric
@@ -144,42 +176,89 @@ class AnalysisDaemon:
         if group[0] == "scenarios":
             from repro.scenarios import scenario_run_json
 
-            results: List[Tuple[bool, str]] = []
+            results: List[Tuple[bool, str, Optional[Dict[str, int]]]] = []
             for name, instances, seed in payloads:
                 try:
                     results.append(
-                        (True, scenario_run_json(name, instances=instances, seed=seed))
+                        (
+                            True,
+                            scenario_run_json(name, instances=instances, seed=seed),
+                            None,
+                        )
                     )
                 except Exception as exc:  # noqa: BLE001
-                    results.append((False, _json_body({"error": str(exc)})))
+                    results.append((False, _json_body({"error": str(exc)}), None))
             return results
         systems = payloads
+        if self.memo is not None and self.jobs == 1:
+            return [self._compute_with_memo(group, system) for system in systems]
         try:
             if group[0] == "analyze":
                 reports = analyze_batch(systems, jobs=self.jobs)
-                return [(True, r.report_json()) for r in reports]
+                return [(True, r.report_json(), None) for r in reports]
             outcomes = assign_batch(systems, algorithm=group[1], jobs=self.jobs)
-            return [(True, o.outcome_json()) for o in outcomes]
+            return [(True, o.outcome_json(), None) for o in outcomes]
         except Exception:  # noqa: BLE001 -- isolate the poisoned model
             results = []
             for system in systems:
                 try:
                     if group[0] == "analyze":
-                        results.append((True, analyze(system).report_json()))
+                        results.append((True, analyze(system).report_json(), None))
                     else:
                         results.append(
-                            (True, assign(system, algorithm=group[1]).outcome_json())
+                            (
+                                True,
+                                assign(system, algorithm=group[1]).outcome_json(),
+                                None,
+                            )
                         )
                 except Exception as exc:  # noqa: BLE001
                     results.append(
-                        (False, _json_body({"error": str(exc)}))
+                        (False, _json_body({"error": str(exc)}), None)
                     )
             return results
 
+    def _compute_with_memo(
+        self, group: Tuple[str, ...], system: Any
+    ) -> Tuple[bool, str, Optional[Dict[str, int]]]:
+        """One model through the daemon memo, with per-request deltas.
+
+        The batcher's single dispatch thread is the memo's only writer,
+        so the before/after ``stats()`` snapshots delimit exactly this
+        request's evaluations.
+        """
+        before = self.memo.stats()
+        try:
+            if group[0] == "analyze":
+                body = analyze(system, memo=self.memo).report_json()
+            else:
+                body = assign(
+                    system, algorithm=group[1], validation_memo=self.memo
+                ).outcome_json()
+        except Exception as exc:  # noqa: BLE001 -- isolate the poisoned model
+            return False, _json_body({"error": str(exc)}), None
+        after = self.memo.stats()
+        return (
+            True,
+            body,
+            {
+                "memo_hits": after["cache_hits"] - before["cache_hits"],
+                "memo_recomputations": (
+                    after["recomputations"] - before["recomputations"]
+                ),
+            },
+        )
+
     async def _compute(
         self, kind_group: Tuple[str, ...], sha: str, payload: Any
-    ) -> Tuple[int, str]:
+    ) -> Tuple[int, str, Dict[str, str]]:
         """Cache lookup -> coalesced batch submit -> cache fill.
+
+        Returns ``(status, body, extra_headers)``.  The headers carry the
+        out-of-band provenance (``X-Repro-Source: store|computed``) and,
+        on memo-routed computations, the per-request incremental counts
+        -- response *bodies* must stay byte-identical to direct façade
+        output, so metadata never rides in them.
 
         With a disk tier configured, store traffic runs off-loop
         (``asyncio.to_thread``): a slow or contended disk must never
@@ -194,11 +273,17 @@ class AnalysisDaemon:
                 cached = self.store.get(store_kind, sha)
             if cached is not None:
                 self.responses_from_cache += 1
-                return 200, cached
-        ok, body = await self.batcher.submit(kind_group, sha, payload)
+                return 200, cached, {"X-Repro-Source": "store"}
+        ok, body, meta = await self.batcher.submit(kind_group, sha, payload)
         if not ok:
             self.errors += 1
-            return 422, body
+            return 422, body, {}
+        headers = {"X-Repro-Source": "computed"}
+        if meta is not None:
+            headers["X-Repro-Memo-Hits"] = str(meta["memo_hits"])
+            headers["X-Repro-Memo-Recomputations"] = str(
+                meta["memo_recomputations"]
+            )
         # Coalesced waiters all resolve with the same body; only the
         # first one past this check pays the store write.
         if self.cache_responses and not self.store.seen(store_kind, sha):
@@ -206,12 +291,13 @@ class AnalysisDaemon:
                 await asyncio.to_thread(self.store.put, store_kind, sha, body)
             else:
                 self.store.put(store_kind, sha, body)
-        return 200, body
+        return 200, body, headers
 
     # -- HTTP plumbing -------------------------------------------------------
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        extra_headers: Dict[str, str] = {}
         try:
             try:
                 request = await asyncio.wait_for(
@@ -226,17 +312,28 @@ class AnalysisDaemon:
                 self.errors += 1
                 status, body = exc.status, exc.body
             else:
-                status, body = await self._handle_request(*request)
+                # Routes answer (status, body) or (status, body, headers)
+                # -- the model/scenario paths attach provenance headers.
+                result = await self._handle_request(*request)
+                if len(result) == 3:
+                    status, body, extra_headers = result
+                else:
+                    status, body = result
         except Exception as exc:  # noqa: BLE001 -- never kill the server
             self.errors += 1
             status, body = 500, _json_body({"error": repr(exc)})
         try:
             payload = body.encode("utf-8")
+            header_block = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in extra_headers.items()
+            )
             writer.write(
                 (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                     "Content-Type: application/json\r\n"
                     f"Content-Length: {len(payload)}\r\n"
+                    f"{header_block}"
                     "Connection: close\r\n\r\n"
                 ).encode("ascii")
                 + payload
@@ -293,7 +390,8 @@ class AnalysisDaemon:
 
     async def _handle_request(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, str]:
+    ) -> Tuple:
+        """Route one request; ``(status, body[, extra_headers])``."""
         self.requests_total += 1
 
         split = urlsplit(target)
@@ -376,7 +474,7 @@ class AnalysisDaemon:
 
     async def _model_request(
         self, kind_group: Tuple[str, ...], body: bytes
-    ) -> Tuple[int, str]:
+    ) -> Tuple:
         try:
             if len(body) > OFFLOAD_PARSE_BYTES:
                 system, sha = await asyncio.to_thread(self._parse_model, body)
@@ -390,7 +488,7 @@ class AnalysisDaemon:
             return 400, _json_body({"error": str(exc)})
         return await self._compute(kind_group, sha, system)
 
-    async def _scenario_request(self, body: bytes) -> Tuple[int, str]:
+    async def _scenario_request(self, body: bytes) -> Tuple:
         """``POST /v1/scenarios/run``: a seeded scenario population draw.
 
         Body: ``{"scenario": name, "instances": n, "seed": s}`` (seed
@@ -483,6 +581,12 @@ class AnalysisDaemon:
             "jobs": self.jobs,
             "batcher": self.batcher.stats(),
             "store": self.store.stats(),
+            # Daemon-lifetime analysis memo (None when --memo-entries 0):
+            # cache_hits / recomputations count per-task subproblems, so
+            # hit rate here is the *incremental-analysis* win on store
+            # misses -- distinct from responses_from_cache, which counts
+            # whole-model replays.
+            "memo": None if self.memo is None else self.memo.stats(),
         }
 
 

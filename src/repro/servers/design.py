@@ -26,7 +26,7 @@ import numpy as np
 from repro.api.service import verdict_from_times
 from repro.errors import ModelError
 from repro.rta.taskset import Task
-from repro.search.context import SearchContext
+from repro.memo import AnalysisMemo
 from repro.servers.model import PeriodicServer
 from repro.servers.rta import server_latency_jitter
 
@@ -53,7 +53,7 @@ def minimum_bandwidth_server(
     *,
     companions: Tuple[Task, ...] = (),
     grid_points: int = 64,
-    context: Optional[SearchContext] = None,
+    context: Optional[AnalysisMemo] = None,
 ) -> Optional[ServerDesignResult]:
     """Smallest-budget periodic server keeping ``task`` stable.
 
@@ -78,7 +78,7 @@ def minimum_bandwidth_server(
     if grid_points < 2:
         raise ModelError("need at least two candidate budgets")
 
-    run = (context if context is not None else SearchContext()).run()
+    run = (context if context is not None else AnalysisMemo()).run()
     budgets = np.linspace(0.0, server_period, grid_points + 1)[1:]
     stable: List[Tuple[float, float, float]] = []  # (budget, L, J)
     verdicts: List[bool] = []
@@ -86,7 +86,7 @@ def minimum_bandwidth_server(
         server = PeriodicServer(budget=float(budget), period=server_period)
         # Served-supply response times, judged by the same (L, J) -> margin
         # step of the façade that dedicated-processor analyses use; the
-        # evaluation is tallied into the shared search-context counter.
+        # evaluation is tallied into the shared analysis-memo counter.
         run.count_external()
         verdict = verdict_from_times(
             task, server_latency_jitter(server, task, companions)

@@ -29,7 +29,7 @@ import os
 import re
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ModelError
 
@@ -139,6 +139,46 @@ def canonical_sha256_of(payload: Any) -> str:
     return hashlib.sha256(canonical_dumps(payload).encode("utf-8")).hexdigest()
 
 
+def canonical_json_with_hash(
+    payload: Dict[str, Any], *, key: str = "canonical_sha256"
+) -> Tuple[str, str]:
+    """Canonical JSON of a dict payload with its own hash embedded.
+
+    Byte-identical to ``canonical_dumps({**payload, key:
+    canonical_sha256_of(payload)})`` while walking the payload only
+    once: a hex digest never needs sentinel escaping, so the encoded
+    tree can be extended in place before the final dump.  This is the
+    hot path of every served response (the report/outcome schemas embed
+    their content address), where the saved encoding walk is material.
+
+    Returns ``(json_with_hash, sha)``.
+    """
+    encoded = encode_nonfinite(payload)
+    sha = hashlib.sha256(
+        json.dumps(
+            encoded, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    ).hexdigest()
+    encoded[key] = sha
+    return (
+        json.dumps(
+            encoded, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ),
+        sha,
+    )
+
+
+def combined_sha256(shas: Sequence[str]) -> str:
+    """Order-sensitive envelope hash over per-item canonical hashes.
+
+    The one definition of "batch hash" shared by the analyze batch report
+    and the assign batch envelope: newline-joined member hashes, hashed
+    once, so two batch artifacts compare by a single field regardless of
+    the job count that produced them.
+    """
+    return hashlib.sha256("\n".join(shas).encode("utf-8")).hexdigest()
+
+
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + rename).
 
@@ -180,23 +220,26 @@ class SweepResult:
             for record in ordered
         ]
 
+    def _canonical_payload(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "records": self.canonical_records(),
+        }
+
     def canonical_json(self) -> str:
         """Deterministic JSON of the canonical records.
 
         Identical specs must produce identical strings regardless of the
         job count, chunking, or cache state of the run that made them.
         """
-        return canonical_dumps(
-            {
-                "name": self.name,
-                "seed": self.seed,
-                "fingerprint": self.fingerprint,
-                "records": self.canonical_records(),
-            }
-        )
+        return canonical_dumps(self._canonical_payload())
 
     def canonical_sha256(self) -> str:
-        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+        # canonical_json() is canonical_dumps() of this exact payload, so
+        # routing through the shared helper leaves every hash unchanged.
+        return canonical_sha256_of(self._canonical_payload())
 
     def to_dict(self) -> Dict[str, Any]:
         """Full artifact: all records (in item order) plus provenance.

@@ -11,12 +11,12 @@ changed a single verdict.
 from __future__ import annotations
 
 import json
-import math
 
 import numpy as np
-import pytest
 
 from repro.api import analyze, analyze_batch, task_verdict
+from repro.api.service import assign
+from repro.memo import AnalysisMemo
 from repro.benchgen.uunifast import uunifast
 from repro.jittermargin.linearbound import LinearStabilityBound
 from repro.rta.batch import analyze_taskset
@@ -108,10 +108,10 @@ class TestAnalyzeEquivalence:
         """analyze() verdicts == the hand-plumbed per-task pipeline.
 
         The boolean verdict structure (deadlines, stability, violating
-        sets, system rollup) must byte-match the scalar plumbing; the
-        slack *values* agree to float summation order (the documented
-        PR-1 contract between the batched and scalar RTA paths), checked
-        at the same 1e-9 relative tolerance the ``rta.batch`` suite pins.
+        sets, system rollup) must byte-match the scalar plumbing.  Since
+        the batched pass adopted the scalar summation order (the shared
+        analysis-memo contract), the slack *values* are bit-identical
+        too -- checked exactly, not at the historical 1e-9 tolerance.
         """
         rng = np.random.default_rng(20170331)
         checked = 0
@@ -144,12 +144,7 @@ class TestAnalyzeEquivalence:
             assert _canon(facade) == _canon(legacy_bools)
             for v in report.verdicts:
                 legacy_slack = legacy["tasks"][v.name]["slack"]
-                if legacy_slack is None or math.isinf(legacy_slack):
-                    assert v.slack == legacy_slack
-                else:
-                    assert v.slack == pytest.approx(
-                        legacy_slack, rel=1e-9, abs=1e-9
-                    )
+                assert v.slack == legacy_slack
             checked += n
             violating_seen += len(report.violating)
         assert checked > 1000
@@ -185,6 +180,55 @@ class TestAnalyzeEquivalence:
                 times = latency_jitter(task, hp)
                 assert verdict.times.best == times.best
                 assert verdict.times.worst == times.worst
+
+
+class TestMemoEquivalence:
+    """The shared-memo acceptance bar: memoised == fresh, byte for byte.
+
+    One process-lifetime :class:`~repro.memo.AnalysisMemo` (the serve
+    daemon's shape) is shared across the whole population; every
+    memoised report -- cold entries, warm replays, LRU-interned tasks
+    from earlier sets -- must serialise to exactly the bytes of a
+    memo-less ``analyze()``.
+    """
+
+    def test_memoised_analyze_bytes_match_fresh_across_population(self):
+        rng = np.random.default_rng(20170403)
+        memo = AnalysisMemo()
+        population = [
+            _random_control_taskset(rng, int(rng.integers(2, 10)))
+            for _ in range(N_TASKSETS)
+        ]
+        for taskset in population:
+            fresh = analyze(taskset).report_json()
+            assert analyze(taskset, memo=memo).report_json() == fresh
+        # Second sweep: every subproblem replays from the warm memo and
+        # the bytes still cannot move.
+        hits_before = memo.stats()["cache_hits"]
+        for taskset in population:
+            fresh = analyze(taskset).report_json()
+            assert analyze(taskset, memo=memo).report_json() == fresh
+        stats = memo.stats()
+        assert stats["cache_hits"] - hits_before >= stats["memo_entries"]
+
+    def test_memoised_assign_bytes_match_fresh_across_population(self):
+        """``assign(validation_memo=...)`` over the population.
+
+        The daemon's mode: the search runs cold (its ``cache_hits``
+        counter is part of the canonical outcome), only the validation
+        analysis rides the shared memo.  Outcome bytes must equal a
+        fully cold ``assign()`` on every set.
+        """
+        rng = np.random.default_rng(20170404)
+        memo = AnalysisMemo()
+        for _ in range(N_TASKSETS):
+            taskset = _random_control_taskset(rng, int(rng.integers(2, 8)))
+            cold = assign(taskset, algorithm="audsley").outcome_json()
+            warm = assign(
+                taskset, algorithm="audsley", validation_memo=memo
+            ).outcome_json()
+            assert warm == cold
+        assert memo.stats()["recomputations"] > 0
 
 
 class TestBatchDeterminism:

@@ -1,0 +1,52 @@
+"""Deterministic priority-assigned populations for the memo tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.benchgen.uunifast import uunifast
+from repro.jittermargin.linearbound import LinearStabilityBound
+from repro.rta.taskset import Task, TaskSet
+
+
+def random_taskset(rng: np.random.Generator, n: int) -> TaskSet:
+    """One priority-assigned UUniFast control task set.
+
+    Mirrors the population of ``tests/api/test_equivalence.py``: mixed
+    periods, a majority of tasks carrying linear stability bounds, and a
+    random (distinct) priority permutation, so analysis is well-defined
+    without running an assignment search first.
+    """
+    utilization = float(rng.uniform(0.3, 0.95))
+    shares = uunifast(n, utilization, rng)
+    periods = rng.choice([1.0, 2.0, 2.5, 4.0, 5.0, 8.0, 10.0, 20.0], size=n)
+    order = rng.permutation(n)
+    tasks = []
+    for k, (share, period) in enumerate(zip(shares, periods)):
+        wcet = min(max(share * period, 1e-6), period)
+        bcet = max(wcet * float(rng.uniform(0.2, 1.0)), 1e-9)
+        stability = None
+        if rng.uniform() < 0.7:
+            stability = LinearStabilityBound(
+                a=1.0 + float(rng.uniform(0.0, 1.5)),
+                b=float(period) * float(rng.uniform(0.1, 1.2)),
+            )
+        tasks.append(
+            Task(
+                name=f"t{k}",
+                period=float(period),
+                wcet=float(wcet),
+                bcet=float(bcet),
+                priority=int(order[k]) + 1,
+                stability=stability,
+            )
+        )
+    return TaskSet(tasks)
+
+
+def random_population(*, n: int, count: int, seed: int) -> List[TaskSet]:
+    """``count`` task sets of ``n`` tasks, deterministic in ``seed``."""
+    rng = np.random.default_rng([20260808, seed])
+    return [random_taskset(rng, n) for _ in range(count)]

@@ -1,0 +1,148 @@
+"""Incremental-analysis guarantees of the memoised façade.
+
+Two pillars (both ISSUE-6 acceptance criteria):
+
+* **the incremental win** -- editing one task's WCET in a 12-task model
+  and re-analysing through a warm memo recomputes at most 2 task
+  subproblems (counter-verified; the exact number depends on where the
+  edited task sits in the priority order);
+* **byte-equivalence** -- memoised and fresh ``analyze()`` reports are
+  byte-identical in canonical JSON across random edit sequences
+  (hypothesis-driven) and across a shared memo reused over many edits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import analyze
+from repro.api.service import assign
+from repro.memo import AnalysisMemo
+from repro.rta.taskset import TaskSet
+
+from _memo_population import random_population
+
+
+def _edit_wcet(taskset: TaskSet, index: int, factor: float) -> TaskSet:
+    """A copy of ``taskset`` with one task's WCET scaled (kept valid)."""
+    tasks = [t.copy() for t in taskset]
+    task = tasks[index]
+    wcet = min(max(task.wcet * factor, task.bcet), task.period)
+    tasks[index] = dataclasses.replace(task, wcet=wcet)
+    return TaskSet(tasks)
+
+
+def _edit_period(taskset: TaskSet, index: int, factor: float) -> TaskSet:
+    tasks = [t.copy() for t in taskset]
+    task = tasks[index]
+    period = max(task.period * factor, task.wcet)
+    tasks[index] = dataclasses.replace(task, period=period)
+    return TaskSet(tasks)
+
+
+def _recomputations(memo: AnalysisMemo, taskset: TaskSet) -> int:
+    before = memo.stats()["recomputations"]
+    analyze(taskset, memo=memo)
+    return memo.stats()["recomputations"] - before
+
+
+class TestIncrementalWin:
+    def test_one_wcet_edit_of_12_task_model_recomputes_at_most_2(self):
+        """The headline incremental bound, counter-verified.
+
+        Editing the lowest-priority task touches only its own subproblem
+        (its hp-set is unchanged, nobody's hp-set contains it): exactly 1
+        recomputation.  Editing the second-lowest additionally
+        invalidates the lowest task's hp-set: exactly 2.  Every other
+        task of the warm 12-task model replays from the memo.
+        """
+        (taskset,) = random_population(n=12, count=1, seed=301)
+        by_priority = sorted(taskset, key=lambda t: t.priority)
+        lowest = list(taskset).index(by_priority[0])
+        second = list(taskset).index(by_priority[1])
+
+        memo = AnalysisMemo()
+        warm_cost = _recomputations(memo, taskset)
+        assert warm_cost == 12  # cold: every subproblem computed
+
+        assert _recomputations(memo, _edit_wcet(taskset, lowest, 0.75)) == 1
+        assert _recomputations(memo, _edit_wcet(taskset, second, 0.8)) == 2
+
+    def test_editing_the_highest_priority_task_is_the_worst_case(self):
+        """Sanity bound on the other extreme: everything below recomputes."""
+        (taskset,) = random_population(n=12, count=1, seed=302)
+        highest = list(taskset).index(
+            max(taskset, key=lambda t: t.priority)
+        )
+        memo = AnalysisMemo()
+        analyze(taskset, memo=memo)
+        cost = _recomputations(memo, _edit_wcet(taskset, highest, 0.9))
+        assert cost == 12  # its own entry + the 11 hp-sets containing it
+
+    def test_repeat_analysis_of_unchanged_model_recomputes_nothing(self):
+        (taskset,) = random_population(n=12, count=1, seed=303)
+        memo = AnalysisMemo()
+        analyze(taskset, memo=memo)
+        assert _recomputations(memo, taskset) == 0
+
+
+class TestByteEquivalence:
+    def test_memoised_report_matches_fresh_on_population(self):
+        memo = AnalysisMemo()
+        for taskset in random_population(n=8, count=20, seed=304):
+            fresh = analyze(taskset).report_json()
+            memoised = analyze(taskset, memo=memo).report_json()
+            assert memoised == fresh
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        edits=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from(["wcet", "period"]),
+                st.floats(min_value=0.5, max_value=1.5),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_random_edit_sequences_stay_byte_identical(self, edits, seed):
+        """Memoised vs fresh reports along a random edit trajectory.
+
+        Each step edits one field of one task (validity-clamped) and
+        re-analyses through the same warm memo; the canonical report
+        bytes must equal a from-scratch analysis at every step.
+        """
+        (taskset,) = random_population(n=10, count=1, seed=400 + seed)
+        memo = AnalysisMemo()
+        current = taskset
+        for index, field, factor in edits:
+            if field == "wcet":
+                current = _edit_wcet(current, index, factor)
+            else:
+                current = _edit_period(current, index, factor)
+            fresh = analyze(current).report_json()
+            memoised = analyze(current, memo=memo).report_json()
+            assert memoised == fresh
+
+    def test_assign_validation_memo_keeps_outcome_bytes_cold(self):
+        """``validation_memo=`` must not perturb the canonical outcome.
+
+        The serve daemon's mode: the search runs cold (``cache_hits`` is
+        part of the canonical record), only the validation analysis rides
+        the shared memo -- outcomes stay byte-identical across a warm
+        memo and repeated edits.
+        """
+        (taskset,) = random_population(n=8, count=1, seed=305)
+        memo = AnalysisMemo()
+        for factor in (1.0, 0.9, 0.8, 0.9, 1.0):
+            edited = _edit_wcet(taskset, 0, factor)
+            cold = assign(edited, algorithm="audsley").outcome_json()
+            warm = assign(
+                edited, algorithm="audsley", validation_memo=memo
+            ).outcome_json()
+            assert warm == cold
