@@ -1,0 +1,281 @@
+"""Record ``BENCH_obs.json``: the observability layer's cost envelope.
+
+Two measurements:
+
+**Serving overhead** -- the same scenario stream
+(:func:`repro.scenarios.scenario_request_stream`) served from a
+thread-pool of concurrent clients through the shipping daemon
+configuration with ``repro.obs`` disabled (``obs=False``) and fully on
+(metrics, traces, report window).  Both daemons stay alive for the
+whole run and the measurement passes **interleave** (off, on, off, on,
+...), taking the best pass per mode: successive runs inside one Python
+process slow down regardless of mode (allocator/GC state), so
+sequential A-then-B timing reads that drift as mode overhead.  Pairing
+the passes puts both modes on the same process-state trajectory, which
+is the only way the ~tens-of-microseconds real telemetry cost clears
+the noise floor.  The acceptance bar is the obs-on daemon keeping
+>= 95% of the obs-off req/s (<= 5% overhead) while every response of
+both stays byte-identical to the direct in-process facade output --
+telemetry must never touch a body byte.
+
+**Detector throughput** -- the full anomaly-detector registry
+(:func:`repro.obs.detect_report`) swept repeatedly over a synthetic
+census-sized window (~1002 records, mirroring the paper's 1002-model
+empirical census) to record records/second of pure detection math.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_obs_bench.py \
+        --requests 200 --unique 24 --clients 8 --out BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List
+
+from repro.api import analyze
+from repro.obs import detect_report, detector_names
+from repro.scenarios import scenario_request_stream
+from repro.serve import (
+    AnalysisDaemon,
+    ServeClient,
+    run_daemon_in_thread,
+    wait_until_ready,
+)
+
+#: The shipping daemon configuration with observability off vs on.  The
+#: store and batcher stay identical in both, so the req/s ratio isolates
+#: the telemetry layer's cost alone.
+MODES = {
+    "obs_off": dict(
+        batch_window=0.02, max_batch=64, cache_responses=True, obs=False
+    ),
+    "obs_on": dict(
+        batch_window=0.02, max_batch=64, cache_responses=True, obs=True
+    ),
+}
+
+
+class _LiveDaemon:
+    """One daemon kept alive across all interleaved measurement passes."""
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self.daemon = AnalysisDaemon(port=0, jobs=1, **MODES[mode])
+        self.thread = run_daemon_in_thread(self.daemon)
+        self.client = wait_until_ready(self.daemon.host, self.daemon.port)
+        self.best_seconds = float("inf")
+        self.byte_identical = 0
+
+    def one_pass(
+        self,
+        models: List[Dict[str, Any]],
+        expected: List[str],
+        clients: int,
+    ) -> None:
+        host, port = self.daemon.host, self.daemon.port
+
+        def one(k: int) -> bool:
+            status, body = ServeClient(host, port).analyze_raw(models[k])
+            assert status == 200, (status, body[:200])
+            return body.decode("utf-8") == expected[k]
+
+        gc.collect()  # start every pass from the same collector state
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            outcomes = list(pool.map(one, range(len(models))))
+        self.best_seconds = min(
+            self.best_seconds, time.perf_counter() - start
+        )
+        self.byte_identical = sum(outcomes)
+
+    def finish(self, n_requests: int, passes: int) -> Dict[str, Any]:
+        stats = self.client.stats()
+        self.client.shutdown()
+        self.thread.join(timeout=10)
+        return {
+            "mode": self.mode,
+            "config": dict(MODES[self.mode]),
+            "requests": n_requests,
+            "passes": passes,
+            "byte_identical_responses": self.byte_identical,
+            "best_wall_seconds": round(self.best_seconds, 4),
+            "requests_per_second": round(
+                n_requests / self.best_seconds, 1
+            ),
+            "obs_enabled": stats.get("obs", {}).get("enabled", False),
+            "window_entries": stats.get("obs", {})
+            .get("window", {})
+            .get("entries"),
+        }
+
+
+def _synthetic_window(n_records: int) -> List[Dict[str, Any]]:
+    """A census-sized window with a drifting tail (all detectors busy)."""
+    records = []
+    for k in range(n_records):
+        fraction = k / max(n_records - 1, 1)
+        records.append(
+            {
+                "seq": k + 1,
+                "sha": f"sha-{k:06d}",
+                "name": f"model-{k}",
+                "n_tasks": 12,
+                "utilization": 0.55,
+                "schedulable": True,
+                "stable": True,
+                "min_rel_slack": 0.3 - 0.28 * fraction,
+                "source": "store" if k % 3 == 0 and fraction < 0.5
+                else "computed",
+                "memo_hits": 8 if fraction < 0.5 else 1,
+                "memo_recomputations": 2 if fraction < 0.5 else 9,
+                "latency_seconds": 0.001 * (1.0 + 2.5 * fraction),
+                "trace_id": f"t-{k}",
+            }
+        )
+    return records
+
+
+def _detector_throughput(n_records: int, sweeps: int) -> Dict[str, Any]:
+    window = _synthetic_window(n_records)
+    detect_report(window)  # warm-up: stabilises allocator state
+    start = time.perf_counter()
+    findings = 0
+    for _ in range(sweeps):
+        findings = detect_report(window)["n_findings"]
+    elapsed = time.perf_counter() - start
+    return {
+        "window_records": n_records,
+        "sweeps": sweeps,
+        "detectors": list(detector_names()),
+        "findings_per_sweep": findings,
+        "wall_seconds": round(elapsed, 4),
+        "sweeps_per_second": round(sweeps / elapsed, 1),
+        "records_per_second": round(sweeps * n_records / elapsed, 0),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--unique", type=int, default=24)
+    parser.add_argument("--repeat-fraction", type=float, default=0.5)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--passes", type=int, default=6)
+    parser.add_argument("--window-records", type=int, default=1002)
+    parser.add_argument("--detector-sweeps", type=int, default=50)
+    parser.add_argument("--out", type=str, default="BENCH_obs.json")
+    args = parser.parse_args()
+
+    print(
+        f"[obs bench] drawing {args.requests} requests "
+        f"({args.unique} unique, repeat={args.repeat_fraction}) ...",
+        flush=True,
+    )
+    stream = scenario_request_stream(
+        args.requests,
+        unique=args.unique,
+        repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    models = [system.to_dict() for system in stream]
+    expected = [analyze(system).report_json() for system in stream]
+
+    live = [_LiveDaemon(mode) for mode in MODES]
+    print(
+        f"[obs bench] interleaving {args.passes} passes per mode ...",
+        flush=True,
+    )
+    for n in range(args.passes):
+        for daemon in live:
+            daemon.one_pass(models, expected, args.clients)
+        print(f"  pass {n + 1}/{args.passes} done", flush=True)
+    runs = [
+        daemon.finish(len(models), args.passes) for daemon in live
+    ]
+    for run in runs:
+        print(
+            f"  {run['mode']}: {run['requests_per_second']} req/s "
+            f"(best of {args.passes}), "
+            f"{run['byte_identical_responses']}/{run['requests']} "
+            "byte-identical",
+            flush=True,
+        )
+
+    by_mode = {run["mode"]: run for run in runs}
+    off_rps = by_mode["obs_off"]["requests_per_second"]
+    on_rps = by_mode["obs_on"]["requests_per_second"]
+    overhead = round(max(0.0, 1.0 - on_rps / off_rps), 4)
+    all_identical = all(
+        run["byte_identical_responses"] == run["requests"] for run in runs
+    )
+
+    print(
+        f"[obs bench] sweeping detectors over a "
+        f"{args.window_records}-record window x{args.detector_sweeps} ...",
+        flush=True,
+    )
+    detectors = _detector_throughput(
+        args.window_records, args.detector_sweeps
+    )
+    print(
+        f"  {detectors['records_per_second']:.0f} records/s "
+        f"({detectors['sweeps_per_second']} full-registry sweeps/s, "
+        f"{detectors['findings_per_sweep']} findings per sweep)",
+        flush=True,
+    )
+
+    payload = {
+        "workload": (
+            f"{args.requests} analyze requests over HTTP from "
+            f"{args.clients} concurrent clients, best of "
+            f"{args.passes} interleaved passes per mode; models drawn "
+            f"from the scenario catalogue ({args.unique} unique, "
+            f"repeat_fraction={args.repeat_fraction}, seed={args.seed})"
+        ),
+        "methodology": (
+            "both daemons live for the whole run, passes interleave "
+            "(off, on, off, on, ...) with a gc.collect() before each: "
+            "sequential same-process runs slow down regardless of mode, "
+            "so unpaired timing misreads that drift as obs overhead"
+        ),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        "detector_throughput": detectors,
+        "acceptance": {
+            "criterion": (
+                "obs-on keeps >= 95% of obs-off req/s (<= 5% overhead) "
+                "and every response of both runs is byte-identical to "
+                "direct analyze()"
+            ),
+            "obs_overhead_fraction": overhead,
+            "all_responses_byte_identical": all_identical,
+            "ok": bool(overhead <= 0.05 and all_identical),
+        },
+        "note": (
+            "single-process daemon at jobs=1; req/s is wall-clock and "
+            "noisy runners may not reproduce the overhead bound (the "
+            "artifact records it) -- byte identity is the hard gate"
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"[obs bench] written to {args.out}; overhead "
+        f"{overhead * 100:.1f}%, byte-identical={all_identical}",
+        flush=True,
+    )
+    return 0 if all_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -226,6 +226,35 @@ class AnalysisReport:
         """Names of tasks failing deadline or stability, in task-set order."""
         return tuple(v.name for v in self.verdicts if not v.ok)
 
+    @property
+    def min_rel_slack(self) -> Optional[float]:
+        """Minimum relative stability margin over bounded tasks.
+
+        The tightest ``rel_slack`` in the system -- the drift detectors'
+        primary signal (:mod:`repro.obs.detectors`); ``None`` when no
+        task carries a stability bound.
+        """
+        values = [
+            v.rel_slack for v in self.verdicts if v.rel_slack is not None
+        ]
+        return min(values) if values else None
+
+    def summary(self) -> Dict[str, Any]:
+        """Small verdict rollup for observability (not part of the schema).
+
+        Matches :func:`repro.obs.window.summary_from_report_dict` parsed
+        from the serialised report, so window records are identical
+        whether a response was computed or replayed from the store.
+        """
+        return {
+            "name": self.name,
+            "n_tasks": self.n_tasks,
+            "utilization": self.utilization,
+            "schedulable": self.schedulable,
+            "stable": self.stable,
+            "min_rel_slack": self.min_rel_slack,
+        }
+
     def task(self, name: str) -> TaskVerdict:
         for verdict in self.verdicts:
             if verdict.name == name:

@@ -63,6 +63,18 @@ batched façade entry points, content-addressed response store), and
     python -m repro request --stats
     python -m repro request --shutdown
 
+The ``obs`` subcommand group fronts the observability layer
+(:mod:`repro.obs`): the anomaly-detector catalogue, the Prometheus
+metrics scrape, on-demand detection over a running daemon's report
+window, and offline event-log replay::
+
+    python -m repro serve --log-json --event-log events.jsonl \
+        --detect-interval 30
+    python -m repro obs detectors
+    python -m repro obs metrics
+    python -m repro obs detect --revalidate --out findings.json
+    python -m repro obs replay events.jsonl
+
 Every ``--jobs`` option accepts ``auto`` (or ``0``) to use all cores.
 """
 
@@ -373,6 +385,50 @@ def _build_parser() -> argparse.ArgumentParser:
             "LRU; 0 disables incremental analysis)"
         ),
     )
+    serve.add_argument(
+        "--log-level",
+        type=str,
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr log verbosity of the daemon (default info)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines logs instead of text",
+    )
+    serve.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the telemetry layer (metrics stay minimal, "
+        "no tracing spans, no report window, no detectors)",
+    )
+    serve.add_argument(
+        "--obs-window",
+        type=int,
+        default=2048,
+        help="analysis reports kept in the anomaly-detection window",
+    )
+    serve.add_argument(
+        "--event-log",
+        type=str,
+        default=None,
+        help="append request traces and detector findings to this "
+        "JSON-lines file",
+    )
+    serve.add_argument(
+        "--detect-interval",
+        type=float,
+        default=0.0,
+        help="seconds between background anomaly-detector passes "
+        "(0 disables; detectors stay available via POST /v1/detect)",
+    )
+    serve.add_argument(
+        "--detect-revalidate",
+        action="store_true",
+        help="replay models flagged by the background detector pass "
+        "through the Monte-Carlo validation harness",
+    )
     _add_jobs_option(serve)
 
     request = sub.add_parser(
@@ -419,6 +475,59 @@ def _build_parser() -> argparse.ArgumentParser:
     request.add_argument(
         "--shutdown", action="store_true", help="stop the daemon and exit"
     )
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tools: detector catalogue, metrics scrape, "
+        "anomaly detection, event-log replay",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_sub.add_parser(
+        "detectors", help="list the registered anomaly detectors"
+    )
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="scrape /v1/metrics from a running daemon"
+    )
+    obs_metrics.add_argument("--host", type=str, default="127.0.0.1")
+    obs_metrics.add_argument("--port", type=int, default=8787)
+
+    obs_detect = obs_sub.add_parser(
+        "detect",
+        help="run the anomaly detectors over a running daemon's window",
+    )
+    obs_detect.add_argument("--host", type=str, default="127.0.0.1")
+    obs_detect.add_argument("--port", type=int, default=8787)
+    obs_detect.add_argument(
+        "--window", type=int, default=None,
+        help="only the most recent N window records (default: all)",
+    )
+    obs_detect.add_argument(
+        "--detectors", type=str, nargs="+", default=None,
+        help="run only these detectors (default: the full registry)",
+    )
+    obs_detect.add_argument(
+        "--revalidate", action="store_true",
+        help="replay flagged models through the Monte-Carlo harness",
+    )
+    obs_detect.add_argument(
+        "--horizon-periods", type=int, default=None,
+        help="simulation horizon of the revalidation runs",
+    )
+    obs_detect.add_argument(
+        "--limit", type=int, default=None,
+        help="revalidate at most this many flagged models",
+    )
+    obs_detect.add_argument(
+        "--out", type=str, default=None,
+        help="write the canonical detection report here",
+    )
+
+    obs_replay = obs_sub.add_parser(
+        "replay", help="summarise a daemon event-log (JSON-lines) file"
+    )
+    obs_replay.add_argument("path", help="event-log file written by serve")
 
     sub.add_parser("all", help="run every experiment at default scale")
     return parser
@@ -693,8 +802,10 @@ def _run_analyze_command(args: argparse.Namespace) -> int:
 
 
 def _run_serve_command(args: argparse.Namespace) -> int:
+    from repro.obs.logs import configure_serve_logging
     from repro.serve import AnalysisDaemon
 
+    configure_serve_logging(args.log_level, json_mode=args.log_json)
     daemon = AnalysisDaemon(
         host=args.host,
         port=args.port,
@@ -704,6 +815,11 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         store_entries=args.store_entries,
         memo_entries=args.memo_entries,
+        obs=not args.no_obs,
+        obs_window=args.obs_window,
+        event_log=args.event_log,
+        detect_interval=args.detect_interval,
+        detect_revalidate=args.detect_revalidate,
     )
 
     # Print the endpoint once the socket is bound (port 0 resolves to a
@@ -815,6 +931,123 @@ def _run_request_command(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _run_obs_command(args: argparse.Namespace) -> int:
+    if args.obs_command == "detectors":
+        from repro.experiments.report import format_table
+        from repro.obs import detector_catalogue
+
+        catalogue = detector_catalogue()
+        print(
+            format_table(
+                ["detector", "version", "description"],
+                [
+                    (d["name"], f"v{d['algorithm_version']}", d["description"])
+                    for d in catalogue
+                ],
+                title=f"Registered anomaly detectors ({len(catalogue)})",
+            )
+        )
+        return 0
+
+    if args.obs_command == "replay":
+        return _run_obs_replay(args.path)
+
+    # metrics / detect talk to a running daemon.
+    from repro.serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.obs_command == "metrics":
+            print(client.metrics(), end="")
+            return 0
+
+        # detect: print the exact canonical report bytes, untouched.
+        request: Dict[str, Any] = {}
+        if args.window is not None:
+            request["window"] = args.window
+        if args.detectors is not None:
+            request["detectors"] = list(args.detectors)
+        if args.revalidate:
+            request["revalidate"] = True
+        if args.horizon_periods is not None:
+            request["horizon_periods"] = args.horizon_periods
+        if args.limit is not None:
+            request["limit"] = args.limit
+        status, body = client.detect_raw(request)
+        text = body.decode("utf-8")
+        if status != 200:
+            print(f"obs detect: rejected ({status}): {text}", file=sys.stderr)
+            return 2
+        print(text)
+        if args.out:
+            with open(args.out, "wb") as handle:
+                handle.write(body + b"\n")
+            print(f"[report written to {args.out}]", file=sys.stderr)
+        report = json.loads(text)
+        return 0 if report.get("n_findings", 0) == 0 else 1
+    except ServeClientError as error:
+        print(f"obs {args.obs_command}: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_obs_replay(path: str) -> int:
+    from repro.experiments.report import format_table
+    from repro.obs import percentile, read_events
+
+    try:
+        events = read_events(path)
+    except OSError as error:
+        print(f"obs replay: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+
+    by_endpoint: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("kind") != "trace":
+            continue
+        seconds = event.get("duration_seconds")
+        if isinstance(seconds, (int, float)):
+            by_endpoint.setdefault(
+                str(event.get("endpoint", "?")), []
+            ).append(float(seconds))
+
+    summary = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+    print(f"{path}: {len(events)} events ({summary or 'empty'})")
+    if by_endpoint:
+        rows = [
+            (
+                endpoint,
+                len(values),
+                f"{percentile(values, 0.5) * 1e3:.2f}",
+                f"{percentile(values, 0.99) * 1e3:.2f}",
+                f"{max(values) * 1e3:.2f}",
+            )
+            for endpoint, values in sorted(by_endpoint.items())
+        ]
+        print(
+            format_table(
+                ["endpoint", "requests", "p50 ms", "p99 ms", "max ms"],
+                rows,
+                title="Request traces",
+            )
+        )
+    n_findings = sum(
+        len(event.get("report", {}).get("findings", []))
+        for event in events
+        if event.get("kind") == "findings"
+    )
+    if kinds.get("findings"):
+        print(
+            f"[{kinds['findings']} detector pass(es), "
+            f"{n_findings} finding(s)]"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "all":
@@ -834,6 +1067,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_command(args)
     if args.experiment == "request":
         return _run_request_command(args)
+    if args.experiment == "obs":
+        return _run_obs_command(args)
     kwargs = _experiment_kwargs(args.experiment, args)
     kwargs["jobs"] = args.jobs
     print(run_experiment(args.experiment, **kwargs).render())

@@ -36,9 +36,10 @@ worker, and direct facade calls without lost counter updates.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.memo.kernels import TaskRecord, evaluate_candidate, make_record
@@ -108,6 +109,10 @@ class AnalysisMemo:
         self.evictions = 0
         #: Aggregate over every run opened on this memo.
         self.total = EvaluationCounter()
+        #: Wall time spent inside the RTA kernels (memo misses only);
+        #: two ``perf_counter`` calls per miss, negligible next to the
+        #: kernel itself, so the timing is always on.
+        self.kernel_seconds = 0.0
 
     # -- interning -----------------------------------------------------------
     def intern(self, task: Task) -> int:
@@ -167,7 +172,7 @@ class AnalysisMemo:
         return MemoRun(self, EvaluationCounter())
 
     # -- statistics ----------------------------------------------------------
-    def stats(self) -> Dict[str, Optional[int]]:
+    def stats(self) -> Dict[str, Any]:
         """Consistent snapshot of interning, memo, and counter totals."""
         with self._lock:
             return {
@@ -178,6 +183,7 @@ class AnalysisMemo:
                 "evaluations": self.total.count,
                 "cache_hits": self.total.hits,
                 "recomputations": self.total.recomputations,
+                "kernel_seconds": self.kernel_seconds,
             }
 
     # -- whole-taskset analysis ---------------------------------------------
@@ -258,8 +264,11 @@ class AnalysisMemo:
             record = records[tid]
             hp_records = [records[i] for i in hp_ids]
         # Evaluate outside the lock: the kernels are the expensive part.
+        kernel_start = time.perf_counter()
         entry = evaluate_candidate(record, hp_records)
+        kernel_elapsed = time.perf_counter() - kernel_start
         with self._lock:
+            self.kernel_seconds += kernel_elapsed
             # Put-if-absent: the first evaluation fixes the value, so a
             # racing thread that computed concurrently adopts the stored
             # entry (all enumeration orders of interest agree anyway).

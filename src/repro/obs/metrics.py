@@ -1,0 +1,476 @@
+"""Metrics core: counters, gauges, bounded-memory streaming histograms.
+
+The always-on half of :mod:`repro.obs`: a process-local registry of
+named instruments cheap enough to tick on every served request, with a
+Prometheus-style text exposition (``GET /v1/metrics``).  Three
+instrument kinds exist:
+
+* :class:`Counter` -- monotone totals, optionally split by a fixed label
+  set (``repro_requests_total{endpoint="/v1/analyze"}``);
+* :class:`Gauge` -- instantaneous values (in-flight requests);
+* :class:`StreamingHistogram` -- latency distributions in bounded
+  memory: observations land in geometrically spaced buckets, so p50 /
+  p90 / p99 / p999 estimates cost O(buckets) to read and O(log buckets)
+  to feed, never retain samples, and are *deterministic* -- the same
+  multiset of observations yields the same quantile estimates in any
+  arrival order (a requirement inherited from the detector layer, whose
+  findings are hash-pinned).
+
+This module deliberately imports nothing from the rest of the package,
+so any layer (the sweep executor, the memo, the daemon) can instrument
+itself without import cycles.  :func:`default_registry` is the shared
+process-wide registry those layers feed; the serve daemon keeps its own
+instance so concurrent daemons in one process (tests, benches) never
+share counters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Quantiles reported by every histogram (and the text exposition).
+QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    """Exposition float formatting: ints stay ints, non-finites named."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def sanitise_metric_name(name: str) -> str:
+    """Coerce an arbitrary string into a legal exposition metric name."""
+    cleaned = _SANITISE.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _label_line(
+    name: str, labels: Tuple[str, ...], values: Tuple[str, ...],
+    extra: Tuple[Tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{key}="{_escape_label(value)}"'
+        for key, value in tuple(zip(labels, values)) + extra
+    ]
+    if not pairs:
+        return name
+    return f"{name}{{{','.join(pairs)}}}"
+
+
+class _Instrument:
+    """Base: a named instrument with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: Tuple[str, ...], lock):
+        if not _NAME_OK.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = lock
+
+    def _key(self, label_values: Mapping[str, str]) -> Tuple[str, ...]:
+        # Hot path: called on every inc/observe, so try the direct tuple
+        # build first and only fall back to set diagnostics on mismatch.
+        if len(label_values) == len(self.labels):
+            try:
+                return tuple(
+                    str(label_values[label]) for label in self.labels
+                )
+            except KeyError:
+                pass
+        raise ValueError(
+            f"{self.name}: expected labels {self.labels}, "
+            f"got {tuple(sorted(label_values))}"
+        )
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labels, lock):
+        super().__init__(name, help, labels, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **label_values: str) -> None:
+        self.inc_key(self._key(label_values), amount)
+
+    def inc_key(self, key: Tuple[str, ...], amount: float = 1.0) -> None:
+        """Per-request fast path: ``key`` is a pre-resolved label tuple."""
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **label_values: str) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def snapshot(self) -> Dict[Tuple[str, ...], float]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labels:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{_label_line(self.name, self.labels, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """An instantaneous value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labels, lock):
+        super().__init__(name, help, labels, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **label_values: str) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: float = 1.0, **label_values: str) -> None:
+        self.inc_key(self._key(label_values), amount)
+
+    def inc_key(self, key: Tuple[str, ...], amount: float = 1.0) -> None:
+        """Per-request fast path: ``key`` is a pre-resolved label tuple."""
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **label_values: str) -> None:
+        self.inc(-amount, **label_values)
+
+    def value(self, **label_values: str) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labels:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{_label_line(self.name, self.labels, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class StreamingHistogram:
+    """Bounded-memory streaming quantiles over geometric buckets.
+
+    ``observe(x)`` lands ``x`` in one of ~``log(high/low)/log(growth)``
+    precomputed buckets (plus an underflow and an overflow bucket); the
+    per-bucket counts are the whole state, so memory is fixed regardless
+    of stream length.  ``quantile(q)`` answers with the *upper edge* of
+    the bucket holding the q-th observation (nearest-rank), giving a
+    deterministic estimate with relative error bounded by ``growth - 1``.
+    """
+
+    def __init__(
+        self,
+        *,
+        low: float = 1e-6,
+        high: float = 1e4,
+        growth: float = 1.25,
+    ):
+        if not (low > 0 and high > low and growth > 1.0):
+            raise ValueError(
+                f"need 0 < low < high and growth > 1, got "
+                f"low={low}, high={high}, growth={growth}"
+            )
+        bounds: List[float] = []
+        edge = low
+        while edge < high:
+            bounds.append(edge)
+            edge *= growth
+        bounds.append(edge)
+        self._bounds = bounds
+        # counts[0] holds x <= bounds[0]; counts[i] holds
+        # bounds[i-1] < x <= bounds[i]; counts[-1] is the overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        index = bisect_left(self._bounds, value)
+        self._counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate; ``NaN`` on an empty histogram."""
+        if not (0.0 < q <= 1.0):
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= rank:
+                if index >= len(self._bounds):
+                    return float(self.max)
+                # Clamp to the observed extremes so tiny streams answer
+                # with real values instead of a coarse bucket edge.
+                edge = self._bounds[index]
+                if self.max is not None:
+                    edge = min(edge, self.max)
+                if self.min is not None:
+                    edge = max(edge, self.min)
+                return edge
+        return float(self.max)  # pragma: no cover -- unreachable
+
+    def percentiles(self) -> Dict[str, float]:
+        # 0.5 -> "p50", 0.9 -> "p90", 0.99 -> "p99", 0.999 -> "p999".
+        return {
+            "p" + format(q, "g")[2:].ljust(2, "0"): self.quantile(q)
+            for q in QUANTILES
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def snapshot(self) -> Dict[str, float]:
+        summary = {
+            "count": self.count,
+            "sum": self.total,
+            "min": math.nan if self.min is None else self.min,
+            "max": math.nan if self.max is None else self.max,
+        }
+        summary.update(self.percentiles())
+        return summary
+
+
+class Histogram(_Instrument):
+    """A family of :class:`StreamingHistogram` split by a label set.
+
+    Rendered in the *summary* exposition form (``{quantile="0.5"}``
+    series plus ``_sum``/``_count``), which stays compact regardless of
+    the internal bucket count.
+    """
+
+    kind = "summary"
+
+    def __init__(self, name, help, labels, lock, **histogram_options):
+        super().__init__(name, help, labels, lock)
+        self._options = histogram_options
+        self._series: Dict[Tuple[str, ...], StreamingHistogram] = {}
+
+    def observe(self, value: float, **label_values: str) -> None:
+        self.observe_key(self._key(label_values), value)
+
+    def observe_key(self, key: Tuple[str, ...], value: float) -> None:
+        """Per-request fast path: ``key`` is a pre-resolved label tuple."""
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = StreamingHistogram(
+                    **self._options
+                )
+            series.observe(value)
+
+    def series(self, **label_values: str) -> Optional[StreamingHistogram]:
+        with self._lock:
+            return self._series.get(self._key(label_values))
+
+    def snapshot(self) -> Dict[Tuple[str, ...], Dict[str, float]]:
+        with self._lock:
+            return {key: h.snapshot() for key, h in self._series.items()}
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._series.items())
+            for key, histogram in items:
+                for q in QUANTILES:
+                    value = histogram.quantile(q) if histogram.count else 0.0
+                    series_name = _label_line(
+                        self.name, self.labels, key, (("quantile", str(q)),)
+                    )
+                    lines.append(f"{series_name} {_format_value(value)}")
+                lines.append(
+                    f"{_label_line(self.name + '_sum', self.labels, key)} "
+                    f"{_format_value(histogram.total)}"
+                )
+                lines.append(
+                    f"{_label_line(self.name + '_count', self.labels, key)} "
+                    f"{_format_value(histogram.count)}"
+                )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one text exposition.
+
+    Instrument creation is idempotent: asking for an existing name with
+    the same kind and label schema returns the registered instrument, so
+    modules can declare their metrics at call sites without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Instrument]" = {}
+
+    def _register(self, cls, name: str, help: str, labels, **options):
+        labels = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labels != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labels}"
+                    )
+                return existing
+            metric = cls(name, help, labels, self._lock, **options)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        **histogram_options,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help, labels, **histogram_options
+        )
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered instrument."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_stats_gauges(
+    stats: Mapping[str, Any], *, prefix: str = "repro_stats"
+) -> str:
+    """Flatten a nested stats dict into one-shot gauge exposition lines.
+
+    The bridge between the daemon's ``/v1/stats`` JSON (nested blocks of
+    counters) and the ``/v1/metrics`` text form: every numeric leaf
+    becomes ``<prefix>_<path> value``.  Strings and ``None`` leaves are
+    skipped; booleans render as 0/1.
+    """
+    lines: List[str] = []
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, Mapping):
+            for key in sorted(node):
+                walk(node[key], f"{path}_{key}" if path else str(key))
+            return
+        if isinstance(node, bool):
+            value: Optional[float] = 1.0 if node else 0.0
+        elif isinstance(node, (int, float)):
+            value = float(node)
+        else:
+            return
+        name = sanitise_metric_name(f"{prefix}_{path}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    walk(stats, "")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of a finite sample (detector math).
+
+    Deterministic and allocation-light: sorts a copy, answers the
+    ceil(q*n)-th order statistic.  ``NaN`` on an empty sample.
+    """
+    if not (0.0 < q <= 1.0):
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+#: The process-wide registry cross-layer instrumentation feeds (sweep
+#: chunk timings, memo kernel time).  The serve daemon keeps its own
+#: registry and appends this one to its exposition.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT

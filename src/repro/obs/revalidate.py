@@ -1,0 +1,117 @@
+"""Replay detector-flagged models through the Monte-Carlo harness.
+
+The bridge from an advisory finding back to ground truth: a flagged
+model (known by content sha from the report window's model map) is
+wrapped in a one-off :class:`~repro.scenarios.spec.ScenarioSpec` with a
+:class:`~repro.scenarios.spec.FixedSource` and pushed through
+:func:`repro.scenarios.validate.validate_instance` -- the same
+simulation-vs-analysis confusion machinery that validates the scenario
+catalogue.  The result says which confusion cell the *simulated* system
+actually lands in (``stable_confirmed`` / ``optimistic`` / ...), i.e.
+whether the drift the detector saw is a soundness problem or just thin
+margins.
+
+Everything here stays advisory: revalidation produces records, never
+control-flow effects in the daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.api.model import ControlTaskSystem
+
+#: Simulation horizon (control periods) for revalidation replays --
+#: shorter than catalogue validation's 200: this runs inside a serving
+#: daemon, latency matters more than tail coverage.
+DEFAULT_HORIZON_PERIODS = 60
+
+
+def revalidate_model(
+    model: Mapping[str, Any],
+    *,
+    sha: Optional[str] = None,
+    horizon_periods: int = DEFAULT_HORIZON_PERIODS,
+    seed: int = 7,
+    band: float = 0.05,
+) -> Dict[str, Any]:
+    """One model dict through the sim-vs-analysis harness; flat record."""
+    from repro.scenarios.spec import FixedSource, ScenarioSpec
+    from repro.scenarios.validate import validate_instance
+
+    system = ControlTaskSystem.from_dict(dict(model))
+    content_sha = sha or system.canonical_sha256()
+    taskset = system.resolved_taskset()
+    control = min(taskset, key=lambda t: t.priority).name
+    spec = ScenarioSpec(
+        name=f"revalidate_{content_sha[:12]}",
+        description="observability revalidation of a detector-flagged model",
+        source=FixedSource(factory=lambda: (taskset, control)),
+        policy="as_given",
+        execution="uniform",
+        horizon_periods=max(horizon_periods, 2),
+        band=band,
+        expectation="sound",
+    )
+    instance = spec.instance(0, seed)
+    record = validate_instance(
+        spec, instance, horizon_periods=max(horizon_periods, 2)
+    )
+    record["sha"] = content_sha
+    record["name"] = system.name
+    return record
+
+
+def revalidate_flagged(
+    findings: Sequence[Mapping[str, Any]],
+    model_for: "Any",
+    *,
+    limit: int = 8,
+    horizon_periods: int = DEFAULT_HORIZON_PERIODS,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Revalidate the models the findings flag; a summary envelope.
+
+    ``model_for`` maps a content sha to its model dict (usually
+    :meth:`repro.obs.window.ReportWindow.model_for`); shas whose model
+    has aged out of the map are reported as skipped, newest-first
+    ordering of findings is preserved, duplicates revalidate once.
+    """
+    seen: List[str] = []
+    for finding in findings:
+        for sha in finding.get("flagged_shas", ()):
+            if sha not in seen:
+                seen.append(sha)
+    selected = seen[:limit]
+    records: List[Dict[str, Any]] = []
+    skipped: List[str] = []
+    for sha in selected:
+        model = model_for(sha)
+        if model is None:
+            skipped.append(sha)
+            continue
+        try:
+            records.append(
+                revalidate_model(
+                    model,
+                    sha=sha,
+                    horizon_periods=horizon_periods,
+                    seed=seed,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 -- advisory, never fatal
+            records.append({"sha": sha, "error": str(exc)})
+    cells: Dict[str, int] = {}
+    for record in records:
+        cell = record.get("cell")
+        if cell:
+            cells[cell] = cells.get(cell, 0) + 1
+    return {
+        "flagged": len(seen),
+        "revalidated": len(records),
+        "skipped_unknown_models": skipped,
+        "truncated_to_limit": len(seen) > limit,
+        "horizon_periods": horizon_periods,
+        "cells": cells,
+        "records": records,
+    }

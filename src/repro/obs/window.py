@@ -1,0 +1,180 @@
+"""The rolling window of served analysis outcomes the detectors watch.
+
+The daemon appends one :func:`record` per successfully served
+``/v1/analyze`` response -- a small summary dict (verdict rollup,
+minimum relative slack, cache provenance, latency), never the full
+report -- into a bounded deque.  Detectors read a consistent snapshot
+via :meth:`ReportWindow.snapshot`; the daemon's revalidation hook uses
+the parallel sha -> model map to replay flagged entries through the
+Monte-Carlo harness.
+
+Records carry a monotone ``seq`` so a snapshot is self-describing:
+detectors split it into baseline/recent halves by position, and two
+snapshots can be compared without wall-clock timestamps (which would
+break the byte-identical-findings contract).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Keys every window record carries (missing values are ``None``).
+RECORD_KEYS = (
+    "seq",
+    "sha",
+    "name",
+    "n_tasks",
+    "utilization",
+    "schedulable",
+    "stable",
+    "min_rel_slack",
+    "source",
+    "memo_hits",
+    "memo_recomputations",
+    "latency_seconds",
+    "trace_id",
+)
+
+
+def summary_from_report_dict(report: Mapping[str, Any]) -> Dict[str, Any]:
+    """Verdict summary out of a (decoded) report schema dict.
+
+    The fallback path for store-replayed bodies whose in-memory summary
+    is unknown (e.g. warm disk tier after a restart): parses the
+    canonical report dict once.  ``min_rel_slack`` is the minimum
+    relative stability margin over bounded tasks -- the drift detectors'
+    primary signal -- or ``None`` when no task carries a bound.
+    """
+    rel_slacks: List[float] = []
+    for task in report.get("tasks", ()):
+        value = task.get("rel_slack")
+        if isinstance(value, (int, float)):
+            rel_slacks.append(float(value))
+        elif isinstance(value, str):
+            # Canonical-JSON sentinel ("-Infinity" for a deadline miss).
+            lowered = value.lstrip("~")
+            if lowered == "-Infinity":
+                rel_slacks.append(float("-inf"))
+            elif lowered == "Infinity":
+                rel_slacks.append(float("inf"))
+    return {
+        "name": report.get("name"),
+        "n_tasks": report.get("n_tasks"),
+        "utilization": report.get("utilization"),
+        "schedulable": report.get("schedulable"),
+        "stable": report.get("stable"),
+        "min_rel_slack": min(rel_slacks) if rel_slacks else None,
+    }
+
+
+def summary_from_report_body(body: str) -> Optional[Dict[str, Any]]:
+    """Like :func:`summary_from_report_dict`, from raw response bytes."""
+    try:
+        data = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(data, dict) or "tasks" not in data:
+        return None
+    return summary_from_report_dict(data)
+
+
+class ReportWindow:
+    """Thread-safe bounded window of served-analysis summary records."""
+
+    def __init__(self, max_entries: int = 2048, *, model_entries: int = 512):
+        if max_entries < 2:
+            raise ValueError(f"max_entries must be >= 2, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._records: "deque[Dict[str, Any]]" = deque(maxlen=self.max_entries)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.total_recorded = 0
+        # sha -> last seen model dict / summary, LRU-bounded: the
+        # revalidation hook needs flagged models back, and store hits
+        # need summaries without re-parsing response bodies.
+        self._model_entries = int(model_entries)
+        self._models: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._summaries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def record(
+        self,
+        sha: str,
+        summary: Optional[Mapping[str, Any]],
+        *,
+        source: str,
+        latency_seconds: Optional[float] = None,
+        memo_hits: Optional[int] = None,
+        memo_recomputations: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        summary = summary or {}
+        with self._lock:
+            self._seq += 1
+            entry = {
+                "seq": self._seq,
+                "sha": sha,
+                "name": summary.get("name"),
+                "n_tasks": summary.get("n_tasks"),
+                "utilization": summary.get("utilization"),
+                "schedulable": summary.get("schedulable"),
+                "stable": summary.get("stable"),
+                "min_rel_slack": summary.get("min_rel_slack"),
+                "source": source,
+                "memo_hits": memo_hits,
+                "memo_recomputations": memo_recomputations,
+                "latency_seconds": latency_seconds,
+                "trace_id": trace_id,
+            }
+            self._records.append(entry)
+            self.total_recorded += 1
+            return entry
+
+    # -- side maps -----------------------------------------------------------
+    def remember_model(self, sha: str, model: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._models[sha] = dict(model)
+            self._models.move_to_end(sha)
+            while len(self._models) > self._model_entries:
+                self._models.popitem(last=False)
+
+    def model_for(self, sha: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            model = self._models.get(sha)
+            return dict(model) if model is not None else None
+
+    def remember_summary(self, sha: str, summary: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._summaries[sha] = dict(summary)
+            self._summaries.move_to_end(sha)
+            while len(self._summaries) > self._model_entries:
+                self._summaries.popitem(last=False)
+
+    def summary_for(self, sha: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            summary = self._summaries.get(sha)
+            return dict(summary) if summary is not None else None
+
+    # -- reading -------------------------------------------------------------
+    def snapshot(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        """A consistent copy of the newest ``last`` records (all if None)."""
+        with self._lock:
+            records = list(self._records)
+        if last is not None and last >= 0:
+            records = records[-last:] if last else []
+        return [dict(record) for record in records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._records),
+                "max_entries": self.max_entries,
+                "total_recorded": self.total_recorded,
+                "models_remembered": len(self._models),
+            }

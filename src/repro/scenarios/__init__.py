@@ -50,6 +50,7 @@ from repro.scenarios.validate import (
     validate_scenario,
 )
 from repro.scenarios.workload import (
+    drifting_request_stream,
     edited_model_request_stream,
     scenario_request_pool,
     scenario_request_stream,
@@ -58,6 +59,7 @@ from repro.scenarios.workload import (
 )
 
 __all__ = [
+    "drifting_request_stream",
     "edited_model_request_stream",
     "scenario_request_pool",
     "scenario_request_stream",

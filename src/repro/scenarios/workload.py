@@ -172,6 +172,100 @@ def edited_model_request_stream(
     return stream
 
 
+def drifting_request_stream(
+    n_requests: int,
+    *,
+    n_tasks: int = 12,
+    utilization: float = 0.55,
+    inflation: float = 1.3,
+    final_margin: float = 1.05,
+    seed: int = 23,
+) -> List[ControlTaskSystem]:
+    """A WcetInflation-style stream whose stability margins drain away.
+
+    The seeded drift workload behind the observability layer's
+    verdict-drift detector (:mod:`repro.obs.detectors`): request ``k``
+    is the shared base model with every WCET scaled by
+    ``1 + (inflation - 1) * k / (n_requests - 1)`` -- a fleet of control
+    loops whose execution times creep up in production.  The stability
+    bounds are calibrated against the *fully inflated* endpoint:
+    ``b = (L_final + a * J_final) * final_margin``, so every request in
+    the stream stays analytically **stable** (the verdicts never flip)
+    while the minimum relative slack decays from its generous baseline
+    to ``~(final_margin - 1) / final_margin`` -- exactly the
+    optimistic-drift precursor the detector watches for, with the late
+    models flagged and revalidatable through the Monte-Carlo harness.
+
+    Fully seed-determined like every stream here; all requests are
+    distinct models (no repeats -- drift, not cache traffic).
+    """
+    if n_requests < 2:
+        raise ModelError(f"drift stream needs >= 2 requests, got {n_requests}")
+    if inflation <= 1.0:
+        raise ModelError(f"inflation must be > 1, got {inflation}")
+    if final_margin <= 1.0:
+        raise ModelError(f"final_margin must be > 1, got {final_margin}")
+    from repro.api.service import analyze
+
+    rng = np.random.default_rng([seed, 0xD21F7, n_tasks])
+    shares = uunifast(n_tasks, utilization, rng)
+    periods = rng.choice(
+        [1.0, 2.0, 2.5, 4.0, 5.0, 8.0, 10.0, 20.0], size=n_tasks
+    )
+    by_rate = sorted(range(n_tasks), key=lambda k: (periods[k], k))
+    priorities = {k: n_tasks - rank for rank, k in enumerate(by_rate)}
+    coefficients = [1.0 + float(rng.uniform(0.0, 1.0)) for _ in range(n_tasks)]
+
+    def build(scale: float, bounds: Optional[List] = None) -> TaskSet:
+        tasks = []
+        for k, (share, period) in enumerate(zip(shares, periods)):
+            wcet = min(max(float(share * period) * scale, 1e-6), float(period))
+            tasks.append(
+                Task(
+                    name=f"t{k}",
+                    period=float(period),
+                    wcet=wcet,
+                    bcet=0.4 * wcet,
+                    priority=priorities[k],
+                    stability=None if bounds is None else bounds[k],
+                )
+            )
+        return TaskSet(tasks)
+
+    # Calibrate each task's bound against the fully inflated endpoint:
+    # stable everywhere in the stream, barely so at the end.
+    final_report = analyze(
+        ControlTaskSystem(
+            taskset=build(inflation), name="drift-final", priority_policy="as_given"
+        )
+    )
+    bounds: List[Optional[LinearStabilityBound]] = []
+    for k, verdict in enumerate(final_report.verdicts):
+        if not verdict.deadline_met:
+            raise ModelError(
+                "drift stream endpoint is unschedulable; lower utilization "
+                f"or inflation (task {verdict.name} misses its deadline)"
+            )
+        a = coefficients[k]
+        bounds.append(
+            LinearStabilityBound(
+                a=a,
+                b=(verdict.latency + a * verdict.jitter) * final_margin,
+            )
+        )
+    stream: List[ControlTaskSystem] = []
+    for r in range(n_requests):
+        scale = 1.0 + (inflation - 1.0) * r / (n_requests - 1)
+        stream.append(
+            ControlTaskSystem(
+                taskset=build(scale, bounds),
+                name=f"drift-{r}",
+                priority_policy="as_given",
+            )
+        )
+    return stream
+
+
 def scenario_run_payload(
     name: str, *, instances: int, seed: int = 7
 ) -> Dict[str, Any]:

@@ -177,6 +177,47 @@ class ServeClient:
         )
         return self._check_model_response("scenarios run", status, payload)
 
+    # -- observability -------------------------------------------------------
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the Prometheus text exposition."""
+        status, payload = self.request_raw("GET", "/v1/metrics")
+        if status != 200:
+            raise ServeClientError(
+                f"GET /v1/metrics failed ({status}): {payload[:200]!r}"
+            )
+        return payload.decode("utf-8")
+
+    def detect_raw(
+        self, request: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, bytes]:
+        """``POST /v1/detect``; the exact canonical-JSON wire bytes."""
+        body = json.dumps(request).encode("utf-8") if request else b""
+        return self.request_raw("POST", "/v1/detect", body)
+
+    def detect(
+        self,
+        *,
+        window: Optional[int] = None,
+        detectors: Optional[list] = None,
+        revalidate: bool = False,
+        horizon_periods: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run the anomaly detectors over the daemon's recent window."""
+        request: Dict[str, Any] = {}
+        if window is not None:
+            request["window"] = window
+        if detectors is not None:
+            request["detectors"] = list(detectors)
+        if revalidate:
+            request["revalidate"] = True
+        if horizon_periods is not None:
+            request["horizon_periods"] = horizon_periods
+        if limit is not None:
+            request["limit"] = limit
+        status, payload = self.detect_raw(request)
+        return self._check_model_response("detect", status, payload)
+
     # -- control plane -------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         return self._json("GET", "/v1/health")

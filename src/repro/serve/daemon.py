@@ -12,8 +12,23 @@ server exposing the façade to concurrent clients:
 * ``GET /v1/scenarios`` / ``POST /v1/scenarios/run`` -- the catalogue
   listing and seeded population draws (``scenarios run`` as a service);
   byte-identical to :func:`repro.scenarios.scenario_run_json`.
-* ``GET /v1/health`` / ``GET /v1/stats`` -- liveness + counters.
+* ``GET /v1/health`` / ``GET /v1/stats`` -- liveness + counters (stats
+  includes uptime, per-endpoint request/error counters, the in-flight
+  gauge, latency percentiles, and the detector window under ``"obs"``).
+* ``GET /v1/metrics`` -- Prometheus-style text exposition
+  (:mod:`repro.obs.metrics`).
+* ``POST /v1/detect`` -- run the anomaly-detector registry over the
+  recent window of served analyses; optional Monte-Carlo revalidation
+  of flagged models (:mod:`repro.obs.detectors` / ``.revalidate``).
+  Advisory only.
 * ``POST /v1/shutdown`` -- clean shutdown (responds, then exits).
+
+Every response carries an ``X-Repro-Trace-Id`` header; with
+observability enabled (the default) requests are traced per stage
+(parse -> store lookup -> batch compute -> store fill) into the metrics
+registry and, when configured, a JSON-lines event log.  Instrumentation
+is zero-cost-when-disabled (``obs=False``) and strictly out-of-band:
+response bodies stay byte-identical to direct façade calls either way.
 
 Two mechanics keep the hot path on the batched kernels instead of paying
 scalar cost per request:
@@ -50,6 +65,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -57,10 +73,15 @@ from repro.api.model import ControlTaskSystem
 from repro.api.service import analyze, analyze_batch, assign, assign_batch
 from repro.errors import ModelError
 from repro.memo import AnalysisMemo
+from repro.obs import Observability, detector_names
+from repro.obs.logs import serve_logger
+from repro.obs.revalidate import DEFAULT_HORIZON_PERIODS, revalidate_flagged
+from repro.obs.window import summary_from_report_body
 from repro.search.strategies import STRATEGIES
 from repro.serve.batcher import MicroBatcher
 from repro.serve.store import ResultStore
 from repro.sweep import resolve_jobs
+from repro.sweep.result import canonical_json_with_hash
 
 _REASONS = {
     200: "OK",
@@ -111,6 +132,11 @@ class AnalysisDaemon:
         cache_responses: bool = True,
         read_timeout: float = 30.0,
         memo_entries: int = 65536,
+        obs: bool = True,
+        obs_window: int = 2048,
+        event_log: Optional[str] = None,
+        detect_interval: float = 0.0,
+        detect_revalidate: bool = False,
     ):
         self.host = host
         self.port = port
@@ -137,6 +163,20 @@ class AnalysisDaemon:
         self.batcher = MicroBatcher(
             self._dispatch, window=batch_window, max_batch=max_batch
         )
+        #: Telemetry: per-daemon metric registry, rolling report window,
+        #: tracing, optional JSON-lines event log (:mod:`repro.obs`).
+        #: ``obs=False`` reduces every per-request hook to one ``if`` --
+        #: response *bodies* are byte-identical either way.
+        self.obs = Observability(
+            enabled=obs, window_entries=obs_window, event_log_path=event_log
+        )
+        #: Background advisory detection cadence in seconds (0 = off):
+        #: every interval the detector registry runs over the report
+        #: window; findings go to the log/event log, never control flow.
+        self.detect_interval = detect_interval
+        self.detect_revalidate = detect_revalidate
+        self._detect_task: Optional[asyncio.Task] = None
+        self.log = serve_logger()
         self._server: Optional[asyncio.base_events.Server] = None
         # Created in start(), on the running loop (Python 3.9 binds
         # asyncio primitives to the construction-time loop).
@@ -152,7 +192,7 @@ class AnalysisDaemon:
     # -- computation ---------------------------------------------------------
     def _dispatch(
         self, group: Tuple[str, ...], payloads: List[Any]
-    ) -> List[Tuple[bool, str, Optional[Dict[str, int]]]]:
+    ) -> List[Tuple[bool, str, Optional[Dict[str, Any]]]]:
         """Batched computation (runs on the batcher's worker thread).
 
         Returns ``(ok, body, meta)`` per payload -- ``meta`` carries the
@@ -176,7 +216,7 @@ class AnalysisDaemon:
         if group[0] == "scenarios":
             from repro.scenarios import scenario_run_json
 
-            results: List[Tuple[bool, str, Optional[Dict[str, int]]]] = []
+            results: List[Tuple[bool, str, Optional[Dict[str, Any]]]] = []
             for name, instances, seed in payloads:
                 try:
                     results.append(
@@ -195,6 +235,13 @@ class AnalysisDaemon:
         try:
             if group[0] == "analyze":
                 reports = analyze_batch(systems, jobs=self.jobs)
+                if self.obs.enabled:
+                    # Summaries ride the meta channel so the report
+                    # window never re-parses response bodies.
+                    return [
+                        (True, r.report_json(), {"summary": r.summary()})
+                        for r in reports
+                    ]
                 return [(True, r.report_json(), None) for r in reports]
             outcomes = assign_batch(systems, algorithm=group[1], jobs=self.jobs)
             return [(True, o.outcome_json(), None) for o in outcomes]
@@ -220,7 +267,7 @@ class AnalysisDaemon:
 
     def _compute_with_memo(
         self, group: Tuple[str, ...], system: Any
-    ) -> Tuple[bool, str, Optional[Dict[str, int]]]:
+    ) -> Tuple[bool, str, Optional[Dict[str, Any]]]:
         """One model through the daemon memo, with per-request deltas.
 
         The batcher's single dispatch thread is the memo's only writer,
@@ -228,9 +275,13 @@ class AnalysisDaemon:
         request's evaluations.
         """
         before = self.memo.stats()
+        summary: Optional[Dict[str, Any]] = None
         try:
             if group[0] == "analyze":
-                body = analyze(system, memo=self.memo).report_json()
+                report = analyze(system, memo=self.memo)
+                body = report.report_json()
+                if self.obs.enabled:
+                    summary = report.summary()
             else:
                 body = assign(
                     system, algorithm=group[1], validation_memo=self.memo
@@ -238,19 +289,22 @@ class AnalysisDaemon:
         except Exception as exc:  # noqa: BLE001 -- isolate the poisoned model
             return False, _json_body({"error": str(exc)}), None
         after = self.memo.stats()
-        return (
-            True,
-            body,
-            {
-                "memo_hits": after["cache_hits"] - before["cache_hits"],
-                "memo_recomputations": (
-                    after["recomputations"] - before["recomputations"]
-                ),
-            },
-        )
+        meta: Dict[str, Any] = {
+            "memo_hits": after["cache_hits"] - before["cache_hits"],
+            "memo_recomputations": (
+                after["recomputations"] - before["recomputations"]
+            ),
+        }
+        if summary is not None:
+            meta["summary"] = summary
+        return True, body, meta
 
     async def _compute(
-        self, kind_group: Tuple[str, ...], sha: str, payload: Any
+        self,
+        kind_group: Tuple[str, ...],
+        sha: str,
+        payload: Any,
+        trace=None,
     ) -> Tuple[int, str, Dict[str, str]]:
         """Cache lookup -> coalesced batch submit -> cache fill.
 
@@ -258,7 +312,9 @@ class AnalysisDaemon:
         out-of-band provenance (``X-Repro-Source: store|computed``) and,
         on memo-routed computations, the per-request incremental counts
         -- response *bodies* must stay byte-identical to direct façade
-        output, so metadata never rides in them.
+        output, so metadata never rides in them.  With observability on,
+        each stage lands a span on ``trace`` and served analyze outcomes
+        feed the detector window.
 
         With a disk tier configured, store traffic runs off-loop
         (``asyncio.to_thread``): a slow or contended disk must never
@@ -266,38 +322,114 @@ class AnalysisDaemon:
         lookup -- called inline.
         """
         store_kind = "-".join(part for part in kind_group if part)
+        started = time.perf_counter()
         if self.cache_responses:
             if self.cache_dir:
                 cached = await asyncio.to_thread(self.store.get, store_kind, sha)
             else:
                 cached = self.store.get(store_kind, sha)
+            if trace is not None:
+                trace.add_span(
+                    "store_lookup",
+                    time.perf_counter() - started,
+                    outcome="hit" if cached is not None else "miss",
+                )
             if cached is not None:
                 self.responses_from_cache += 1
+                if trace is not None:
+                    trace.annotate(source="store", sha=sha)
+                if kind_group[0] == "analyze":
+                    self._record_served(
+                        sha, cached, source="store",
+                        started=started, trace=trace, meta=None,
+                    )
                 return 200, cached, {"X-Repro-Source": "store"}
+        submit_start = time.perf_counter()
         ok, body, meta = await self.batcher.submit(kind_group, sha, payload)
+        if trace is not None:
+            trace.add_span(
+                "batch_compute", time.perf_counter() - submit_start, ok=ok
+            )
         if not ok:
             self.errors += 1
             return 422, body, {}
         headers = {"X-Repro-Source": "computed"}
-        if meta is not None:
+        if meta is not None and "memo_hits" in meta:
             headers["X-Repro-Memo-Hits"] = str(meta["memo_hits"])
             headers["X-Repro-Memo-Recomputations"] = str(
                 meta["memo_recomputations"]
             )
+            if trace is not None:
+                trace.annotate(
+                    memo_hits=meta["memo_hits"],
+                    memo_recomputations=meta["memo_recomputations"],
+                )
+        if trace is not None:
+            trace.annotate(source="computed", sha=sha)
         # Coalesced waiters all resolve with the same body; only the
         # first one past this check pays the store write.
         if self.cache_responses and not self.store.seen(store_kind, sha):
+            fill_start = time.perf_counter()
             if self.cache_dir:
                 await asyncio.to_thread(self.store.put, store_kind, sha, body)
             else:
                 self.store.put(store_kind, sha, body)
+            if trace is not None:
+                trace.add_span(
+                    "store_fill", time.perf_counter() - fill_start
+                )
+        if kind_group[0] == "analyze":
+            self._record_served(
+                sha, body, source="computed",
+                started=started, trace=trace, meta=meta,
+            )
         return 200, body, headers
+
+    def _record_served(
+        self,
+        sha: str,
+        body: str,
+        *,
+        source: str,
+        started: float,
+        trace,
+        meta: Optional[Dict[str, Any]],
+    ) -> None:
+        """Feed one served analyze outcome to the detector window.
+
+        Summaries come from the dispatch meta channel when the response
+        was just computed; store replays reuse the sha-keyed summary
+        cache and only fall back to parsing the body once per sha (the
+        warm-disk-tier-after-restart case).
+        """
+        if not self.obs.enabled:
+            return
+        summary = (meta or {}).get("summary")
+        if summary is None:
+            summary = self.obs.window.summary_for(sha)
+            if summary is None:
+                summary = summary_from_report_body(body)
+        if summary is not None:
+            self.obs.window.remember_summary(sha, summary)
+        self.obs.record_analysis(
+            sha,
+            summary,
+            source=source,
+            latency_seconds=time.perf_counter() - started,
+            memo_hits=(meta or {}).get("memo_hits"),
+            memo_recomputations=(meta or {}).get("memo_recomputations"),
+            trace_id=None if trace is None else trace.trace_id,
+        )
 
     # -- HTTP plumbing -------------------------------------------------------
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         extra_headers: Dict[str, str] = {}
+        trace = None
+        endpoint: Optional[str] = None
+        method = "-"
+        started = time.perf_counter()
         try:
             try:
                 request = await asyncio.wait_for(
@@ -312,9 +444,14 @@ class AnalysisDaemon:
                 self.errors += 1
                 status, body = exc.status, exc.body
             else:
+                method, target, request_body = request
+                endpoint = urlsplit(target).path
+                trace = self.obs.request_started(endpoint)
                 # Routes answer (status, body) or (status, body, headers)
                 # -- the model/scenario paths attach provenance headers.
-                result = await self._handle_request(*request)
+                result = await self._handle_request(
+                    method, target, request_body, trace=trace
+                )
                 if len(result) == 3:
                     status, body, extra_headers = result
                 else:
@@ -322,6 +459,11 @@ class AnalysisDaemon:
         except Exception as exc:  # noqa: BLE001 -- never kill the server
             self.errors += 1
             status, body = 500, _json_body({"error": repr(exc)})
+        # All response metadata rides in headers: the trace id always,
+        # a Content-Type override only for non-JSON routes (/v1/metrics).
+        trace_id = self.obs.trace_id_for(trace)
+        extra_headers.setdefault("X-Repro-Trace-Id", trace_id)
+        content_type = extra_headers.pop("Content-Type", "application/json")
         try:
             payload = body.encode("utf-8")
             header_block = "".join(
@@ -331,7 +473,7 @@ class AnalysisDaemon:
             writer.write(
                 (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(payload)}\r\n"
                     f"{header_block}"
                     "Connection: close\r\n\r\n"
@@ -347,6 +489,18 @@ class AnalysisDaemon:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+        if endpoint is not None:
+            self.obs.request_finished(endpoint, status, trace)
+            self.log.info(
+                "request",
+                extra={
+                    "trace_id": trace_id,
+                    "method": method,
+                    "path": endpoint,
+                    "status": status,
+                    "seconds": round(time.perf_counter() - started, 6),
+                },
+            )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -389,7 +543,7 @@ class AnalysisDaemon:
         return method, target, body
 
     async def _handle_request(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, trace=None
     ) -> Tuple:
         """Route one request; ``(status, body[, extra_headers])``."""
         self.requests_total += 1
@@ -415,6 +569,22 @@ class AnalysisDaemon:
             if method != "GET":
                 return 405, _json_body({"error": "use GET"})
             return 200, _json_body(self.stats())
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            # The daemon's counters ride along as flattened gauges; the
+            # obs block is dropped from them because the registry already
+            # exposes the same data as first-class instruments.
+            stats = self.stats()
+            stats.pop("obs", None)
+            text = await asyncio.to_thread(self.obs.metrics_text, stats)
+            return 200, text, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+        if path == "/v1/detect":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            return await self._detect_request(body)
         if path == "/v1/shutdown":
             if method != "POST":
                 return 405, _json_body({"error": "use POST"})
@@ -425,7 +595,7 @@ class AnalysisDaemon:
         if path == "/v1/analyze":
             if method != "POST":
                 return 405, _json_body({"error": "use POST"})
-            return await self._model_request(("analyze",), body)
+            return await self._model_request(("analyze",), body, trace=trace)
         if path == "/v1/assign":
             if method != "POST":
                 return 405, _json_body({"error": "use POST"})
@@ -437,7 +607,9 @@ class AnalysisDaemon:
                         "known": sorted(STRATEGIES),
                     }
                 )
-            return await self._model_request(("assign", algorithm), body)
+            return await self._model_request(
+                ("assign", algorithm), body, trace=trace
+            )
         if path == "/v1/scenarios":
             if method != "GET":
                 return 405, _json_body({"error": "use GET"})
@@ -454,39 +626,137 @@ class AnalysisDaemon:
                 "routes": [
                     "GET /v1/health",
                     "GET /v1/stats",
+                    "GET /v1/metrics",
                     "GET /v1/scenarios",
                     "POST /v1/analyze",
                     "POST /v1/assign[?algorithm=...]",
+                    "POST /v1/detect",
                     "POST /v1/scenarios/run",
                     "POST /v1/shutdown",
                 ],
             }
         )
 
+    async def _detect_request(self, body: bytes) -> Tuple:
+        """``POST /v1/detect``: run detectors over the recent window.
+
+        Body (optional, all keys optional): ``{"window": n_records,
+        "detectors": [names], "revalidate": bool, "horizon_periods": n,
+        "limit": n}``.  ``revalidate=true`` additionally replays the
+        flagged models through the Monte-Carlo harness
+        (:mod:`repro.obs.revalidate`).  The response is the canonical
+        findings envelope (embedded ``canonical_sha256``) -- advisory
+        only, serving behaviour never branches on it.
+        """
+        try:
+            data = json.loads(body) if body.strip() else {}
+        except json.JSONDecodeError as exc:
+            self.errors += 1
+            return 400, _json_body({"error": f"body is not valid JSON: {exc}"})
+        if not isinstance(data, dict):
+            self.errors += 1
+            return 400, _json_body(
+                {"error": "body must be a JSON object (or empty)"}
+            )
+        chosen = data.get("detectors")
+        if chosen is not None:
+            known = detector_names()
+            if not isinstance(chosen, list) or not all(
+                isinstance(name, str) for name in chosen
+            ):
+                self.errors += 1
+                return 400, _json_body(
+                    {
+                        "error": "detectors must be a list of names",
+                        "known": list(known),
+                    }
+                )
+            unknown = [name for name in chosen if name not in known]
+            if unknown:
+                self.errors += 1
+                return 400, _json_body(
+                    {
+                        "error": f"unknown detector {unknown[0]!r}",
+                        "known": list(known),
+                    }
+                )
+        try:
+            last = data.get("window")
+            last = int(last) if last is not None else None
+            revalidate = bool(data.get("revalidate", False))
+            horizon = int(
+                data.get("horizon_periods", DEFAULT_HORIZON_PERIODS)
+            )
+            limit = int(data.get("limit", 8))
+        except (TypeError, ValueError):
+            self.errors += 1
+            return 400, _json_body(
+                {"error": "window/horizon_periods/limit must be integers"}
+            )
+        # Detection is pure CPU over a snapshot; revalidation simulates.
+        # Both run off-loop so concurrent serving never stalls.
+        payload = await asyncio.to_thread(
+            self._run_detect, last, chosen, revalidate, horizon, limit
+        )
+        return 200, payload, {"X-Repro-Advisory": "true"}
+
+    def _run_detect(
+        self,
+        last: Optional[int],
+        detectors: Optional[List[str]],
+        revalidate: bool,
+        horizon_periods: int,
+        limit: int,
+    ) -> str:
+        report = self.obs.run_detectors(last=last, detectors=detectors)
+        if revalidate:
+            report["revalidation"] = revalidate_flagged(
+                report["findings"],
+                self.obs.window.model_for,
+                limit=limit,
+                horizon_periods=horizon_periods,
+            )
+        json_with_hash, _ = canonical_json_with_hash(report)
+        return json_with_hash
+
     @staticmethod
-    def _parse_model(body: bytes) -> Tuple[ControlTaskSystem, str]:
-        """Body bytes -> (system, content hash); raises on bad input."""
+    def _parse_model(body: bytes) -> Tuple[ControlTaskSystem, str, Dict]:
+        """Body bytes -> (system, content hash, raw dict); raises on bad input."""
         data = json.loads(body)
         if not isinstance(data, dict):
             raise ModelError("body must be a single system-model object")
         system = ControlTaskSystem.from_dict(data)
-        return system, system.canonical_sha256()
+        return system, system.canonical_sha256(), data
 
     async def _model_request(
-        self, kind_group: Tuple[str, ...], body: bytes
+        self, kind_group: Tuple[str, ...], body: bytes, trace=None
     ) -> Tuple:
+        parse_start = time.perf_counter()
         try:
             if len(body) > OFFLOAD_PARSE_BYTES:
-                system, sha = await asyncio.to_thread(self._parse_model, body)
+                system, sha, raw = await asyncio.to_thread(
+                    self._parse_model, body
+                )
             else:
-                system, sha = self._parse_model(body)
+                system, sha, raw = self._parse_model(body)
         except json.JSONDecodeError as exc:
             self.errors += 1
             return 400, _json_body({"error": f"body is not valid JSON: {exc}"})
         except ModelError as exc:
             self.errors += 1
             return 400, _json_body({"error": str(exc)})
-        return await self._compute(kind_group, sha, system)
+        if trace is not None:
+            trace.add_span(
+                "parse_model",
+                time.perf_counter() - parse_start,
+                bytes=len(body),
+            )
+        if self.obs.enabled and kind_group[0] == "analyze":
+            # The raw request dict is exactly the model; remembering it
+            # keyed by sha is what lets /v1/detect revalidate flagged
+            # models later without re-serialising anything.
+            self.obs.window.remember_model(sha, raw)
+        return await self._compute(kind_group, sha, system, trace=trace)
 
     async def _scenario_request(self, body: bytes) -> Tuple:
         """``POST /v1/scenarios/run``: a seeded scenario population draw.
@@ -544,7 +814,63 @@ class AnalysisDaemon:
             self._handle, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.detect_interval > 0 and self.obs.enabled:
+            self._detect_task = asyncio.get_running_loop().create_task(
+                self._detect_loop()
+            )
+        self.log.info(
+            "daemon listening",
+            extra={
+                "host": self.host,
+                "port": self.port,
+                "jobs": self.jobs,
+                "batch_window": self.batcher.window,
+                "max_batch": self.batcher.max_batch,
+                "cache_dir": self.cache_dir,
+                "memo": self.memo is not None,
+                "obs": self.obs.enabled,
+                "detect_interval": self.detect_interval,
+            },
+        )
         self.started.set()
+
+    async def _detect_loop(self) -> None:
+        """Background advisory detection over the live report window.
+
+        Every ``detect_interval`` seconds the full detector registry runs
+        off-loop; findings are logged and appended to the event log (and,
+        with ``detect_revalidate``, the flagged models are replayed
+        through the Monte-Carlo harness).  Strictly advisory: failures
+        are logged and the loop continues, serving is never touched.
+        """
+        while True:
+            await asyncio.sleep(self.detect_interval)
+            try:
+                report = await asyncio.to_thread(self.obs.run_detectors)
+                if report["n_findings"] and self.detect_revalidate:
+                    revalidation = await asyncio.to_thread(
+                        revalidate_flagged,
+                        report["findings"],
+                        self.obs.window.model_for,
+                    )
+                    if self.obs.event_log is not None:
+                        self.obs.event_log.emit(
+                            "revalidation", {"report": revalidation}
+                        )
+                if report["n_findings"]:
+                    self.log.warning(
+                        "detector findings",
+                        extra={
+                            "n_findings": report["n_findings"],
+                            "detectors": sorted(
+                                {f["detector"] for f in report["findings"]}
+                            ),
+                        },
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 -- advisory, never fatal
+                self.log.exception("background detection failed")
 
     async def serve_until_shutdown(self) -> None:
         if self._shutdown is None:
@@ -553,11 +879,28 @@ class AnalysisDaemon:
         await self.aclose()
 
     async def aclose(self) -> None:
+        if self._detect_task is not None:
+            self._detect_task.cancel()
+            try:
+                await self._detect_task
+            except asyncio.CancelledError:
+                pass
+            self._detect_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            # Clean-shutdown line (idempotent aclose logs it only once).
+            self.log.info(
+                "daemon shut down",
+                extra={
+                    "requests_total": self.requests_total,
+                    "errors": self.errors,
+                    "uptime_seconds": round(self.obs.uptime_seconds(), 3),
+                },
+            )
         await self.batcher.close()
+        self.obs.close()
 
     async def _main(self) -> None:
         await self.start()
@@ -579,6 +922,7 @@ class AnalysisDaemon:
             "responses_from_cache": self.responses_from_cache,
             "errors": self.errors,
             "jobs": self.jobs,
+            "uptime_seconds": round(self.obs.uptime_seconds(), 3),
             "batcher": self.batcher.stats(),
             "store": self.store.stats(),
             # Daemon-lifetime analysis memo (None when --memo-entries 0):
@@ -587,6 +931,10 @@ class AnalysisDaemon:
             # misses -- distinct from responses_from_cache, which counts
             # whole-model replays.
             "memo": None if self.memo is None else self.memo.stats(),
+            # Observability: per-endpoint request/error counters,
+            # in-flight gauge, latency percentiles, detector window
+            # (repro.obs; "enabled": false when started with obs off).
+            "obs": self.obs.stats(),
         }
 
 

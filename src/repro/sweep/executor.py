@@ -108,8 +108,14 @@ def _execute_chunk(
     indexed_items: List[Tuple[int, Any]],
     params: Dict[str, Any],
     seed: int,
-) -> List[Dict[str, Any]]:
-    """Run one chunk; module-level so process pools can pickle it."""
+) -> Tuple[float, List[Dict[str, Any]]]:
+    """Run one chunk; module-level so process pools can pickle it.
+
+    Returns ``(seconds, records)``: the wall time is measured inside the
+    worker process, so pool scheduling and pickling latency stay out of
+    the per-chunk duration metric.
+    """
+    start = time.perf_counter()
     records: List[Dict[str, Any]] = []
     for global_index, item in indexed_items:
         record = worker(item, params, seed)
@@ -121,7 +127,7 @@ def _execute_chunk(
         record = dict(record)
         record["i"] = global_index
         records.append(record)
-    return records
+    return time.perf_counter() - start, records
 
 
 def _chunk_cache_path(
@@ -226,8 +232,30 @@ def run_sweep(
                 continue
         pending.append((chunk_index, indexed_items))
 
-    def finish_chunk(chunk_index: int, records: List[Dict[str, Any]]) -> None:
+    # Process-wide observability: per-chunk wall times (measured in the
+    # worker) and a computed/cached split, scraped by ``/v1/metrics`` when
+    # a sweep runs inside the daemon process.
+    from repro.obs.metrics import default_registry
+
+    registry = default_registry()
+    chunk_seconds = registry.histogram(
+        "repro_sweep_chunk_seconds",
+        "Wall time of one sweep chunk, measured in the worker",
+        labels=("sweep",),
+    )
+    chunks_total = registry.counter(
+        "repro_sweep_chunks_total",
+        "Sweep chunks finished, by outcome",
+        labels=("sweep", "outcome"),
+    )
+    chunks_total.inc(cache_hits, sweep=spec.name, outcome="cached")
+
+    def finish_chunk(
+        chunk_index: int, seconds: float, records: List[Dict[str, Any]]
+    ) -> None:
         chunk_records[chunk_index] = records
+        chunk_seconds.observe(seconds, sweep=spec.name)
+        chunks_total.inc(sweep=spec.name, outcome="computed")
         if cache_dir:
             _store_cached_chunk(
                 _chunk_cache_path(cache_dir, spec.name, fingerprint, chunk_index),
@@ -240,7 +268,7 @@ def run_sweep(
         with _kernel_cache_env(cache_dir):
             for chunk_index, indexed_items in pending:
                 try:
-                    records = _execute_chunk(
+                    seconds, records = _execute_chunk(
                         spec.worker,
                         chunk_index,
                         indexed_items,
@@ -251,7 +279,7 @@ def run_sweep(
                     raise SweepError(
                         f"sweep {spec.name!r}: chunk {chunk_index} failed: {exc!r}"
                     ) from exc
-                finish_chunk(chunk_index, records)
+                finish_chunk(chunk_index, seconds, records)
     else:
         with _kernel_cache_env(cache_dir), ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
@@ -272,13 +300,13 @@ def run_sweep(
                 for future in as_completed(futures):
                     chunk_index = futures[future]
                     try:
-                        records = future.result()
+                        seconds, records = future.result()
                     except Exception as exc:
                         raise SweepError(
                             f"sweep {spec.name!r}: chunk {chunk_index} "
                             f"failed: {exc!r}"
                         ) from exc
-                    finish_chunk(chunk_index, records)
+                    finish_chunk(chunk_index, seconds, records)
             except SweepError:
                 for future in futures:
                     future.cancel()

@@ -123,11 +123,13 @@ class TestStatsSnapshot:
             "evaluations",
             "cache_hits",
             "recomputations",
+            "kernel_seconds",
         }
         assert stats["evaluations"] == 8
         assert stats["cache_hits"] == 4
         assert stats["recomputations"] == 4
         assert stats["memo_entries"] == 4
+        assert stats["kernel_seconds"] > 0.0
 
     def test_totals_aggregate_across_concurrent_runs(self):
         """No lost counter updates when runs execute on many threads.

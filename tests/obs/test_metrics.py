@@ -1,0 +1,231 @@
+"""Unit tests of the dependency-free metrics core (:mod:`repro.obs.metrics`).
+
+The exposition format matters as much as the numbers: the CI smoke and
+any real Prometheus scraper parse ``render()`` output, so these tests
+pin the text-format invariants (HELP/TYPE headers, label escaping,
+summary quantile lines) alongside the arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    StreamingHistogram,
+    default_registry,
+    percentile,
+    render_stats_gauges,
+    sanitise_metric_name,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests_total", "Requests.", ("endpoint",))
+        counter.inc(endpoint="/v1/analyze")
+        counter.inc(2.0, endpoint="/v1/analyze")
+        counter.inc(endpoint="/v1/assign")
+        assert counter.value(endpoint="/v1/analyze") == 3.0
+        assert counter.value(endpoint="/v1/assign") == 1.0
+        assert counter.value(endpoint="/v1/unknown") == 0.0
+
+    def test_unlabelled_counter(self, registry):
+        counter = registry.counter("ticks_total", "Ticks.")
+        counter.inc()
+        counter.inc()
+        assert counter.value() == 2.0
+
+    def test_wrong_label_set_rejected(self, registry):
+        counter = registry.counter("requests_total", "Requests.", ("endpoint",))
+        with pytest.raises(ValueError):
+            counter.inc(verb="GET")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_render_format(self, registry):
+        counter = registry.counter(
+            "requests_total", "Requests served.", ("endpoint",)
+        )
+        counter.inc(endpoint="/v1/analyze")
+        text = "\n".join(counter.render())
+        assert "# HELP requests_total Requests served." in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{endpoint="/v1/analyze"} 1' in text
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("odd_total", "Odd.", ("tag",))
+        counter.inc(tag='a"b\\c')
+        text = "\n".join(counter.render())
+        assert 'odd_total{tag="a\\"b\\\\c"} 1' in text
+
+    def test_thread_safety_no_lost_updates(self, registry):
+        counter = registry.counter("ticks_total", "Ticks.")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("in_flight", "In flight.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4.0
+        assert "# TYPE in_flight gauge" in "\n".join(gauge.render())
+
+
+class TestStreamingHistogram:
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = StreamingHistogram()
+        for value in [0.001, 0.002, 0.003, 0.004, 0.005]:
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert 0.001 <= histogram.quantile(0.5) <= 0.005
+        assert histogram.quantile(0.5) <= histogram.quantile(0.99)
+        assert histogram.quantile(1.0) == 0.005
+
+    def test_relative_error_bounded_by_growth(self):
+        histogram = StreamingHistogram(growth=1.25)
+        for _ in range(100):
+            histogram.observe(0.0123)
+        estimate = histogram.quantile(0.5)
+        assert estimate == pytest.approx(0.0123, rel=0.25)
+
+    def test_bounded_memory(self):
+        histogram = StreamingHistogram()
+        for k in range(10000):
+            histogram.observe(1e-6 + (k % 997) * 1e-5)
+        assert histogram.count == 10000
+        assert len(histogram._counts) == len(histogram._bounds) + 1
+
+    def test_percentile_keys(self):
+        histogram = StreamingHistogram()
+        histogram.observe(0.5)
+        assert set(histogram.percentiles()) == {"p50", "p90", "p99", "p999"}
+
+    def test_nan_ignored_and_empty_is_nan(self):
+        histogram = StreamingHistogram()
+        histogram.observe(float("nan"))
+        assert histogram.count == 0
+        assert math.isnan(histogram.quantile(0.5))
+        assert math.isnan(histogram.mean)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().quantile(0.0)
+
+    def test_deterministic_in_any_arrival_order(self):
+        values = [0.001 * (1 + (k * 7) % 23) for k in range(200)]
+        a, b = StreamingHistogram(), StreamingHistogram()
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.percentiles() == b.percentiles()
+        assert a.total == pytest.approx(b.total)
+
+
+class TestHistogramFamily:
+    def test_labelled_series_summary_form(self, registry):
+        histogram = registry.histogram(
+            "request_seconds", "Latency.", ("endpoint",)
+        )
+        histogram.observe(0.01, endpoint="/v1/analyze")
+        histogram.observe(0.02, endpoint="/v1/analyze")
+        histogram.observe(0.5, endpoint="/v1/assign")
+        text = "\n".join(histogram.render())
+        assert "# TYPE request_seconds summary" in text
+        assert 'endpoint="/v1/analyze",quantile="0.5"' in text
+        assert 'request_seconds_count{endpoint="/v1/analyze"} 2' in text
+        assert 'request_seconds_sum{endpoint="/v1/assign"} 0.5' in text
+
+    def test_series_accessor(self, registry):
+        histogram = registry.histogram("h_seconds", "H.", ("k",))
+        histogram.observe(1.0, k="a")
+        assert histogram.series(k="a").count == 1
+        assert histogram.series(k="missing") is None
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("a_total", "A.", ("k",))
+        second = registry.counter("a_total", "A.", ("k",))
+        assert first is second
+
+    def test_conflicting_reregistration_rejected(self, registry):
+        registry.counter("a_total", "A.")
+        with pytest.raises(ValueError):
+            registry.gauge("a_total", "A.")
+        with pytest.raises(ValueError):
+            registry.counter("a_total", "A.", ("k",))
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name!", "Nope.")
+
+    def test_render_is_sorted_and_newline_terminated(self, registry):
+        registry.counter("b_total", "B.").inc()
+        registry.gauge("a_value", "A.").set(1)
+        text = registry.render()
+        assert text.index("a_value") < text.index("b_total")
+        assert text.endswith("\n")
+
+    def test_names_and_get(self, registry):
+        registry.counter("a_total", "A.")
+        assert registry.names() == ["a_total"]
+        assert registry.get("a_total") is not None
+        assert registry.get("missing") is None
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestHelpers:
+    def test_percentile_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_percentile_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+
+    def test_sanitise_metric_name(self):
+        assert sanitise_metric_name("/v1/analyze") == "_v1_analyze"
+        assert sanitise_metric_name("9lives") == "_9lives"
+        assert sanitise_metric_name("already_fine") == "already_fine"
+
+    def test_render_stats_gauges_flattens_nested_numbers(self):
+        text = render_stats_gauges(
+            {"store": {"hits": 3, "entries": 10}, "uptime_seconds": 1.5,
+             "ok": True, "name": "ignored-strings"},
+            prefix="repro_stats",
+        )
+        assert "repro_stats_store_hits 3" in text
+        assert "repro_stats_uptime_seconds 1.5" in text
+        assert "repro_stats_ok 1" in text
+        assert "ignored" not in text

@@ -1,0 +1,77 @@
+"""Revalidation of detector-flagged models through the MC harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import revalidate_flagged, revalidate_model
+from repro.scenarios import drifting_request_stream
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def drift_models():
+    """The last (thinnest-margin) models of a seeded drift stream."""
+    stream = drifting_request_stream(8, n_tasks=4, seed=23)
+    return {s.canonical_sha256(): s.to_dict() for s in stream}
+
+
+class TestRevalidateModel:
+    def test_drift_model_lands_in_a_confusion_cell(self, drift_models):
+        sha, model = next(iter(drift_models.items()))
+        record = revalidate_model(model, sha=sha, horizon_periods=20)
+        assert record["sha"] == sha
+        assert record["assigned"]
+        assert record["cell"] in (
+            "stable_confirmed",
+            "unstable_confirmed",
+            "optimistic",
+            "conservative",
+            "near_boundary",
+        )
+        # The drift stream is stable throughout by construction.
+        assert record["analytic_stable"] is True
+
+    def test_deterministic_for_fixed_seed(self, drift_models):
+        sha, model = next(iter(drift_models.items()))
+        a = revalidate_model(model, sha=sha, horizon_periods=20, seed=7)
+        b = revalidate_model(model, sha=sha, horizon_periods=20, seed=7)
+        assert a == b
+
+
+class TestRevalidateFlagged:
+    def test_dedup_limit_and_unknown_models(self, drift_models):
+        shas = list(drift_models)
+        findings = [
+            {"flagged_shas": [shas[0], shas[1], shas[0], "unknown-sha"]},
+            {"flagged_shas": [shas[1], shas[2]]},
+        ]
+        report = revalidate_flagged(
+            findings,
+            drift_models.get,
+            limit=3,
+            horizon_periods=20,
+        )
+        # 4 distinct shas seen, truncated to 3, one of which is unknown.
+        assert report["flagged"] == 4
+        assert report["truncated_to_limit"] is True
+        assert report["skipped_unknown_models"] == ["unknown-sha"]
+        assert report["revalidated"] == 2
+        assert sum(report["cells"].values()) == 2
+        assert {r["sha"] for r in report["records"]} == {shas[0], shas[1]}
+
+    def test_empty_findings(self):
+        report = revalidate_flagged([], lambda sha: None)
+        assert report["flagged"] == 0
+        assert report["revalidated"] == 0
+        assert report["cells"] == {}
+
+    def test_broken_model_reported_not_raised(self):
+        findings = [{"flagged_shas": ["bad"]}]
+        report = revalidate_flagged(
+            findings, lambda sha: {"tasks": "not-a-list"}
+        )
+        (record,) = report["records"]
+        assert record["sha"] == "bad"
+        assert "error" in record
