@@ -95,7 +95,7 @@ from repro.rta.interface import response_time_interface  # noqa: F401  (use anal
 from repro.rta.interface import taskset_is_schedulable  # noqa: F401  (use analyze().schedulable)
 from repro.rta.interface import taskset_is_stable  # noqa: F401  (use analyze().stable)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # the analysis façade

@@ -1,0 +1,140 @@
+"""Cross-worker stats aggregation for the sharded serving tier.
+
+Each shard of a ``repro serve --workers N`` cluster is a full
+:class:`~repro.serve.daemon.AnalysisDaemon` with its own counters; a
+``GET /v1/stats`` on the shared port only ever shows the one shard the
+kernel routed that connection to.  :func:`aggregate_stats` merges the
+per-shard ``/v1/stats`` payloads into one cluster view -- counters
+summed, capacities and high-water marks taken as maxima, per-endpoint
+maps merged key-wise -- plus a ``shards`` list naming each worker's
+contribution (and which workers were unreachable).
+
+The merge is structural: any numeric leaf found under the same path in
+several shard payloads is combined, so new counters added to the daemon
+later aggregate without touching this module.  Latency *percentiles*
+are not mathematically mergeable across histograms, so ``latency_
+seconds`` blocks are dropped from the cluster rollup (each shard's own
+``/v1/stats`` keeps them; the load generator measures cluster-level
+percentiles client-side, where they are well-defined).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Leaves combined with ``max`` instead of ``+``: capacities, high-water
+#: marks, and wall-clock ages, where a sum would be meaningless.
+_MAX_LEAVES = frozenset(
+    {
+        "largest_batch",
+        "max_entries",
+        "uptime_seconds",
+        "window_seconds",
+        "quiet_gap_seconds",
+        "max_batch",
+        "memo_entries",
+        "workers",
+        "shard_workers",
+        "cluster_restarts",
+        "jobs",
+    }
+)
+
+#: Subtrees that make no sense merged across shards (percentile blocks
+#: are not mergeable; per-shard identity fields are not counters).
+_DROP_SUBTREES = frozenset({"latency_seconds"})
+_DROP_LEAVES = frozenset({"shard_index", "enabled", "path"})
+
+
+def _merge(payloads: List[Mapping[str, Any]], key_name: str = "") -> Any:
+    """Merge same-shaped mappings; numeric leaves sum (or max), maps recurse."""
+    merged: Dict[str, Any] = {}
+    keys = []
+    for payload in payloads:
+        for key in payload:
+            if key not in merged:
+                merged[key] = None
+                keys.append(key)
+    out: Dict[str, Any] = {}
+    for key in keys:
+        if key in _DROP_SUBTREES or key in _DROP_LEAVES:
+            continue
+        values = [p[key] for p in payloads if key in p and p[key] is not None]
+        if not values:
+            out[key] = None
+        elif all(isinstance(v, Mapping) for v in values):
+            out[key] = _merge(values, key)
+        elif all(isinstance(v, bool) for v in values):
+            out[key] = all(values)
+        elif all(isinstance(v, (int, float)) for v in values):
+            combined = max(values) if key in _MAX_LEAVES else sum(values)
+            out[key] = round(combined, 6) if isinstance(combined, float) else combined
+        elif all(isinstance(v, str) for v in values):
+            out[key] = values[0] if len(set(values)) == 1 else sorted(set(values))
+        else:
+            out[key] = values[0]
+    return out
+
+
+def aggregate_stats(
+    per_shard: List[Optional[Mapping[str, Any]]]
+) -> Dict[str, Any]:
+    """Merge per-shard ``/v1/stats`` payloads into one cluster view.
+
+    ``None`` entries mark shards that could not be reached (crashed or
+    mid-restart); they are counted in ``workers_down`` rather than
+    silently skipped.
+    """
+    reachable = [dict(stats) for stats in per_shard if stats is not None]
+    merged = _merge(reachable) if reachable else {}
+    shards = []
+    for stats in per_shard:
+        if stats is None:
+            shards.append({"up": False})
+            continue
+        topology = stats.get("topology") or {}
+        shards.append(
+            {
+                "up": True,
+                "shard_index": topology.get("shard_index"),
+                "mode": topology.get("mode"),
+                "requests_total": stats.get("requests_total"),
+                "errors": stats.get("errors"),
+                "responses_from_cache": stats.get("responses_from_cache"),
+                "uptime_seconds": stats.get("uptime_seconds"),
+            }
+        )
+    merged["cluster"] = {
+        "workers": len(per_shard),
+        "workers_up": len(reachable),
+        "workers_down": len(per_shard) - len(reachable),
+        "shards": shards,
+    }
+    return merged
+
+
+def cluster_metrics_text(aggregate: Mapping[str, Any]) -> str:
+    """The aggregated stats as a Prometheus-style gauge exposition.
+
+    Cluster counters flatten under the ``repro_cluster_stats`` prefix
+    (the per-shard analogue of the daemon's own stats gauges) plus one
+    ``repro_cluster_shard_up{shard="i"}`` series marking liveness.
+    """
+    from repro.obs.metrics import render_stats_gauges
+
+    cluster = aggregate.get("cluster", {})
+    body = dict(aggregate)
+    body.pop("cluster", None)
+    parts = [render_stats_gauges(body, prefix="repro_cluster_stats")]
+    lines = ["# TYPE repro_cluster_shard_up gauge"]
+    for position, shard in enumerate(cluster.get("shards", [])):
+        index = shard.get("shard_index")
+        label = position if index is None else index
+        lines.append(
+            f'repro_cluster_shard_up{{shard="{label}"}} '
+            f"{1 if shard.get('up') else 0}"
+        )
+    lines.append("# TYPE repro_cluster_workers gauge")
+    lines.append(f"repro_cluster_workers {cluster.get('workers', 0)}")
+    parts.append("\n".join(lines) + "\n")
+    return "".join(parts)

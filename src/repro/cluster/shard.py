@@ -1,0 +1,362 @@
+"""SO_REUSEPORT shard manager: N daemon processes behind one port.
+
+``repro serve --workers N`` runs :class:`ShardManager`: every shard is a
+full :class:`~repro.serve.daemon.AnalysisDaemon` process binding the
+*same* public ``(host, port)`` with ``SO_REUSEPORT`` -- the kernel
+load-balances accepted connections across them -- while sharing one disk
+:class:`~repro.serve.store.ResultStore` tier through ``--cache-dir``
+(the store's atomic-write/corrupt-is-a-miss discipline makes the
+directory safe for concurrent writers).
+
+Beyond spawning, the manager owns two jobs:
+
+* **Crash supervision.**  A monitor thread watches the children.  A
+  shard that exits non-zero (segfault, OOM kill) is restarted in place
+  -- up to ``max_restarts``, so a model that reliably kills its shard
+  cannot crash-loop forever -- and the refreshed peer list is
+  re-broadcast.  A shard that exits *zero* received ``/v1/shutdown``
+  (any shard can take it, the kernel picks one), which the manager
+  treats as an operator request to stop the whole cluster.
+
+* **Peer wiring.**  Each shard opens a private *control* port (same
+  handler, own ephemeral socket) and reports it back through a pipe;
+  the manager then pushes the full ``(host, control_port)`` list to
+  every shard via ``POST /v1/cluster/peers``.  With the list in hand,
+  *any* shard -- addressed through the shared public port -- can answer
+  ``GET /v1/cluster/stats`` / ``/v1/cluster/metrics`` with counters
+  aggregated across the whole cluster.
+
+Per-shard artifact paths (``--window-file``, ``--detect-out``,
+``--event-log``) get a ``.shard<i>`` suffix so siblings never clobber
+each other's files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.logs import serve_logger
+from repro.serve.client import ServeClient, ServeClientError, wait_until_ready
+from repro.sweep import resolve_jobs
+
+from repro.cluster.aggregate import aggregate_stats
+
+#: Daemon kwargs the manager suffixes per shard so sibling processes
+#: never write the same file.
+_PER_SHARD_PATHS = ("window_file", "detect_out", "event_log")
+
+
+class ClusterError(ReproError):
+    """The shard cluster could not start, wire up, or stay up."""
+
+
+def _free_port(host: str) -> int:
+    """An ephemeral port to share: resolved once, then bound by every
+    shard with ``SO_REUSEPORT`` (so the late binders cannot lose it to
+    each other)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _shard_main(
+    config: Dict[str, Any],
+    index: int,
+    workers: int,
+    host: str,
+    port: int,
+    conn,
+) -> None:
+    """One shard process: run a daemon, announce the control port.
+
+    Top-level so it stays picklable under the ``spawn`` start method.
+    The announcement rides a side thread because ``daemon.run()`` blocks
+    the process until shutdown.
+    """
+    from repro.obs.logs import configure_serve_logging
+    from repro.serve.daemon import AnalysisDaemon
+
+    configure_serve_logging(
+        config.pop("log_level", "info"),
+        json_mode=config.pop("log_json", False),
+    )
+    daemon = AnalysisDaemon(
+        host=host,
+        port=port,
+        reuse_port=True,
+        control_port=0,
+        shard_index=index,
+        shard_workers=workers,
+        **config,
+    )
+
+    def announce() -> None:
+        try:
+            if daemon.started.wait(30.0):
+                conn.send(("ready", index, daemon.control_port))
+            else:
+                conn.send(("failed", index, None))
+        except (OSError, ValueError):
+            pass  # manager already gone; nothing to announce to
+        finally:
+            conn.close()
+
+    threading.Thread(target=announce, daemon=True).start()
+    daemon.run()
+
+
+class ShardManager:
+    """Spawn, wire, supervise, and stop a shard cluster."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        workers: int = 2,
+        *,
+        daemon_options: Optional[Dict[str, Any]] = None,
+        max_restarts: int = 16,
+        monitor_interval: float = 0.2,
+        start_timeout: float = 30.0,
+    ):
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ClusterError(
+                "sharded serving needs SO_REUSEPORT, which this platform "
+                "does not provide; use --jobs N (process-pool mode) instead"
+            )
+        self.host = host
+        self.port = port
+        self.workers = resolve_jobs(workers)
+        if self.workers < 1:
+            raise ClusterError(f"workers must resolve to >= 1, got {workers}")
+        self.daemon_options = dict(daemon_options or {})
+        self.max_restarts = max_restarts
+        self.monitor_interval = monitor_interval
+        self.start_timeout = start_timeout
+        self.log = serve_logger()
+        self.restarts = 0
+        # fork shares the already-imported modules (cheap); spawn is the
+        # fallback where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._procs: List[Optional[multiprocessing.Process]] = []
+        self._control_ports: List[Optional[int]] = []
+        self._monitor: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ShardManager":
+        if self.port == 0:
+            self.port = _free_port(self.host)
+        self._procs = [None] * self.workers
+        self._control_ports = [None] * self.workers
+        for index in range(self.workers):
+            self._spawn(index)
+        self._broadcast_peers()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-shard-monitor", daemon=True
+        )
+        self._monitor.start()
+        self.log.info(
+            "shard cluster up",
+            extra={
+                "host": self.host,
+                "port": self.port,
+                "workers": self.workers,
+                "control_ports": list(self._control_ports),
+            },
+        )
+        return self
+
+    def _shard_config(self, index: int) -> Dict[str, Any]:
+        config = dict(self.daemon_options)
+        for key in _PER_SHARD_PATHS:
+            if config.get(key):
+                config[key] = f"{config[key]}.shard{index}"
+        return config
+
+    def _spawn(self, index: int) -> None:
+        """Start shard ``index`` and wait for its control-port report."""
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_shard_main,
+            args=(
+                self._shard_config(index),
+                index,
+                self.workers,
+                self.host,
+                self.port,
+                sender,
+            ),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        proc.start()
+        sender.close()
+        self._procs[index] = proc
+        self._control_ports[index] = None
+        if not receiver.poll(self.start_timeout):
+            self._terminate_all()
+            raise ClusterError(
+                f"shard {index} did not report within {self.start_timeout} s"
+            )
+        message = receiver.recv()
+        receiver.close()
+        if message[0] != "ready":
+            self._terminate_all()
+            raise ClusterError(f"shard {index} failed to start: {message!r}")
+        self._control_ports[index] = message[2]
+        # The control port serves /v1/health too; readiness there means
+        # the public socket is bound as well (start() binds it first).
+        wait_until_ready(self.host, message[2], timeout=self.start_timeout)
+
+    def _broadcast_peers(self) -> None:
+        peers = [
+            (self.host, port) for port in self._control_ports if port
+        ]
+        for port in list(self._control_ports):
+            if not port:
+                continue
+            try:
+                ServeClient(self.host, port, timeout=5.0).set_cluster_peers(
+                    peers, restarts=self.restarts
+                )
+            except ServeClientError:
+                self.log.warning(
+                    "peer broadcast failed", extra={"control_port": port}
+                )
+
+    # -- supervision ---------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopped.wait(self.monitor_interval):
+            with self._lock:
+                if self._stopped.is_set():
+                    return
+                for index, proc in enumerate(self._procs):
+                    if proc is None or proc.is_alive():
+                        continue
+                    if proc.exitcode == 0:
+                        # A shard took /v1/shutdown: operator asked the
+                        # cluster (through the shared port) to stop.
+                        self.log.info(
+                            "shard exited cleanly; stopping cluster",
+                            extra={"shard": index},
+                        )
+                        self._stopped.set()
+                        self._shutdown_locked()
+                        return
+                    self.restarts += 1
+                    if self.restarts > self.max_restarts:
+                        self.log.error(
+                            "shard restart budget exhausted; stopping",
+                            extra={
+                                "shard": index,
+                                "restarts": self.restarts,
+                            },
+                        )
+                        self._stopped.set()
+                        self._shutdown_locked()
+                        return
+                    self.log.warning(
+                        "shard crashed; restarting",
+                        extra={
+                            "shard": index,
+                            "exitcode": proc.exitcode,
+                            "restarts": self.restarts,
+                        },
+                    )
+                    try:
+                        self._spawn(index)
+                    except ClusterError:
+                        self.log.exception("shard restart failed")
+                        self._stopped.set()
+                        self._shutdown_locked()
+                        return
+                    self._broadcast_peers()
+
+    # -- teardown ------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every shard (idempotent; also the /v1/shutdown epilogue)."""
+        with self._lock:
+            self._stopped.set()
+            self._shutdown_locked()
+        if self._monitor is not None and self._monitor is not threading.current_thread():
+            self._monitor.join(timeout=5.0)
+
+    def _shutdown_locked(self) -> None:
+        for port in self._control_ports:
+            if not port:
+                continue
+            try:
+                ServeClient(self.host, port, timeout=2.0).shutdown()
+            except ServeClientError:
+                pass  # already down; the join/terminate below covers it
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    def _terminate_all(self) -> None:
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    def wait(self) -> None:
+        """Block until the cluster stops (shutdown request or crash-out)."""
+        try:
+            while not self._stopped.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            self.shutdown()
+            raise
+        # The monitor initiated shutdown; make sure it finished.
+        self.shutdown()
+
+    # -- introspection -------------------------------------------------------
+    def alive(self) -> int:
+        return sum(
+            1 for proc in self._procs if proc is not None and proc.is_alive()
+        )
+
+    def control_ports(self) -> List[Optional[int]]:
+        return list(self._control_ports)
+
+    def client(self, **kwargs) -> ServeClient:
+        """A client on the shared public port (kernel picks the shard)."""
+        return ServeClient(self.host, self.port, **kwargs)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated cluster stats fetched shard-by-shard (control ports)."""
+        per_shard: List[Optional[Dict[str, Any]]] = []
+        for port in self._control_ports:
+            if not port:
+                per_shard.append(None)
+                continue
+            try:
+                per_shard.append(
+                    ServeClient(self.host, port, timeout=5.0).stats()
+                )
+            except ServeClientError:
+                per_shard.append(None)
+        aggregated = aggregate_stats(per_shard)
+        aggregated["cluster"]["restarts"] = self.restarts
+        return aggregated
+
+    def __enter__(self) -> "ShardManager":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

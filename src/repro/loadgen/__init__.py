@@ -1,0 +1,32 @@
+"""repro.loadgen -- open-loop load testing for the serving tier.
+
+The capacity-measurement counterpart of :mod:`repro.cluster`: a fixed
+arrival schedule (open loop, so saturation shows up as latency-tail
+growth and an offered-vs-achieved throughput gap instead of being
+silently absorbed by a closed feedback loop), driven by the seeded
+request streams of :mod:`repro.scenarios.workload`, with per-request
+latency percentiles from :class:`~repro.obs.metrics.StreamingHistogram`
+and optional per-response byte-identity verification against the direct
+façade.  ``python -m repro loadgen`` is the CLI; ``benchmarks/
+run_load_bench.py`` assembles the ``BENCH_load.json`` saturation curves.
+"""
+
+from repro.loadgen.core import (
+    LoadGenError,
+    LoadGenerator,
+    LoadStage,
+    encode_request,
+    encode_stream,
+    ramp_stages,
+    write_load_artifact,
+)
+
+__all__ = [
+    "LoadGenError",
+    "LoadGenerator",
+    "LoadStage",
+    "encode_request",
+    "encode_stream",
+    "ramp_stages",
+    "write_load_artifact",
+]

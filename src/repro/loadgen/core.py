@@ -1,0 +1,356 @@
+"""Open-loop async load generator for the analysis daemon.
+
+**Open-loop** is the load-testing discipline that matters: request ``i``
+of a stage fires at ``start + i / rate`` *regardless of whether earlier
+requests have completed*.  A closed-loop driver (fire, wait, fire) can
+never offer more load than the server absorbs, so it silently flattens
+the very saturation knee a capacity test exists to find (the
+coordinated-omission trap).  Here the arrival schedule is fixed up
+front; when the daemon falls behind, latency percentiles and the
+achieved-vs-offered gap show it honestly.
+
+The request stream comes from :mod:`repro.scenarios.workload` (the same
+seeded populations every serve benchmark uses), encoded to raw HTTP/1.1
+request bytes once, up front -- the per-request work during the run is
+one ``open_connection`` + write + read-to-EOF, matching the daemon's
+``Connection: close`` responses.  Per-request latency lands in an
+:class:`~repro.obs.metrics.StreamingHistogram` (deterministic
+bounded-memory p50/p90/p99/p999); connect errors, timeouts, non-200s,
+and -- with ``expect`` bodies -- byte mismatches are counted per stage.
+
+A run over ramped-rate stages *is* a saturation curve: offered rate vs
+achieved throughput with the latency tail at each point.
+:func:`write_load_artifact` freezes it as canonical JSON
+(``BENCH_load.json`` convention, embedded ``canonical_sha256``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import StreamingHistogram
+
+#: Latency histograms cover 1 µs .. 100 s at 3% bucket growth -- finer
+#: than the serving-path default so sub-millisecond cache hits resolve.
+_HISTOGRAM_OPTIONS = dict(low=1e-6, high=100.0, growth=1.03)
+
+
+class LoadGenError(ReproError):
+    """The load generator was misconfigured (not a failed request)."""
+
+
+@dataclass(frozen=True)
+class LoadStage:
+    """One constant-rate segment of the arrival schedule.
+
+    ``requests`` fixes the stage size; arrivals are scheduled at
+    ``i / rate`` offsets (``rate`` in requests/second), so the nominal
+    stage duration is ``requests / rate``.
+    """
+
+    rate: float
+    requests: int
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise LoadGenError(f"stage rate must be > 0, got {self.rate}")
+        if self.requests < 1:
+            raise LoadGenError(
+                f"stage needs >= 1 requests, got {self.requests}"
+            )
+
+
+def encode_request(
+    path: str, body: bytes, *, host: str, port: int
+) -> bytes:
+    """One full HTTP/1.1 POST request as raw bytes (encoded once)."""
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii") + body
+
+
+def _parse_response(raw: bytes) -> Tuple[int, bytes]:
+    """Status code + body out of a read-to-EOF HTTP/1.1 response."""
+    head, separator, body = raw.partition(b"\r\n\r\n")
+    if not separator:
+        raise ValueError("truncated response (no header terminator)")
+    status_line = head.split(b"\r\n", 1)[0]
+    parts = status_line.split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed status line {status_line!r}")
+    return int(parts[1]), body
+
+
+class LoadGenerator:
+    """Drive one daemon endpoint with an open-loop arrival schedule."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        *,
+        timeout: float = 30.0,
+        max_connections: int = 512,
+    ):
+        self.host = host
+        self.port = port
+        #: Per-request budget (connect + write + read).  A request over
+        #: budget counts as ``timeouts`` -- in an open-loop run that is
+        #: a *result*, not an abort.
+        self.timeout = timeout
+        #: File-descriptor guard: beyond this many in-flight sockets new
+        #: arrivals wait for a slot.  The wait is *measured* (it is part
+        #: of the latency the user would see), so the schedule stays
+        #: open-loop in spirit while the process stays under its fd
+        #: rlimit.
+        self.max_connections = max_connections
+
+    # -- one request ---------------------------------------------------------
+    async def _one_request(
+        self,
+        request_bytes: bytes,
+        expect: Optional[bytes],
+        semaphore: asyncio.Semaphore,
+        histogram: StreamingHistogram,
+        counters: Dict[str, int],
+    ) -> None:
+        started = time.perf_counter()
+        counters["sent"] += 1
+        try:
+            async with semaphore:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self.timeout,
+                )
+                try:
+                    writer.write(request_bytes)
+                    await writer.drain()
+                    remaining = self.timeout - (time.perf_counter() - started)
+                    raw = await asyncio.wait_for(
+                        reader.read(-1), timeout=max(0.001, remaining)
+                    )
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+        except asyncio.TimeoutError:
+            counters["timeouts"] += 1
+            return
+        except (ConnectionError, OSError):
+            counters["connect_errors"] += 1
+            return
+        histogram.observe(time.perf_counter() - started)
+        try:
+            status, body = _parse_response(raw)
+        except ValueError:
+            counters["http_errors"] += 1
+            return
+        if status != 200:
+            counters["http_errors"] += 1
+            return
+        counters["ok"] += 1
+        if expect is not None and body != expect:
+            counters["mismatches"] += 1
+
+    # -- one stage -----------------------------------------------------------
+    async def _run_stage(
+        self,
+        stage: LoadStage,
+        requests: Sequence[bytes],
+        expected: Optional[Sequence[Optional[bytes]]],
+    ) -> Dict[str, Any]:
+        histogram = StreamingHistogram(**_HISTOGRAM_OPTIONS)
+        counters = {
+            "sent": 0,
+            "ok": 0,
+            "http_errors": 0,
+            "connect_errors": 0,
+            "timeouts": 0,
+            "mismatches": 0,
+        }
+        semaphore = asyncio.Semaphore(self.max_connections)
+        loop = asyncio.get_running_loop()
+        tasks: List[asyncio.Task] = []
+        start = loop.time()
+        for i in range(stage.requests):
+            # The open-loop schedule: arrival i is pinned to the clock,
+            # never to completion of arrival i-1.
+            delay = start + i / stage.rate - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            request_bytes = requests[i % len(requests)]
+            expect = (
+                expected[i % len(expected)] if expected is not None else None
+            )
+            tasks.append(
+                loop.create_task(
+                    self._one_request(
+                        request_bytes, expect, semaphore, histogram, counters
+                    )
+                )
+            )
+        await asyncio.gather(*tasks)
+        wall = loop.time() - start
+        failed = (
+            counters["http_errors"]
+            + counters["connect_errors"]
+            + counters["timeouts"]
+        )
+        latency = histogram.snapshot()
+        return {
+            "offered_rate": stage.rate,
+            "requests": stage.requests,
+            **counters,
+            "error_rate": round(failed / max(1, counters["sent"]), 6),
+            "duration_seconds": round(wall, 6),
+            "achieved_rate": round(counters["ok"] / wall, 3) if wall > 0 else 0.0,
+            "latency_seconds": {
+                key: round(value, 6) for key, value in latency.items()
+            },
+        }
+
+    # -- whole runs ----------------------------------------------------------
+    async def run_async(
+        self,
+        stages: Sequence[LoadStage],
+        requests: Sequence[bytes],
+        *,
+        expected: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> Dict[str, Any]:
+        if not stages:
+            raise LoadGenError("need at least one load stage")
+        if not requests:
+            raise LoadGenError("need at least one encoded request")
+        if expected is not None and len(expected) != len(requests):
+            raise LoadGenError(
+                f"expected bodies ({len(expected)}) must align 1:1 with "
+                f"requests ({len(requests)})"
+            )
+        stage_results = []
+        for stage in stages:
+            stage_results.append(
+                await self._run_stage(stage, requests, expected)
+            )
+        totals = {
+            key: sum(result[key] for result in stage_results)
+            for key in (
+                "sent",
+                "ok",
+                "http_errors",
+                "connect_errors",
+                "timeouts",
+                "mismatches",
+            )
+        }
+        failed = (
+            totals["http_errors"]
+            + totals["connect_errors"]
+            + totals["timeouts"]
+        )
+        totals["error_rate"] = round(failed / max(1, totals["sent"]), 6)
+        return {
+            "host": self.host,
+            "port": self.port,
+            "timeout_seconds": self.timeout,
+            "max_connections": self.max_connections,
+            "open_loop": True,
+            "verified": expected is not None,
+            "stages": stage_results,
+            "totals": totals,
+        }
+
+    def run(
+        self,
+        stages: Sequence[LoadStage],
+        requests: Sequence[bytes],
+        *,
+        expected: Optional[Sequence[Optional[bytes]]] = None,
+    ) -> Dict[str, Any]:
+        """Blocking wrapper: one fresh event loop per load test."""
+        return asyncio.run(
+            self.run_async(stages, requests, expected=expected)
+        )
+
+
+# -- workload wiring ----------------------------------------------------------
+def encode_stream(
+    systems: Sequence[Any],
+    *,
+    host: str,
+    port: int,
+    endpoint: str = "analyze",
+    algorithm: Optional[str] = None,
+    verify: bool = False,
+) -> Tuple[List[bytes], Optional[List[bytes]]]:
+    """Workload systems -> raw request bytes (+ expected response bytes).
+
+    ``verify=True`` computes every *distinct* model's direct façade
+    response once (``analyze().report_json()`` /
+    ``assign().outcome_json()``) so the run can assert the serving
+    contract -- byte identity -- on every single response.
+    """
+    import json as _json
+    from urllib.parse import quote
+
+    if endpoint not in ("analyze", "assign"):
+        raise LoadGenError(
+            f"endpoint must be 'analyze' or 'assign', got {endpoint!r}"
+        )
+    path = f"/v1/{endpoint}"
+    if endpoint == "assign" and algorithm is not None:
+        path += f"?algorithm={quote(algorithm)}"
+    requests: List[bytes] = []
+    expected: Optional[List[bytes]] = [] if verify else None
+    expected_by_sha: Dict[str, bytes] = {}
+    for system in systems:
+        body = _json.dumps(system.to_dict()).encode("utf-8")
+        requests.append(
+            encode_request(path, body, host=host, port=port)
+        )
+        if expected is None:
+            continue
+        sha = system.canonical_sha256()
+        if sha not in expected_by_sha:
+            from repro.api.service import analyze, assign
+
+            if endpoint == "analyze":
+                wire = analyze(system).report_json()
+            else:
+                wire = assign(system, algorithm=algorithm).outcome_json()
+            expected_by_sha[sha] = wire.encode("utf-8")
+        expected.append(expected_by_sha[sha])
+    return requests, expected
+
+
+def ramp_stages(
+    rates: Sequence[float], requests_per_stage: int
+) -> List[LoadStage]:
+    """The usual saturation ramp: same stage size at each offered rate."""
+    return [
+        LoadStage(rate=float(rate), requests=int(requests_per_stage))
+        for rate in rates
+    ]
+
+
+def write_load_artifact(path: str, payload: Dict[str, Any]) -> str:
+    """Freeze a load-test payload as a canonical-JSON artifact.
+
+    Same discipline as every BENCH artifact: sentinel-encoded
+    non-finites, sorted keys, embedded ``canonical_sha256``, atomic
+    write.  Returns the embedded hash.
+    """
+    from repro.sweep.result import atomic_write_text, canonical_json_with_hash
+
+    text, sha = canonical_json_with_hash(payload)
+    atomic_write_text(path, text + "\n")
+    return sha

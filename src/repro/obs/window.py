@@ -157,6 +157,86 @@ class ReportWindow:
             summary = self._summaries.get(sha)
             return dict(summary) if summary is not None else None
 
+    # -- persistence ---------------------------------------------------------
+    #: Snapshot-file format stamp; bump on incompatible layout changes
+    #: (a mismatched or corrupt file is ignored, never fatal).
+    STATE_FORMAT = "repro-obs-window/1"
+
+    def to_state(self) -> Dict[str, Any]:
+        """The whole window as one plain dict (records may hold ``-inf``).
+
+        :meth:`save` serialises it through ``canonical_dumps``, whose
+        sentinel encoding handles the non-finite ``min_rel_slack``
+        values; pre-encoding here would double-escape them.
+        """
+        with self._lock:
+            return {
+                "format": self.STATE_FORMAT,
+                "seq": self._seq,
+                "total_recorded": self.total_recorded,
+                "records": [dict(record) for record in self._records],
+                "models": {s: dict(m) for s, m in self._models.items()},
+                "summaries": {
+                    s: dict(m) for s, m in self._summaries.items()
+                },
+            }
+
+    def restore(self, state: Mapping[str, Any]) -> int:
+        """Load a :meth:`to_state` dict; returns records restored.
+
+        A wrong format stamp or malformed payload restores nothing --
+        the window simply starts empty, matching a fresh daemon.
+        """
+        if not isinstance(state, Mapping):
+            return 0
+        if state.get("format") != self.STATE_FORMAT:
+            return 0
+        try:
+            records = [dict(record) for record in state["records"]]
+            models = {
+                str(sha): dict(model)
+                for sha, model in state.get("models", {}).items()
+            }
+            summaries = {
+                str(sha): dict(summary)
+                for sha, summary in state.get("summaries", {}).items()
+            }
+            seq = int(state.get("seq", 0))
+            total = int(state.get("total_recorded", 0))
+        except (TypeError, ValueError, KeyError, AttributeError):
+            return 0
+        with self._lock:
+            self._records.clear()
+            self._records.extend(records[-self.max_entries :])
+            self._seq = max(seq, *(r.get("seq", 0) for r in records), 0)
+            self.total_recorded = max(total, len(self._records))
+            self._models = OrderedDict(
+                list(models.items())[-self._model_entries :]
+            )
+            self._summaries = OrderedDict(
+                list(summaries.items())[-self._model_entries :]
+            )
+            return len(self._records)
+
+    def save(self, path: str) -> int:
+        """Atomically snapshot the window to ``path``; returns records."""
+        from repro.sweep.result import atomic_write_text, canonical_dumps
+
+        state = self.to_state()
+        atomic_write_text(path, canonical_dumps(state) + "\n")
+        return len(state["records"])
+
+    def load(self, path: str) -> int:
+        """Restore from ``path``; missing/corrupt files restore nothing."""
+        from repro.sweep.result import decode_nonfinite
+
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        return self.restore(decode_nonfinite(state))
+
     # -- reading -------------------------------------------------------------
     def snapshot(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
         """A consistent copy of the newest ``last`` records (all if None)."""

@@ -53,8 +53,15 @@ scalar cost per request:
    ``X-Repro-Memo-Recomputations``) and aggregated in ``GET /v1/stats``
    under ``"memo"``.  ``--memo-entries 0`` disables the layer (the
    benchmark's memo-off baseline); with ``--jobs > 1`` model batches go
-   to worker processes, which an in-process memo cannot reach, so the
-   memo only serves the ``jobs == 1`` hot path.
+   to the persistent worker pool (:mod:`repro.cluster.pool`) where each
+   worker owns its own worker-lifetime memo instead.
+
+Horizontal scaling (:mod:`repro.cluster`): ``--jobs N`` pools the
+compute behind one front end; ``--workers N`` shards the whole daemon
+across N ``SO_REUSEPORT`` processes sharing one port and disk store,
+with ``GET /v1/cluster/stats`` / ``/v1/cluster/metrics`` aggregating
+counters across shards (peer list pushed by the manager via
+``POST /v1/cluster/peers`` to each shard's private control port).
 
 CLI: ``python -m repro serve [--port --jobs --cache-dir ...]``; drive it
 with ``python -m repro request <model.json>`` or plain ``curl``.
@@ -137,19 +144,62 @@ class AnalysisDaemon:
         event_log: Optional[str] = None,
         detect_interval: float = 0.0,
         detect_revalidate: bool = False,
+        reuse_port: bool = False,
+        control_port: Optional[int] = None,
+        shard_index: Optional[int] = None,
+        shard_workers: Optional[int] = None,
+        window_file: Optional[str] = None,
+        detect_out: Optional[str] = None,
     ):
         self.host = host
         self.port = port
         self.jobs = resolve_jobs(jobs)
         self.cache_dir = cache_dir
+        #: ``jobs > 1``: model batches go to a long-lived pool of worker
+        #: processes (:mod:`repro.cluster.pool`) instead of per-batch
+        #: ``analyze_batch(jobs=N)`` pools; each worker then owns its own
+        #: worker-lifetime memo, so the daemon-level memo stays off.
+        self.pool = None
+        if self.jobs > 1:
+            from repro.cluster.pool import ProcessPoolBackend
+
+            self.pool = ProcessPoolBackend(
+                self.jobs, memo_entries=memo_entries
+            )
         #: Daemon-lifetime analysis memo: incremental recomputation for
         #: near-identical models.  ``memo_entries`` bounds the subproblem
         #: cache (LRU); ``0`` disables the layer.  Only consulted on the
-        #: in-process (``jobs == 1``) path -- worker processes cannot
-        #: share it.
+        #: in-process (``jobs == 1``) path -- with a pool, the workers
+        #: carry their own memos instead.
         self.memo: Optional[AnalysisMemo] = (
-            AnalysisMemo(max_entries=memo_entries) if memo_entries > 0 else None
+            AnalysisMemo(max_entries=memo_entries)
+            if memo_entries > 0 and self.pool is None
+            else None
         )
+        #: SO_REUSEPORT sharded mode (:mod:`repro.cluster.shard`): the
+        #: public socket is shared with sibling daemon processes; a
+        #: private control listener (same handler, own ephemeral port)
+        #: gives the shard manager and the cluster-stats fan-out a
+        #: deterministic way to reach *this* shard.
+        self.reuse_port = reuse_port
+        self.control_port = control_port
+        self._control_server: Optional[asyncio.base_events.Server] = None
+        self.shard_index = shard_index
+        self.shard_workers = shard_workers
+        #: ``(host, control_port)`` of every cluster member (self
+        #: included), pushed by the manager via ``POST /v1/cluster/peers``.
+        self.peers: List[Tuple[str, int]] = []
+        self.cluster_restarts = 0
+        #: Report-window snapshot file: reloaded on start, written on
+        #: clean shutdown, so the detector window survives restarts.
+        self.window_file = window_file
+        self._window_saved = False
+        self.window_restored = 0
+        #: Findings export (JSON-lines): each background detect run
+        #: appends its canonical findings here -- the alerting pipeline
+        #: tail-reads this file.
+        self.detect_out = detect_out
+        self.findings_exported = 0
         #: ``False`` turns the content-addressed store off entirely --
         #: the per-request-dispatch baseline the serve benchmark compares
         #: against.  Production serving keeps it on.
@@ -230,7 +280,12 @@ class AnalysisDaemon:
                     results.append((False, _json_body({"error": str(exc)}), None))
             return results
         systems = payloads
-        if self.memo is not None and self.jobs == 1:
+        if self.pool is not None:
+            # Model batches ride the persistent worker pool; results come
+            # back in submission order with the same (ok, body, meta)
+            # shape (crash failover inside keeps per-item isolation).
+            return self.pool.compute(group, systems)
+        if self.memo is not None:
             return [self._compute_with_memo(group, system) for system in systems]
         try:
             if group[0] == "analyze":
@@ -563,6 +618,9 @@ class AnalysisDaemon:
                     "version": __version__,
                     "schema_version": SCHEMA_VERSION,
                     "jobs": self.jobs,
+                    "mode": self._mode(),
+                    "shard_index": self.shard_index,
+                    "workers": self.shard_workers,
                 }
             )
         if path == "/v1/stats":
@@ -581,6 +639,24 @@ class AnalysisDaemon:
             return 200, text, {
                 "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
             }
+        if path == "/v1/cluster/stats":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            return 200, _json_body(await self._cluster_stats())
+        if path == "/v1/cluster/metrics":
+            if method != "GET":
+                return 405, _json_body({"error": "use GET"})
+            from repro.cluster.aggregate import cluster_metrics_text
+
+            aggregate = await self._cluster_stats()
+            text = await asyncio.to_thread(cluster_metrics_text, aggregate)
+            return 200, text, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+        if path == "/v1/cluster/peers":
+            if method != "POST":
+                return 405, _json_body({"error": "use POST"})
+            return self._set_peers(body)
         if path == "/v1/detect":
             if method != "POST":
                 return 405, _json_body({"error": "use POST"})
@@ -627,9 +703,12 @@ class AnalysisDaemon:
                     "GET /v1/health",
                     "GET /v1/stats",
                     "GET /v1/metrics",
+                    "GET /v1/cluster/stats",
+                    "GET /v1/cluster/metrics",
                     "GET /v1/scenarios",
                     "POST /v1/analyze",
                     "POST /v1/assign[?algorithm=...]",
+                    "POST /v1/cluster/peers",
                     "POST /v1/detect",
                     "POST /v1/scenarios/run",
                     "POST /v1/shutdown",
@@ -718,6 +797,98 @@ class AnalysisDaemon:
             )
         json_with_hash, _ = canonical_json_with_hash(report)
         return json_with_hash
+
+    # -- cluster plumbing ----------------------------------------------------
+    def _mode(self) -> str:
+        if self.shard_index is not None:
+            return "shard"
+        if self.pool is not None:
+            return "pool"
+        return "serial"
+
+    def _set_peers(self, body: bytes) -> Tuple[int, str]:
+        """``POST /v1/cluster/peers``: the manager pushes the member list.
+
+        Body: ``{"peers": [[host, control_port], ...], "restarts": n}``.
+        Every shard holds the full list (self included), so *any* shard
+        can answer the aggregated cluster routes.
+        """
+        try:
+            data = json.loads(body)
+            peers = [
+                (str(host), int(port)) for host, port in data["peers"]
+            ]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.errors += 1
+            return 400, _json_body(
+                {"error": "body must be {'peers': [[host, port], ...]}"}
+            )
+        self.peers = peers
+        self.cluster_restarts = int(data.get("restarts", 0) or 0)
+        return 200, _json_body({"status": "ok", "peers": len(peers)})
+
+    def _peer_stats(self, host: str, port: int) -> Optional[Dict[str, Any]]:
+        from repro.serve.client import ServeClient
+
+        try:
+            return ServeClient(host, port, timeout=5.0).stats()
+        except Exception:  # noqa: BLE001 -- a down shard is a data point
+            return None
+
+    async def _cluster_stats(self) -> Dict[str, Any]:
+        """Aggregated stats across every known peer (or just this shard).
+
+        Peer fetches are plain blocking HTTP clients run off-loop in
+        parallel; a shard that is down or mid-restart contributes a
+        ``None`` that the aggregation reports as ``workers_down``.
+        """
+        from repro.cluster.aggregate import aggregate_stats
+
+        peers = list(self.peers)
+        if not peers:
+            return aggregate_stats([self.stats()])
+        per_shard = await asyncio.gather(
+            *(
+                asyncio.to_thread(self._peer_stats, host, port)
+                for host, port in peers
+            )
+        )
+        return aggregate_stats(list(per_shard))
+
+    # -- window persistence / findings export --------------------------------
+    def _load_window(self) -> None:
+        if not (self.window_file and self.obs.enabled):
+            return
+        restored = self.obs.window.load(self.window_file)
+        self.window_restored = restored
+        if restored:
+            self.log.info(
+                "report window restored",
+                extra={"path": self.window_file, "records": restored},
+            )
+
+    def _save_window(self) -> None:
+        if self._window_saved or not (self.window_file and self.obs.enabled):
+            return
+        self._window_saved = True
+        try:
+            records = self.obs.window.save(self.window_file)
+        except OSError:
+            self.log.exception("report window snapshot failed")
+            return
+        self.log.info(
+            "report window saved",
+            extra={"path": self.window_file, "records": records},
+        )
+
+    def _export_findings(self, findings: List[Dict[str, Any]]) -> None:
+        """Append canonical findings to the JSON-lines export file."""
+        from repro.sweep.result import canonical_dumps
+
+        with open(self.detect_out, "a", encoding="utf-8") as handle:
+            for finding in findings:
+                handle.write(canonical_dumps(finding) + "\n")
+        self.findings_exported += len(findings)
 
     @staticmethod
     def _parse_model(body: bytes) -> Tuple[ControlTaskSystem, str, Dict]:
@@ -810,10 +981,28 @@ class AnalysisDaemon:
         """Bind the socket and start the batcher; sets :attr:`started`."""
         self._shutdown = asyncio.Event()
         self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._handle, host=self.host, port=self.port
-        )
+        self._load_window()
+        if self.reuse_port:
+            # Sharded mode: siblings bind the same (host, port); the
+            # kernel load-balances accepted connections across them.
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.control_port is not None:
+            # Same handler, private port: lets the shard manager (and the
+            # cluster-stats fan-out) address this specific shard even
+            # though the public port is shared.
+            self._control_server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.control_port
+            )
+            self.control_port = (
+                self._control_server.sockets[0].getsockname()[1]
+            )
         if self.detect_interval > 0 and self.obs.enabled:
             self._detect_task = asyncio.get_running_loop().create_task(
                 self._detect_loop()
@@ -830,6 +1019,9 @@ class AnalysisDaemon:
                 "memo": self.memo is not None,
                 "obs": self.obs.enabled,
                 "detect_interval": self.detect_interval,
+                "mode": self._mode(),
+                "shard_index": self.shard_index,
+                "control_port": self.control_port,
             },
         )
         self.started.set()
@@ -847,6 +1039,10 @@ class AnalysisDaemon:
             await asyncio.sleep(self.detect_interval)
             try:
                 report = await asyncio.to_thread(self.obs.run_detectors)
+                if report["n_findings"] and self.detect_out:
+                    await asyncio.to_thread(
+                        self._export_findings, report["findings"]
+                    )
                 if report["n_findings"] and self.detect_revalidate:
                     revalidation = await asyncio.to_thread(
                         revalidate_flagged,
@@ -886,6 +1082,10 @@ class AnalysisDaemon:
             except asyncio.CancelledError:
                 pass
             self._detect_task = None
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+            self._control_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -900,6 +1100,12 @@ class AnalysisDaemon:
                 },
             )
         await self.batcher.close()
+        if self.pool is not None:
+            await asyncio.to_thread(self.pool.close)
+        # Snapshot the report window before the registry closes: this is
+        # the clean-shutdown path (the /v1/shutdown and SIGINT routes
+        # both land here); a crash deliberately skips the save.
+        self._save_window()
         self.obs.close()
 
     async def _main(self) -> None:
@@ -922,6 +1128,31 @@ class AnalysisDaemon:
             "responses_from_cache": self.responses_from_cache,
             "errors": self.errors,
             "jobs": self.jobs,
+            # Worker topology: how this daemon actually computes --
+            # "serial" (in-process), "pool" (process-pool backend), or
+            # "shard" (one of N SO_REUSEPORT processes).  Before this
+            # block there was no way to tell from a running daemon.
+            "topology": {
+                "mode": self._mode(),
+                "jobs": self.jobs,
+                "shard_index": self.shard_index,
+                "shard_workers": self.shard_workers,
+                "cluster_restarts": self.cluster_restarts,
+                "peers": len(self.peers),
+                "pool": None if self.pool is None else self.pool.stats(),
+            },
+            "window_file": None
+            if not self.window_file
+            else {
+                "path": self.window_file,
+                "records_restored": self.window_restored,
+            },
+            "detect_export": None
+            if not self.detect_out
+            else {
+                "path": self.detect_out,
+                "findings_exported": self.findings_exported,
+            },
             "uptime_seconds": round(self.obs.uptime_seconds(), 3),
             "batcher": self.batcher.stats(),
             "store": self.store.stats(),

@@ -1,0 +1,183 @@
+"""The SO_REUSEPORT shard cluster: identity, aggregation, supervision.
+
+Real processes behind one shared port.  The byte-identity contract must
+hold no matter which shard the kernel routes a connection to; the
+aggregated cluster routes must see every shard; and a shard killed
+mid-flight must be restarted by the manager without taking the shared
+port down.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.api.service import analyze, assign
+from repro.cluster import ClusterError, ShardManager, aggregate_stats
+from repro.scenarios.workload import scenario_request_pool
+from repro.serve.client import ServeClientError, wait_until_ready
+
+pytestmark = [
+    pytest.mark.loadgen,
+    pytest.mark.skipif(
+        not hasattr(socket, "SO_REUSEPORT"),
+        reason="platform without SO_REUSEPORT",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return scenario_request_pool(unique=4, seed=33)
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    manager = ShardManager(
+        port=0,
+        workers=2,
+        daemon_options={
+            "cache_dir": str(tmp_path / "cache"),
+            "batch_window": 0.002,
+            "log_level": "warning",
+        },
+    )
+    manager.start()
+    yield manager
+    manager.shutdown()
+
+
+class TestShardedServing:
+    def test_byte_identity_across_shards(self, cluster, systems):
+        client = wait_until_ready(cluster.host, cluster.port)
+        # Enough round trips that (statistically) both shards serve.
+        for _ in range(3):
+            for system in systems:
+                status, body = client.analyze_raw(system.to_dict())
+                assert status == 200
+                assert body.decode("utf-8") == analyze(system).report_json()
+
+    def test_assign_byte_identity(self, cluster, systems):
+        client = wait_until_ready(cluster.host, cluster.port)
+        for system in systems:
+            status, body = client.assign_raw(
+                system.to_dict(), algorithm="audsley"
+            )
+            assert status == 200
+            direct = assign(system, algorithm="audsley").outcome_json()
+            assert body.decode("utf-8") == direct
+
+    def test_health_reports_shard_topology(self, cluster):
+        client = cluster.client()
+        health = client.health()
+        assert health["mode"] == "shard"
+        assert health["workers"] == 2
+        assert health["shard_index"] in (0, 1)
+
+    def test_cluster_stats_aggregates_both_shards(self, cluster, systems):
+        client = wait_until_ready(cluster.host, cluster.port)
+        for system in systems:
+            client.analyze_raw(system.to_dict())
+        aggregated = client.cluster_stats()
+        assert aggregated["cluster"]["workers"] == 2
+        assert aggregated["cluster"]["workers_up"] == 2
+        indices = {
+            shard["shard_index"]
+            for shard in aggregated["cluster"]["shards"]
+        }
+        assert indices == {0, 1}
+        # The sum over shards covers at least the model requests (each
+        # shard also took control traffic, so >=).
+        assert aggregated["requests_total"] >= len(systems)
+
+    def test_cluster_metrics_exposition(self, cluster):
+        client = wait_until_ready(cluster.host, cluster.port)
+        text = client.cluster_metrics()
+        assert 'repro_cluster_shard_up{shard="0"} 1' in text
+        assert 'repro_cluster_shard_up{shard="1"} 1' in text
+        assert "repro_cluster_workers 2" in text
+
+    def test_manager_stats_fan_out(self, cluster):
+        stats = cluster.stats()
+        assert stats["cluster"]["workers_up"] == 2
+        assert stats["cluster"]["restarts"] == 0
+
+
+class TestSupervision:
+    def test_crashed_shard_is_restarted(self, cluster, systems):
+        victim = cluster._procs[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if cluster.restarts >= 1 and cluster.alive() == 2:
+                break
+            time.sleep(0.1)
+        assert cluster.restarts >= 1
+        assert cluster.alive() == 2
+        # The shared port keeps serving, byte-identical, after restart.
+        client = wait_until_ready(cluster.host, cluster.port)
+        for system in systems:
+            status, body = client.analyze_raw(system.to_dict())
+            assert status == 200
+            assert body.decode("utf-8") == analyze(system).report_json()
+        # The restart count is surfaced in every shard's stats topology.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            aggregated = cluster.stats()
+            if aggregated["topology"]["cluster_restarts"] >= 1:
+                break
+            time.sleep(0.1)
+        assert aggregated["topology"]["cluster_restarts"] >= 1
+
+    def test_shutdown_stops_every_shard(self, tmp_path):
+        manager = ShardManager(
+            port=0,
+            workers=2,
+            daemon_options={
+                "batch_window": 0.002,
+                "log_level": "warning",
+            },
+        )
+        manager.start()
+        assert manager.alive() == 2
+        manager.shutdown()
+        assert manager.alive() == 0
+        with pytest.raises(ServeClientError):
+            wait_until_ready(manager.host, manager.port, timeout=1.0)
+
+
+class TestAggregation:
+    def test_counters_sum_and_capacities_max(self):
+        shard = {
+            "requests_total": 10,
+            "errors": 1,
+            "store": {"hits_memory": 4, "max_entries": 1024},
+            "topology": {"shard_index": 0, "mode": "shard"},
+        }
+        other = {
+            "requests_total": 7,
+            "errors": 0,
+            "store": {"hits_memory": 2, "max_entries": 1024},
+            "topology": {"shard_index": 1, "mode": "shard"},
+        }
+        merged = aggregate_stats([shard, other])
+        assert merged["requests_total"] == 17
+        assert merged["errors"] == 1
+        assert merged["store"]["hits_memory"] == 6
+        assert merged["store"]["max_entries"] == 1024
+        assert merged["cluster"]["workers_up"] == 2
+
+    def test_down_shard_counted_not_dropped(self):
+        merged = aggregate_stats([{"requests_total": 5}, None])
+        assert merged["cluster"]["workers_down"] == 1
+        assert merged["requests_total"] == 5
+        assert merged["cluster"]["shards"][1] == {"up": False}
+
+    def test_reuseport_required(self, monkeypatch):
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        with pytest.raises(ClusterError):
+            ShardManager(port=0, workers=2)

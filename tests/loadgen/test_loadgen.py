@@ -1,0 +1,181 @@
+"""The open-loop load generator against a real daemon.
+
+Checks the accounting (every arrival lands in exactly one counter), the
+latency percentiles, the byte-identity verification path, and the
+connection-error handling -- all over real sockets, because the load
+generator *is* a socket client.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+
+import pytest
+
+from repro.loadgen import (
+    LoadGenError,
+    LoadGenerator,
+    LoadStage,
+    encode_stream,
+    ramp_stages,
+    write_load_artifact,
+)
+from repro.scenarios.workload import scenario_request_stream
+from repro.serve import (
+    AnalysisDaemon,
+    ServeClientError,
+    run_daemon_in_thread,
+    wait_until_ready,
+)
+
+pytestmark = pytest.mark.loadgen
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return scenario_request_stream(
+        30, unique=5, repeat_fraction=0.5, seed=17
+    )
+
+
+@pytest.fixture()
+def daemon():
+    daemon = AnalysisDaemon(port=0, batch_window=0.002)
+    thread = run_daemon_in_thread(daemon)
+    wait_until_ready(daemon.host, daemon.port)
+    yield daemon
+    try:
+        wait_until_ready(daemon.host, daemon.port, timeout=1.0).shutdown()
+    except ServeClientError:
+        pass
+    thread.join(timeout=10)
+
+
+class TestAccounting:
+    def test_every_arrival_lands_in_one_counter(self, daemon, stream):
+        requests, _ = encode_stream(
+            stream, host=daemon.host, port=daemon.port
+        )
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run([LoadStage(rate=150.0, requests=30)], requests)
+        totals = result["totals"]
+        assert totals["sent"] == 30
+        accounted = (
+            totals["ok"]
+            + totals["http_errors"]
+            + totals["connect_errors"]
+            + totals["timeouts"]
+        )
+        assert accounted == totals["sent"]
+        assert totals["ok"] == 30
+        assert totals["error_rate"] == 0.0
+
+    def test_latency_percentiles_present_and_ordered(self, daemon, stream):
+        requests, _ = encode_stream(
+            stream, host=daemon.host, port=daemon.port
+        )
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run([LoadStage(rate=200.0, requests=20)], requests)
+        latency = result["stages"][0]["latency_seconds"]
+        assert latency["count"] == 20
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert latency["p999"] <= latency["max"]
+
+    def test_open_loop_stage_duration_tracks_schedule(self, daemon, stream):
+        requests, _ = encode_stream(
+            stream, host=daemon.host, port=daemon.port
+        )
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        # 20 requests at 100/s: the arrival schedule alone spans 0.19 s;
+        # the stage can't end before its own schedule does.
+        result = generator.run([LoadStage(rate=100.0, requests=20)], requests)
+        assert result["stages"][0]["duration_seconds"] >= 0.19
+
+    def test_ramp_produces_one_result_per_stage(self, daemon, stream):
+        requests, _ = encode_stream(
+            stream, host=daemon.host, port=daemon.port
+        )
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run(ramp_stages([50, 100, 300], 10), requests)
+        assert [s["offered_rate"] for s in result["stages"]] == [
+            50.0,
+            100.0,
+            300.0,
+        ]
+        assert result["totals"]["sent"] == 30
+
+
+class TestVerification:
+    def test_byte_identity_verified_against_facade(self, daemon, stream):
+        requests, expected = encode_stream(
+            stream, host=daemon.host, port=daemon.port, verify=True
+        )
+        assert expected is not None and len(expected) == len(requests)
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run(
+            [LoadStage(rate=200.0, requests=30)], requests, expected=expected
+        )
+        assert result["verified"] is True
+        assert result["totals"]["mismatches"] == 0
+        assert result["totals"]["ok"] == 30
+
+    def test_mismatch_detected(self, daemon, stream):
+        requests, expected = encode_stream(
+            stream[:4], host=daemon.host, port=daemon.port, verify=True
+        )
+        wrong = [b"not-the-real-body" for _ in expected]
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run(
+            [LoadStage(rate=100.0, requests=4)], requests, expected=wrong
+        )
+        assert result["totals"]["mismatches"] == 4
+
+
+class TestErrors:
+    def test_connect_errors_counted(self, stream):
+        # A port with no listener: every arrival is a connect error.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        requests, _ = encode_stream(
+            stream[:5], host="127.0.0.1", port=free_port
+        )
+        generator = LoadGenerator("127.0.0.1", free_port, timeout=2.0)
+        result = generator.run([LoadStage(rate=100.0, requests=5)], requests)
+        assert result["totals"]["connect_errors"] == 5
+        assert result["totals"]["ok"] == 0
+        assert result["totals"]["error_rate"] == 1.0
+
+    def test_misconfiguration_raises(self, stream):
+        with pytest.raises(LoadGenError):
+            LoadStage(rate=0.0, requests=5)
+        with pytest.raises(LoadGenError):
+            LoadStage(rate=10.0, requests=0)
+        generator = LoadGenerator()
+        with pytest.raises(LoadGenError):
+            generator.run([], [b"x"])
+        with pytest.raises(LoadGenError):
+            generator.run([LoadStage(rate=1.0, requests=1)], [])
+        with pytest.raises(LoadGenError):
+            encode_stream(stream[:1], host="h", port=1, endpoint="nope")
+
+
+class TestArtifact:
+    def test_canonical_artifact_round_trips(self, daemon, stream, tmp_path):
+        import json
+
+        requests, _ = encode_stream(
+            stream[:5], host=daemon.host, port=daemon.port
+        )
+        generator = LoadGenerator(daemon.host, daemon.port, timeout=10.0)
+        result = generator.run([LoadStage(rate=100.0, requests=5)], requests)
+        path = str(tmp_path / "BENCH_load.json")
+        sha = write_load_artifact(path, result)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["canonical_sha256"] == sha
+        assert payload["open_loop"] is True
+        assert payload["stages"][0]["requests"] == 5
+        for value in payload["stages"][0]["latency_seconds"].values():
+            assert isinstance(value, (int, float)) and math.isfinite(value)

@@ -1,0 +1,155 @@
+"""ReportWindow persistence: snapshot on shutdown, reload on start.
+
+Covers the raw ``to_state``/``restore``/``save``/``load`` round trip
+(including the non-finite ``min_rel_slack`` sentinel encoding), the
+corrupt-file discipline (never fatal, start empty), and the daemon-level
+``--window-file`` wiring across a real restart.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.window import ReportWindow
+from repro.serve import (
+    AnalysisDaemon,
+    ServeClientError,
+    run_daemon_in_thread,
+    wait_until_ready,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _fill(window: ReportWindow, n: int = 5) -> None:
+    for k in range(n):
+        window.record(
+            f"sha-{k}",
+            {
+                "name": f"system-{k}",
+                "n_tasks": 3,
+                "utilization": 0.5,
+                "schedulable": True,
+                "stable": k % 2 == 0,
+                "min_rel_slack": float("-inf") if k == 0 else 0.25,
+            },
+            source="computed",
+            latency_seconds=0.001 * (k + 1),
+        )
+    window.remember_model("sha-0", {"name": "system-0", "tasks": []})
+    window.remember_summary("sha-0", {"stable": True})
+
+
+class TestRoundTrip:
+    def test_state_round_trips_records_and_maps(self):
+        window = ReportWindow(max_entries=16)
+        _fill(window)
+        state = window.to_state()
+        restored = ReportWindow(max_entries=16)
+        assert restored.restore(state) == 5
+        assert restored.snapshot() == window.snapshot()
+        assert restored.model_for("sha-0") == window.model_for("sha-0")
+        assert restored.summary_for("sha-0") == {"stable": True}
+        assert restored.total_recorded == window.total_recorded
+
+    def test_nonfinite_slack_survives_json(self, tmp_path):
+        window = ReportWindow(max_entries=16)
+        _fill(window)
+        path = str(tmp_path / "window.json")
+        assert window.save(path) == 5
+        with open(path) as handle:
+            raw = json.load(handle)  # plain JSON: sentinels, no NaN/Inf
+        assert raw["records"][0]["min_rel_slack"] == "-Infinity"
+        restored = ReportWindow(max_entries=16)
+        assert restored.load(path) == 5
+        assert restored.snapshot()[0]["min_rel_slack"] == -math.inf
+
+    def test_sequence_continues_after_restore(self):
+        window = ReportWindow(max_entries=16)
+        _fill(window)
+        restored = ReportWindow(max_entries=16)
+        restored.restore(window.to_state())
+        entry = restored.record("sha-new", {}, source="computed")
+        assert entry["seq"] == 6  # strictly after the restored records
+
+    def test_restore_clamps_to_capacity(self):
+        window = ReportWindow(max_entries=16)
+        _fill(window, n=10)
+        small = ReportWindow(max_entries=4)
+        assert small.restore(window.to_state()) == 4
+        assert [r["sha"] for r in small.snapshot()] == [
+            "sha-6",
+            "sha-7",
+            "sha-8",
+            "sha-9",
+        ]
+
+
+class TestCorruption:
+    def test_missing_file_restores_nothing(self, tmp_path):
+        window = ReportWindow()
+        assert window.load(str(tmp_path / "absent.json")) == 0
+        assert len(window) == 0
+
+    def test_corrupt_file_restores_nothing(self, tmp_path):
+        path = tmp_path / "window.json"
+        path.write_text("{not json")
+        window = ReportWindow()
+        assert window.load(str(path)) == 0
+
+    def test_wrong_format_stamp_restores_nothing(self, tmp_path):
+        path = tmp_path / "window.json"
+        path.write_text(json.dumps({"format": "other/9", "records": []}))
+        window = ReportWindow()
+        assert window.load(str(path)) == 0
+
+
+class TestDaemonRestart:
+    def test_window_survives_daemon_restart(self, tmp_path, example_model):
+        window_file = str(tmp_path / "window.json")
+
+        def serve_once(expect_restored: int) -> int:
+            daemon = AnalysisDaemon(
+                port=0, batch_window=0.002, window_file=window_file
+            )
+            thread = run_daemon_in_thread(daemon)
+            client = wait_until_ready(daemon.host, daemon.port)
+            stats = client.stats()
+            assert stats["window_file"]["path"] == window_file
+            assert (
+                stats["window_file"]["records_restored"] == expect_restored
+            )
+            status, _ = client.analyze_raw(example_model)
+            assert status == 200
+            recorded = client.stats()["obs"]["window"]["total_recorded"]
+            client.shutdown()
+            thread.join(timeout=10)
+            return recorded
+
+        first = serve_once(expect_restored=0)
+        assert first >= 1
+        second = serve_once(expect_restored=first)
+        assert second == first + 1
+
+    def test_no_window_file_means_no_snapshot(self, tmp_path):
+        daemon = AnalysisDaemon(port=0, batch_window=0.002)
+        thread = run_daemon_in_thread(daemon)
+        client = wait_until_ready(daemon.host, daemon.port)
+        assert client.stats()["window_file"] is None
+        client.shutdown()
+        thread.join(timeout=10)
+        assert list(tmp_path.iterdir()) == []
+
+
+@pytest.fixture(scope="module")
+def example_model():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "system.json"
+    )
+    with open(path) as handle:
+        return json.load(handle)

@@ -334,3 +334,49 @@ class TestRequestRobustness:
         with ThreadPoolExecutor(max_workers=4) as pool:
             assert all(s == 200 for s, _ in pool.map(one, range(4)))
         assert daemon.store.stats()["entries"] == puts_before
+
+
+class TestTopology:
+    def test_serial_topology_in_stats(self, daemon_client):
+        _, client = daemon_client
+        topology = client.stats()["topology"]
+        assert topology["mode"] == "serial"
+        assert topology["jobs"] == 1
+        assert topology["shard_index"] is None
+        assert topology["pool"] is None
+
+    @pytest.mark.loadgen
+    def test_pooled_mode_byte_identical_through_daemon(
+        self, tmp_path, example_model
+    ):
+        """--jobs 2 routes dispatch through the process pool; the served
+        bytes must still match a direct façade call."""
+        daemon = AnalysisDaemon(
+            port=0, batch_window=0.002, jobs=2, cache_dir=str(tmp_path)
+        )
+        thread = run_daemon_in_thread(daemon)
+        client = wait_until_ready(daemon.host, daemon.port)
+        try:
+            status, body = client.analyze_raw(example_model)
+            assert status == 200
+            direct = analyze(ControlTaskSystem.from_dict(example_model))
+            assert body.decode("utf-8") == direct.report_json()
+            status, body = client.assign_raw(
+                example_model, algorithm="audsley"
+            )
+            assert status == 200
+            assert body.decode("utf-8") == assign(
+                ControlTaskSystem.from_dict(example_model),
+                algorithm="audsley",
+            ).outcome_json()
+            topology = client.stats()["topology"]
+            assert topology["mode"] == "pool"
+            assert topology["jobs"] == 2
+            assert topology["pool"]["workers"] == 2
+            assert topology["pool"]["items"] >= 2
+        finally:
+            try:
+                client.shutdown()
+            except ServeClientError:
+                pass
+            thread.join(timeout=10)
