@@ -70,3 +70,60 @@ def test_kernel_dare(benchmark):
     r = np.eye(2)
     x = benchmark(solve_dare, a, b, q, r)
     assert np.all(np.isfinite(x))
+
+
+# ----------------------------------------------------------------------
+# Population kernel tier: scalar vs within-set batch vs popbatch on
+# mixed 4/8/12-task populations (the census workload shape).
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tier_population(benchmark_instances):
+    """60 priority-assigned task sets: 20 each of 4/8/12 tasks."""
+    population = []
+    for n in (4, 8, 12):
+        for ts in benchmark_instances[n]:
+            priorities = {t.name: i + 1 for i, t in enumerate(ts)}
+            population.append(ts.with_priorities(priorities))
+    return population
+
+
+def _scalar_tier(population):
+    from repro.rta.interface import latency_jitter
+
+    return [
+        [latency_jitter(task, ts.higher_priority(task)) for task in ts]
+        for ts in population
+    ]
+
+
+def _batch_tier(population):
+    from repro.rta.batch import analyze_taskset
+
+    return [analyze_taskset(ts) for ts in population]
+
+
+def _popbatch_tier(population):
+    from repro.rta.popbatch import analyze_population
+
+    return analyze_population(population, population_kernel=True)
+
+
+@pytest.mark.slow
+def test_kernel_tier_scalar(benchmark, tier_population):
+    interfaces = benchmark(_scalar_tier, tier_population)
+    assert len(interfaces) == len(tier_population)
+
+
+@pytest.mark.slow
+def test_kernel_tier_batch(benchmark, tier_population):
+    analyses = benchmark(_batch_tier, tier_population)
+    assert len(analyses) == len(tier_population)
+
+
+@pytest.mark.slow
+def test_kernel_tier_popbatch(benchmark, tier_population):
+    analyses = benchmark(_popbatch_tier, tier_population)
+    # The stacked tier returns the batch tier's exact analyses.
+    assert analyses == _batch_tier(tier_population)

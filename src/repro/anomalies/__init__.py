@@ -19,6 +19,7 @@ its latency/jitter interface and destabilise its plant.
 
 from repro.anomalies.census import AnomalyCensus, run_anomaly_census
 from repro.anomalies.detectors import (
+    all_anomalies,
     jitter_after_priority_raise,
     priority_raise_anomalies,
     wcet_decrease_anomalies,
@@ -37,6 +38,7 @@ from repro.anomalies.sensitivity import (
 )
 
 __all__ = [
+    "all_anomalies",
     "jitter_after_priority_raise",
     "priority_raise_anomalies",
     "wcet_decrease_anomalies",

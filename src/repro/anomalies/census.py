@@ -19,12 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.anomalies.detectors import (
-    AnomalyEvent,
-    period_increase_anomalies,
-    priority_raise_anomalies,
-    wcet_decrease_anomalies,
-)
+from repro.anomalies.detectors import AnomalyEvent, all_anomalies
 from repro.assignment.backtracking import assign_backtracking
 from repro.benchgen.taskgen import BenchmarkConfig, generate_control_taskset
 
@@ -97,11 +92,7 @@ def census_benchmark(
         "wcet_decrease": pairs,
         "period_increase": pairs,
     }
-    events = (
-        priority_raise_anomalies(assigned)
-        + wcet_decrease_anomalies(assigned)
-        + period_increase_anomalies(assigned)
-    )
+    events = all_anomalies(assigned)
     return BenchmarkCensus(feasible=True, moves_checked=checked, events=events)
 
 

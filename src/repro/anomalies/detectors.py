@@ -23,12 +23,15 @@ slack-sign flip is a *destabilising* anomaly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.service import task_verdict
 from repro.errors import ModelError
+from repro.memo.kernels import _NAME as _R_NAME
+from repro.memo.kernels import make_record
 from repro.rta.interface import ResponseTimes
+from repro.rta.popbatch import Problem, evaluate_problems
 from repro.rta.taskset import Task, TaskSet
 
 
@@ -71,6 +74,213 @@ def _interface_and_slack(
     return verdict.times, verdict.slack
 
 
+#: One planned before/after comparison: the observed task plus the
+#: detector's change label.  The two fixed-point problems of the pair
+#: live in a companion problem list, flattened as ``(before_0, after_0,
+#: before_1, ...)`` -- the exact order the serial detectors evaluate
+#: them in, so a :class:`~repro.errors.ScheduleError` raises on the
+#: same problem.
+_PairInfo = Tuple[Task, str]
+
+
+def _record(task: Task):
+    return make_record(
+        task.period, task.wcet, task.bcet, task.stability, task.name
+    )
+
+
+def _before_hp_map(tasks: Sequence[Task], records: dict) -> dict:
+    """One shared unperturbed hp record list per observed task.
+
+    Every family's "before" problem reuses the task's *same list
+    object*, so the population kernel's identity-keyed dedup collapses
+    the repeats (per interferer and across families) without comparing
+    contents.  Enumeration order is task-set order, exactly what each
+    builder's inline filter produced.
+    """
+    return {
+        task.name: [
+            records[t.name] for t in tasks if t.priority > task.priority
+        ]
+        for task in tasks
+    }
+
+
+def _priority_raise_pairs(
+    taskset: TaskSet,
+    records: Optional[dict] = None,
+    before_hp: Optional[dict] = None,
+) -> Tuple[List[Problem], List[_PairInfo]]:
+    """Before/after problems of every one-level priority raise.
+
+    Record-level construction, no swapped :class:`TaskSet` per raise:
+    after swapping with the task exactly one level above, the raised
+    task's hp-set is its original hp-set minus that task (no priority
+    lies strictly between the two, by construction), enumerated in
+    unchanged task-set order -- exactly what ``swapped.higher_priority``
+    yields.  The raised task's own record is unchanged (priority is not
+    part of a :class:`~repro.memo.kernels.TaskRecord`).
+    """
+    taskset.check_distinct_priorities()
+    tasks = list(taskset)
+    if records is None:
+        records = {t.name: _record(t) for t in tasks}
+    if before_hp is None:
+        before_hp = _before_hp_map(tasks, records)
+    problems: List[Problem] = []
+    info: List[_PairInfo] = []
+    for task in taskset.sorted_by_priority(descending=False)[:-1]:
+        above = _task_one_level_above(taskset, task)
+        hp_before = before_hp[task.name]
+        problems.append((records[task.name], hp_before))
+        problems.append(
+            (
+                records[task.name],
+                [r for r in hp_before if r[_R_NAME] != above.name],
+            )
+        )
+        info.append((task, f"swap above {above.name}"))
+    return problems, info
+
+
+def _wcet_decrease_pairs(
+    taskset: TaskSet,
+    shrink: float,
+    records: Optional[dict] = None,
+    before_hp: Optional[dict] = None,
+) -> Tuple[List[Problem], List[_PairInfo]]:
+    """Before/after problems of every (interferer sped up, observed) pair.
+
+    Priorities are untouched, so the changed task set's hp enumeration
+    is the original one with the interferer's record rescaled; the
+    scaled record repeats the replace-then-record arithmetic
+    (``wcet * shrink``, ``bcet * shrink``) float for float.
+    """
+    if not (0 < shrink < 1):
+        raise ModelError(f"shrink factor must be in (0,1), got {shrink}")
+    taskset.check_distinct_priorities()
+    tasks = list(taskset)
+    if records is None:
+        records = {t.name: _record(t) for t in tasks}
+    if before_hp is None:
+        before_hp = _before_hp_map(tasks, records)
+    problems: List[Problem] = []
+    info: List[_PairInfo] = []
+    for interferer in tasks:
+        scaled = make_record(
+            interferer.period,
+            interferer.wcet * shrink,
+            interferer.bcet * shrink,
+            interferer.stability,
+            interferer.name,
+        )
+        for task in tasks:
+            if task.priority >= interferer.priority:
+                continue
+            hp = before_hp[task.name]
+            problems.append((records[task.name], hp))
+            problems.append(
+                (
+                    records[task.name],
+                    [
+                        scaled if r[_R_NAME] == interferer.name else r
+                        for r in hp
+                    ],
+                )
+            )
+            info.append(
+                (task, f"{interferer.name} executed {shrink:g}x faster")
+            )
+    return problems, info
+
+
+def _period_increase_pairs(
+    taskset: TaskSet,
+    stretch: float,
+    records: Optional[dict] = None,
+    before_hp: Optional[dict] = None,
+) -> Tuple[List[Problem], List[_PairInfo]]:
+    """Before/after problems of every (interferer slowed down, observed)
+    pair; same record-level construction as :func:`_wcet_decrease_pairs`."""
+    if stretch <= 1:
+        raise ModelError(f"stretch factor must exceed 1, got {stretch}")
+    taskset.check_distinct_priorities()
+    tasks = list(taskset)
+    if records is None:
+        records = {t.name: _record(t) for t in tasks}
+    if before_hp is None:
+        before_hp = _before_hp_map(tasks, records)
+    problems: List[Problem] = []
+    info: List[_PairInfo] = []
+    for interferer in tasks:
+        if interferer.wcet > interferer.period * stretch:
+            continue
+        stretched = make_record(
+            interferer.period * stretch,
+            interferer.wcet,
+            interferer.bcet,
+            interferer.stability,
+            interferer.name,
+        )
+        for task in tasks:
+            if task.priority >= interferer.priority:
+                continue
+            hp = before_hp[task.name]
+            problems.append((records[task.name], hp))
+            problems.append(
+                (
+                    records[task.name],
+                    [
+                        stretched if r[_R_NAME] == interferer.name else r
+                        for r in hp
+                    ],
+                )
+            )
+            info.append((task, f"{interferer.name} period x{stretch:g}"))
+    return problems, info
+
+
+def _assemble_events(
+    kind: str,
+    info: Sequence[_PairInfo],
+    entries: Sequence[Tuple[float, float, float]],
+) -> List[AnomalyEvent]:
+    """Anomaly events from the evaluated before/after pair entries.
+
+    The slack is mapped to the verdict convention (``None`` without a
+    bound, the signed bound margin -- ``-inf`` on a deadline miss --
+    otherwise), bit-identical to per-pair :func:`_interface_and_slack`
+    calls through the analysis façade.
+    """
+    events: List[AnomalyEvent] = []
+    for index, (task, change) in enumerate(info):
+        best_b, worst_b, slack_b = entries[2 * index]
+        best_a, worst_a, slack_a = entries[2 * index + 1]
+        # Inline :func:`_is_worse` on the raw floats (same expressions,
+        # same tolerance): anomalies are rare, so the interface objects
+        # are only materialised for actual events.
+        if task.stability is None:
+            slack_before = slack_after = None
+            worse = (worst_a - best_a) > (worst_b - best_b) + 1e-12
+        else:
+            slack_before = float(slack_b)
+            slack_after = float(slack_a)
+            worse = slack_after < slack_before - 1e-12
+        if worse:
+            events.append(
+                AnomalyEvent(
+                    kind=kind,
+                    task_name=task.name,
+                    change=change,
+                    before=ResponseTimes(best=best_b, worst=worst_b),
+                    after=ResponseTimes(best=best_a, worst=worst_a),
+                    slack_before=slack_before,
+                    slack_after=slack_after,
+                )
+            )
+    return events
+
+
 def jitter_after_priority_raise(
     taskset: TaskSet, task_name: str
 ) -> Tuple[ResponseTimes, ResponseTimes]:
@@ -99,32 +309,10 @@ def priority_raise_anomalies(taskset: TaskSet) -> List[AnomalyEvent]:
     bound, the jitter increases) even though the raise removes an
     interferer -- the headline anomaly of the paper.
     """
-    taskset.check_distinct_priorities()
-    events: List[AnomalyEvent] = []
-    ordered = taskset.sorted_by_priority(descending=False)  # lowest first
-    for task in ordered[:-1]:
-        above = _task_one_level_above(taskset, task)
-        before, slack_before = _interface_and_slack(
-            task, taskset.higher_priority(task)
-        )
-        swapped = _swap_priorities(taskset, task.name, above.name)
-        task_after = swapped.by_name(task.name)
-        after, slack_after = _interface_and_slack(
-            task_after, swapped.higher_priority(task_after)
-        )
-        if _is_worse(before, after, slack_before, slack_after):
-            events.append(
-                AnomalyEvent(
-                    kind="priority_raise",
-                    task_name=task.name,
-                    change=f"swap above {above.name}",
-                    before=before,
-                    after=after,
-                    slack_before=slack_before,
-                    slack_after=slack_after,
-                )
-            )
-    return events
+    problems, info = _priority_raise_pairs(taskset)
+    return _assemble_events(
+        "priority_raise", info, evaluate_problems(problems)
+    )
 
 
 def wcet_decrease_anomalies(
@@ -140,42 +328,10 @@ def wcet_decrease_anomalies(
     higher-priority code should never destabilise anyone -- when it does,
     that is the anomaly (cf. Racu & Ernst, the paper's reference [18]).
     """
-    if not (0 < shrink < 1):
-        raise ModelError(f"shrink factor must be in (0,1), got {shrink}")
-    taskset.check_distinct_priorities()
-    events: List[AnomalyEvent] = []
-    for interferer in taskset:
-        changed = TaskSet(
-            [
-                replace(t, wcet=t.wcet * shrink, bcet=t.bcet * shrink)
-                if t.name == interferer.name
-                else t.copy()
-                for t in taskset
-            ]
-        )
-        for task in taskset:
-            if task.priority >= interferer.priority:
-                continue
-            before, slack_before = _interface_and_slack(
-                task, taskset.higher_priority(task)
-            )
-            task_after = changed.by_name(task.name)
-            after, slack_after = _interface_and_slack(
-                task_after, changed.higher_priority(task_after)
-            )
-            if _is_worse(before, after, slack_before, slack_after):
-                events.append(
-                    AnomalyEvent(
-                        kind="wcet_decrease",
-                        task_name=task.name,
-                        change=f"{interferer.name} executed {shrink:g}x faster",
-                        before=before,
-                        after=after,
-                        slack_before=slack_before,
-                        slack_after=slack_after,
-                    )
-                )
-    return events
+    problems, info = _wcet_decrease_pairs(taskset, shrink)
+    return _assemble_events(
+        "wcet_decrease", info, evaluate_problems(problems)
+    )
 
 
 def period_increase_anomalies(
@@ -189,44 +345,54 @@ def period_increase_anomalies(
     unchanged, so its utilisation *drops*) and re-evaluates every
     lower-priority task -- the second anomaly [20] demonstrates.
     """
-    if stretch <= 1:
-        raise ModelError(f"stretch factor must exceed 1, got {stretch}")
-    taskset.check_distinct_priorities()
-    events: List[AnomalyEvent] = []
-    for interferer in taskset:
-        if interferer.wcet > interferer.period * stretch:
-            continue
-        changed = TaskSet(
-            [
-                replace(t, period=t.period * stretch)
-                if t.name == interferer.name
-                else t.copy()
-                for t in taskset
-            ]
+    problems, info = _period_increase_pairs(taskset, stretch)
+    return _assemble_events(
+        "period_increase", info, evaluate_problems(problems)
+    )
+
+
+def all_anomalies(
+    taskset: TaskSet,
+    *,
+    shrink: float = 0.9,
+    stretch: float = 1.1,
+) -> List[AnomalyEvent]:
+    """All three anomaly families in one population-kernel pass.
+
+    Returns exactly ``priority_raise_anomalies(ts) +
+    wcet_decrease_anomalies(ts, shrink=shrink) +
+    period_increase_anomalies(ts, stretch=stretch)``: the families'
+    problem lists are concatenated in that order, evaluated in a single
+    :func:`~repro.rta.popbatch.evaluate_problems` call (one stacked
+    fixed-point solve instead of three, which also lifts small task sets
+    over the population-kernel crossover), and the events reassembled
+    per family.  A :class:`~repro.errors.ScheduleError` therefore raises
+    on the same problem as the serial three-call form.
+    """
+    # One shared record pool and one shared before-hp list per task: the
+    # families' unperturbed "before" problems then share object
+    # identities, so the population kernel's id-keyed dedup collapses
+    # them *across* families too.
+    tasks = list(taskset)
+    records = {t.name: _record(t) for t in tasks}
+    before_hp = _before_hp_map(tasks, records)
+    raise_p, raise_i = _priority_raise_pairs(taskset, records, before_hp)
+    wcet_p, wcet_i = _wcet_decrease_pairs(
+        taskset, shrink, records, before_hp
+    )
+    period_p, period_i = _period_increase_pairs(
+        taskset, stretch, records, before_hp
+    )
+    entries = evaluate_problems(raise_p + wcet_p + period_p)
+    split_wcet = len(raise_p)
+    split_period = split_wcet + len(wcet_p)
+    return (
+        _assemble_events("priority_raise", raise_i, entries[:split_wcet])
+        + _assemble_events(
+            "wcet_decrease", wcet_i, entries[split_wcet:split_period]
         )
-        for task in taskset:
-            if task.priority >= interferer.priority:
-                continue
-            before, slack_before = _interface_and_slack(
-                task, taskset.higher_priority(task)
-            )
-            task_after = changed.by_name(task.name)
-            after, slack_after = _interface_and_slack(
-                task_after, changed.higher_priority(task_after)
-            )
-            if _is_worse(before, after, slack_before, slack_after):
-                events.append(
-                    AnomalyEvent(
-                        kind="period_increase",
-                        task_name=task.name,
-                        change=f"{interferer.name} period x{stretch:g}",
-                        before=before,
-                        after=after,
-                        slack_before=slack_before,
-                        slack_after=slack_after,
-                    )
-                )
-    return events
+        + _assemble_events("period_increase", period_i, entries[split_period:])
+    )
 
 
 # ----------------------------------------------------------------------

@@ -112,6 +112,11 @@ def analyze(
         analysis = memo.taskset_analysis(taskset)
     else:
         analysis = analyze_taskset(taskset)
+    return _finish_report(system, taskset, analysis)
+
+
+def _finish_report(system, taskset, analysis) -> AnalysisReport:
+    """Assemble, memoise, and return one system's report."""
     verdicts = tuple(
         TaskVerdict(
             name=task.name,
@@ -443,6 +448,38 @@ def _outcome_from_dict(data: Dict[str, Any]) -> AssignmentOutcome:
     )
 
 
+def _analyze_inline_population(
+    systems: Sequence[ControlTaskSystem],
+) -> List[AnalysisReport]:
+    """The serial ``analyze_batch`` hot path, through the population tier.
+
+    Bit-identical to ``[analyze(system) for system in systems]``: the
+    per-system report cache behaves the same, and
+    :func:`repro.rta.popbatch.analyze_population` is pinned to the
+    scalar ``analyze_taskset`` results (it also routes small populations
+    straight back through it).  This is what makes a whole sweep chunk,
+    a census, or a :mod:`repro.serve` micro-batch pay one stacked RTA
+    pass instead of one pass per system.
+    """
+    from repro.rta.popbatch import analyze_population
+
+    reports: List[Optional[AnalysisReport]] = [None] * len(systems)
+    pending: List[int] = []
+    for k, system in enumerate(systems):
+        cached = system.__dict__.get("_cache_report")
+        if cached is not None:
+            reports[k] = cached
+        else:
+            pending.append(k)
+    if pending:
+        tasksets = [systems[k].resolved_taskset() for k in pending]
+        for k, taskset, analysis in zip(
+            pending, tasksets, analyze_population(tasksets)
+        ):
+            reports[k] = _finish_report(systems[k], taskset, analysis)
+    return reports  # type: ignore[return-value]
+
+
 def _analyze_worker(
     item: Dict[str, int], params: Dict[str, Any], seed: int
 ) -> Dict[str, Any]:
@@ -454,6 +491,25 @@ def _analyze_worker(
     """
     report = analyze(params["systems"][item["k"]])
     return {"k": item["k"], "report": report._canonical_dict()}
+
+
+def _analyze_chunk_worker(
+    items: List[Dict[str, int]], params: Dict[str, Any], seed: int
+) -> List[Dict[str, Any]]:
+    """Whole-chunk sweep worker: one population-kernel pass per chunk.
+
+    Record-identical to per-item :func:`_analyze_worker` calls
+    (:func:`_analyze_inline_population` is pinned to the scalar
+    ``analyze`` path), so chunk caches and ``--jobs`` levels stay
+    interchangeable.
+    """
+    reports = _analyze_inline_population(
+        [params["systems"][item["k"]] for item in items]
+    )
+    return [
+        {"k": item["k"], "report": report._canonical_dict()}
+        for item, report in zip(items, reports)
+    ]
 
 
 def analyze_batch(
@@ -491,7 +547,9 @@ def analyze_batch(
     if not normalised:
         return []
     if resolve_jobs(jobs) == 1 and cache_dir is None:
-        return [analyze(system, memo=memo) for system in normalised]
+        if memo is not None:
+            return [analyze(system, memo=memo) for system in normalised]
+        return _analyze_inline_population(normalised)
     if memo is not None:
         raise ModelError(
             "memo= requires the inline path (jobs=1 and no cache_dir): "
@@ -504,6 +562,7 @@ def analyze_batch(
         items=tuple({"k": k} for k in range(len(normalised))),
         params={"systems": normalised},
         chunk_size=chunk_size,
+        chunk_worker=_analyze_chunk_worker,
     )
     result = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, resume=resume)
     records = sorted(result.records, key=lambda r: r["k"])

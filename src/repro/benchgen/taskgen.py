@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,6 +71,17 @@ class BenchmarkConfig:
             raise ModelError("need at least one plant name")
 
 
+@lru_cache(maxsize=None)
+def _plant_name_array(names: Tuple[str, ...]) -> np.ndarray:
+    """The plant-name pool as an ndarray, built once per distinct pool.
+
+    ``Generator.choice`` converts a plain sequence to an array on every
+    call; the draw itself (one index from ``len(names)``) is identical
+    either way, so pre-building the array changes no rng stream.
+    """
+    return np.array(names)
+
+
 def _draw_period(plant_range: Tuple[float, float], rng: np.random.Generator, log_uniform: bool) -> float:
     lo, hi = plant_range
     if log_uniform:
@@ -93,10 +105,11 @@ def generate_control_taskset(
     if utilization is None:
         utilization = float(rng.uniform(*config.utilization_range))
     shares = uunifast(n, utilization, rng)
+    plant_pool = _plant_name_array(config.plant_names)
 
     tasks: List[Task] = []
     for index, share in enumerate(shares):
-        plant = get_plant(str(rng.choice(config.plant_names)))
+        plant = get_plant(str(rng.choice(plant_pool)))
         period = _draw_period(plant.period_range, rng, config.log_uniform_periods)
         wcet = max(share * period, _MIN_WCET)
         fraction = float(rng.uniform(*config.bcet_fraction_range))

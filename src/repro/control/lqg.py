@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.control.kalman import kalman_gain
 from repro.errors import ModelError
-from repro.linalg.riccati import dare_gain, solve_dare
+from repro.linalg.riccati import dare_gain
 from repro.linalg.vanloan import (
     vanloan_cost,
     vanloan_double_integral,
@@ -250,8 +250,12 @@ def design_lqg(
     ridge = 1e-12 * max(1.0, float(np.trace(np.atleast_2d(q2)))) * problem.h
     q2_z = q2_z + ridge * np.eye(m)
 
-    s_matrix = solve_dare(problem.a_z, problem.b_z, problem.q1_z, q2_z, problem.q12_z)
-    _, gain = dare_gain(problem.a_z, problem.b_z, problem.q1_z, q2_z, problem.q12_z)
+    # One DARE solve: dare_gain returns the same stabilising X that a
+    # separate solve_dare call with identical arguments would (the
+    # doubling iteration is deterministic), plus the optimal gain.
+    s_matrix, gain = dare_gain(
+        problem.a_z, problem.b_z, problem.q1_z, q2_z, problem.q12_z
+    )
 
     # Stationary filter on the plant state: predictor DARE (dual problem).
     p_cov, kf = kalman_gain(problem.phi, c, problem.r1_d, r2)

@@ -12,7 +12,6 @@ Three registries, one per way of consuming an experiment:
 
 from __future__ import annotations
 
-import inspect
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
@@ -95,6 +94,8 @@ def validate_kwargs(name: str, kwargs: Dict[str, Any]) -> None:
     the experiment; failing up front names the experiment and the
     accepted keywords, so sweep scripts get actionable errors.
     """
+    import inspect
+
     signature = inspect.signature(EXPERIMENTS[name])
     accepted = set(signature.parameters)
     unknown = sorted(set(kwargs) - accepted)

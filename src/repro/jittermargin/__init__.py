@@ -23,10 +23,12 @@ from repro.jittermargin.linearbound import (
     stability_bound_for_plant,
 )
 from repro.jittermargin.margin import closed_loop_with_latency, jitter_margin
+from repro.jittermargin.popmargin import population_margins
 
 __all__ = [
     "jitter_margin",
     "closed_loop_with_latency",
+    "population_margins",
     "StabilityCurve",
     "stability_curve",
     "LinearStabilityBound",

@@ -14,7 +14,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ModelError
-from repro.jittermargin.margin import default_frequency_grid, jitter_margin
+from repro.jittermargin.margin import default_frequency_grid
+from repro.jittermargin.popmargin import population_margins
 from repro.lti.statespace import StateSpace
 
 
@@ -95,13 +96,14 @@ def stability_curve(
 
     By default latencies span ``[0, max_latency_factor * h]`` -- the same
     window Fig. 4 uses (0 to 12 ms for h = 6 ms).  The frequency grid is
-    shared across the sweep for speed.
+    shared across the sweep, and the whole latency population runs
+    through the stacked margin kernel
+    (:func:`repro.jittermargin.popmargin.population_margins`, bit-
+    identical to the serial ``jitter_margin`` loop).
     """
     if latencies is None:
         latencies = np.linspace(0.0, max_latency_factor * h, points)
     lat = np.asarray(list(latencies), dtype=float)
     omega = default_frequency_grid(h)
-    margins = np.array(
-        [jitter_margin(plant, controller, h, float(l), omega=omega) for l in lat]
-    )
+    margins = population_margins(plant, controller, h, lat, omega=omega)
     return StabilityCurve(h=h, latencies=lat, margins=margins, label=label)

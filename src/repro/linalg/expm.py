@@ -69,10 +69,12 @@ def _pade_uv(a: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
     """Return the (U, V) of the order-``order`` Pade approximant of exp(a).
 
     The approximant is ``r(a) = (V - U)^-1 (V + U)`` with U odd and V even
-    in ``a``.
+    in ``a``.  Accepts a single matrix or a ``(k, n, n)`` stack: every
+    operation is an elementwise scale/add or a (batched) matmul, so each
+    slice of a stacked call is bit-identical to its own 2-D call.
     """
     b = _PADE_COEFFS[order]
-    n = a.shape[0]
+    n = a.shape[-1]
     ident = np.eye(n, dtype=a.dtype)
     a2 = a @ a
     if order == 13:
@@ -146,3 +148,69 @@ def expm(a: np.ndarray) -> np.ndarray:
     for _ in range(squarings):
         result = result @ result
     return result
+
+
+def _expm_branch(a: np.ndarray, norm: float) -> tuple[int, int]:
+    """The ``(order, squarings)`` branch :func:`expm` takes for ``a``."""
+    for order in (3, 5, 7, 9):
+        if norm <= _PADE_THETA[order]:
+            return order, 0
+    return 13, max(0, int(np.ceil(np.log2(norm / _PADE_THETA[13]))))
+
+
+def expm_stack(matrices) -> list:
+    """Batched :func:`expm` over a sequence of square matrices.
+
+    Matrices are partitioned by shape, dtype, and the Pade branch (order
+    and squaring count, decided from each matrix's own 1-norm exactly as
+    :func:`expm` decides it); each partition runs the Pade evaluation,
+    the solve, and the squaring chain as stacked ``(k, n, n)`` array
+    operations.  Batched matmul and batched solve are slice-exact, so
+    every returned exponential is **bit-identical** to ``expm`` of the
+    same matrix -- the property the population discretisation kernel
+    (:func:`repro.lti.discretize.c2d_zoh_delay_population`) relies on.
+
+    The population discretisations this serves stack dozens-to-hundreds
+    of small Van Loan embeddings per call; one batched LAPACK/BLAS pass
+    replaces that many interpreter round trips.
+    """
+    prepared = []
+    for a in matrices:
+        a = np.asarray(a, dtype=complex if np.iscomplexobj(a) else float)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise DimensionError(
+                f"expm expects a square matrix, got shape {a.shape}"
+            )
+        prepared.append(a)
+    results: list = [None] * len(prepared)
+    by_shape: dict = {}
+    for i, a in enumerate(prepared):
+        if a.shape[0] <= 1:
+            results[i] = expm(a)
+            continue
+        by_shape.setdefault((a.shape[0], a.dtype.char), []).append(i)
+    for _, idxs in by_shape.items():
+        shape_stack = np.stack([prepared[i] for i in idxs])
+        # Batched 1-norms: column sums then a max, the same reductions
+        # ``np.linalg.norm(a, 1)`` performs per slice (sequential at
+        # these small dimensions), so every branch decision below is the
+        # one the scalar :func:`expm` makes for that matrix.
+        norms = np.abs(shape_stack).sum(axis=1).max(axis=1)
+        if not np.isfinite(norms).all():
+            raise DimensionError("expm argument contains non-finite entries")
+        branch_groups: dict = {}
+        for j, norm in enumerate(norms):
+            branch_groups.setdefault(
+                _expm_branch(shape_stack[j], float(norm)), []
+            ).append(j)
+        for (order, squarings), js in branch_groups.items():
+            stack = shape_stack[js] if len(js) < len(idxs) else shape_stack
+            if squarings:
+                stack = stack / (2.0**squarings)
+            u, v = _pade_uv(stack, order)
+            result = np.linalg.solve(v - u, v + u)
+            for _ in range(squarings):
+                result = result @ result
+            for j2, j in enumerate(js):
+                results[idxs[j]] = result[j2]
+    return results

@@ -1,0 +1,121 @@
+"""Population-stacked frequency-response solves.
+
+:meth:`repro.lti.statespace.StateSpace.frequency_response` vectorises
+*within* one system -- one stacked pencil solve over its frequency grid.
+This module vectorises *across a population*: all systems of a sweep are
+grouped by ``(n_states, n_outputs, n_inputs, domain)`` and resolved with
+one batched ``numpy.linalg.solve`` over ``(n_systems, n_omega, n, n)``
+pencil stacks.  It is the frequency-domain half of the population kernel
+tier (see the README "Kernel tiers" section); the RTA half lives in
+:mod:`repro.rta.popbatch`.
+
+Bit-identity contract: batched LAPACK solves and matmuls process each
+``(n, n)`` slice independently, so every returned response is bitwise
+equal to the same system's own :meth:`frequency_response` call -- and a
+*subset* of grid points solved on its own (:func:`pencil_response`) is
+bitwise equal to the same points inside the full-grid call.  That subset
+property is what lets the population jitter-margin kernel
+(:mod:`repro.jittermargin.popmargin`) refine only the few candidate
+frequencies that can decide a margin, yet still return the scalar
+pipeline's exact floats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.lti.statespace import StateSpace
+
+
+def _grid_points(system: StateSpace, omega: np.ndarray) -> np.ndarray:
+    """The complex evaluation points ``frequency_response`` maps ``omega``
+    to: the imaginary axis (continuous) or the unit circle (discrete)."""
+    if system.is_continuous:
+        return 1j * omega
+    return np.exp(1j * omega * system.dt)
+
+
+def pencil_response(system: StateSpace, points: np.ndarray) -> np.ndarray:
+    """Exact transfer-matrix evaluation at arbitrary complex points.
+
+    The same operations as :meth:`StateSpace.frequency_response` after
+    the grid-to-point mapping -- pencil build, stacked solve, output map
+    -- so values at any subset of grid points are bitwise equal to the
+    full-grid call.  Raises :class:`numpy.linalg.LinAlgError` when a
+    pencil is singular (the caller decides the fallback policy).
+    """
+    points = np.asarray(points, dtype=complex)
+    n = system.n_states
+    pencil = points[:, None, None] * np.eye(n) - system.a
+    rhs = np.broadcast_to(
+        system.b.astype(complex), (points.size, n, system.n_inputs)
+    )
+    resolvent = np.linalg.solve(pencil, rhs)
+    return system.c @ resolvent + system.d
+
+
+def stacked_frequency_response(
+    systems: Sequence[StateSpace], omega: Iterable[float]
+) -> List[np.ndarray]:
+    """Frequency responses of many systems in one batched pass.
+
+    Bit-identical to ``[s.frequency_response(omega) for s in systems]``:
+    systems are grouped by state/input/output dimensions and time domain,
+    each group's pencils are stacked into one ``(g, n_omega, n, n)``
+    solve, and any group whose batched solve reports a singular pencil
+    falls back to the member systems' own ``frequency_response`` (which
+    reproduces the scalar per-point ``inf``-marking path).
+    """
+    omega = np.asarray(list(omega), dtype=float)
+    results: List[np.ndarray] = [None] * len(systems)  # type: ignore[list-item]
+    groups: dict = {}
+    for index, system in enumerate(systems):
+        domain = ("ct",) if system.is_continuous else ("dt", system.dt)
+        key = (system.n_states, system.n_outputs, system.n_inputs, domain)
+        groups.setdefault(key, []).append(index)
+    for (n, p, m, _domain), indices in groups.items():
+        if omega.size == 0 or n == 0:
+            for i in indices:
+                results[i] = systems[i].frequency_response(omega)
+            continue
+        a = np.stack([systems[i].a for i in indices])
+        b = np.stack([systems[i].b for i in indices])
+        c = np.stack([systems[i].c for i in indices])
+        d = np.stack([systems[i].d for i in indices])
+        points = _grid_points(systems[indices[0]], omega)
+        pencil = points[None, :, None, None] * np.eye(n) - a[:, None, :, :]
+        rhs = np.broadcast_to(
+            b.astype(complex)[:, None, :, :], (len(indices), omega.size, n, m)
+        )
+        try:
+            resolvent = np.linalg.solve(pencil, rhs)
+        except np.linalg.LinAlgError:
+            for i in indices:
+                results[i] = systems[i].frequency_response(omega)
+            continue
+        out = c[:, None, :, :] @ resolvent + d[:, None, :, :]
+        for j, i in enumerate(indices):
+            results[i] = out[j]
+    return results
+
+
+def stacked_eigvals(matrices: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Batched ``numpy.linalg.eigvals``, grouped by dimension and dtype.
+
+    Slice-exact: each returned spectrum is bitwise equal to
+    ``np.linalg.eigvals`` of the same matrix on its own, which is what
+    lets the population margin kernel reuse the scalar ``is_stable``
+    verdicts.
+    """
+    results: List[np.ndarray] = [None] * len(matrices)  # type: ignore[list-item]
+    groups: dict = {}
+    prepared = [np.asarray(m) for m in matrices]
+    for i, matrix in enumerate(prepared):
+        groups.setdefault((matrix.shape[0], matrix.dtype.char), []).append(i)
+    for (_n, _char), indices in groups.items():
+        values = np.linalg.eigvals(np.stack([prepared[i] for i in indices]))
+        for j, i in enumerate(indices):
+            results[i] = values[j]
+    return results

@@ -122,16 +122,47 @@ class StateSpace:
             points = 1j * omega
         else:
             points = np.exp(1j * omega * self.dt)
+        return self._response_at_points(points)
+
+    def _response_at_points(self, points: np.ndarray) -> np.ndarray:
+        """One stacked pencil solve over an array of evaluation points.
+
+        The single numeric code path: a grid with an exactly singular
+        pencil (evaluation on a pole) re-enters the same stacked solve
+        per point on 1-element stacks, so every resolvable point is
+        computed by the identical batched LAPACK call regardless of its
+        neighbours, and only the singular points themselves resolve to
+        ``inf``.
+        """
+        n = self.n_states
         pencil = points[:, None, None] * np.eye(n) - self.a
-        rhs = np.broadcast_to(self.b.astype(complex), (omega.size, n, self.n_inputs))
+        rhs = np.broadcast_to(
+            self.b.astype(complex), (points.size, n, self.n_inputs)
+        )
         try:
             resolvent = np.linalg.solve(pencil, rhs)
         except np.linalg.LinAlgError:
-            return self._frequency_response_loop(points)
+            if points.size == 1:
+                return np.full(
+                    (1, self.n_outputs, self.n_inputs), np.inf + 0j
+                )
+            return np.concatenate(
+                [
+                    self._response_at_points(points[i : i + 1])
+                    for i in range(points.size)
+                ]
+            )
         return self.c @ resolvent + self.d
 
     def _frequency_response_loop(self, points: np.ndarray) -> np.ndarray:
-        """Per-point fallback marking exact pole evaluations with ``inf``."""
+        """Per-point reference evaluation (test oracle only).
+
+        Kept solely for the equivalence tests in
+        ``tests/lti/test_statespace.py``: the production path is the
+        stacked :meth:`_response_at_points`; this loop re-derives each
+        point with the 2-d ``solve`` so the suites can assert the two
+        agree (and that singular points map to ``inf`` on both).
+        """
         ident = np.eye(self.n_states)
         out = np.empty((points.size, self.n_outputs, self.n_inputs), dtype=complex)
         for i, point in enumerate(points):

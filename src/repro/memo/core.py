@@ -204,18 +204,17 @@ class AnalysisMemo:
         tasks = list(taskset)
         ids = self.intern_all(tasks)
         priorities = [task.priority for task in tasks]
+        # hp ids in task-set order -- exactly the
+        # ``taskset.higher_priority(task)`` enumeration (priorities
+        # are distinct), without re-interning per task.
+        hp_lists = [
+            [ids[j] for j, other in enumerate(priorities) if other > priority]
+            for priority in priorities
+        ]
+        entries = self._entries(ids, hp_lists, counter)
         times: Dict[str, ResponseTimes] = {}
         violating: List[str] = []
-        for tid, task, priority in zip(ids, tasks, priorities):
-            # hp ids in task-set order -- exactly the
-            # ``taskset.higher_priority(task)`` enumeration (priorities
-            # are distinct), without re-interning per task.
-            hp_ids = [
-                ids[j]
-                for j, other in enumerate(priorities)
-                if other > priority
-            ]
-            entry = self._entry(tid, hp_ids, frozenset(hp_ids), counter)
+        for task, entry in zip(tasks, entries):
             interface = ResponseTimes(best=entry[0], worst=entry[1])
             times[task.name] = interface
             ok = interface.finite
@@ -279,6 +278,80 @@ class AnalysisMemo:
                     self.evictions += 1
         return stored
 
+    def _entries(
+        self,
+        tids: Sequence[int],
+        hp_lists: Sequence[Sequence[int]],
+        counter: EvaluationCounter,
+    ) -> List[MemoEntry]:
+        """Batched :meth:`_entry`: memo misses evaluate as one population.
+
+        The ``(tid, hp-set)`` pairs must be pairwise distinct (both
+        callers -- a task set's per-task pass and a search level's
+        sibling scoring -- guarantee it, because task ids within one
+        call are distinct), so the hit/miss pattern and counter totals
+        are exactly those of per-pair :meth:`_entry` calls, while the
+        misses ride one :func:`repro.rta.popbatch.evaluate_problems`
+        pass (pinned bit-identical to per-candidate
+        :func:`~repro.memo.kernels.evaluate_candidate` calls).
+        """
+        from repro.rta.popbatch import evaluate_problems
+
+        n = len(tids)
+        bounded = self.max_entries is not None
+        entries: List[Optional[MemoEntry]] = [None] * n
+        misses: List[int] = []
+        hits = 0
+        with self._lock:
+            for i, tid in enumerate(tids):
+                memo_key = (tid, frozenset(hp_lists[i]))
+                stored = self.memo.get(memo_key)
+                if stored is not None:
+                    hits += 1
+                    if bounded:
+                        self.memo.move_to_end(memo_key)
+                    entries[i] = stored
+                else:
+                    misses.append(i)
+            records = self._records
+            problems = [
+                (records[tids[i]], [records[t] for t in hp_lists[i]])
+                for i in misses
+            ]
+        if misses:
+            kernel_start = time.perf_counter()
+            try:
+                computed = evaluate_problems(problems)
+            except Exception:
+                # A kernel error (non-convergent fixed point): replay the
+                # scalar enumeration so the exception -- and the counter
+                # state it leaves behind -- match the serial path exactly
+                # (nothing was stored or ticked yet).
+                return [
+                    self._entry(tid, hp_lists[i], frozenset(hp_lists[i]), counter)
+                    for i, tid in enumerate(tids)
+                ]
+            kernel_elapsed = time.perf_counter() - kernel_start
+        counter.count += n
+        counter.hits += hits
+        with self._lock:
+            self.total.count += n
+            self.total.hits += hits
+            if misses:
+                self.kernel_seconds += kernel_elapsed
+                for i, value in zip(misses, computed):
+                    # Put-if-absent, like _entry: a racing thread's
+                    # stored entry wins (both are bit-identical anyway).
+                    stored = self.memo.setdefault(
+                        (tids[i], frozenset(hp_lists[i])), value
+                    )
+                    entries[i] = stored
+                    if stored is value and bounded:
+                        while len(self.memo) > self.max_entries:
+                            self.memo.popitem(last=False)
+                            self.evictions += 1
+        return entries  # type: ignore[return-value]
+
 
 @dataclass
 class MemoRun:
@@ -304,17 +377,21 @@ class MemoRun:
     def level_slacks(self, ids: Sequence[int]) -> List[float]:
         """Batched sibling scoring: slack of every candidate of one level.
 
-        ``ids[i]`` is scored against ``ids[:i] + ids[i+1:]`` -- one call
-        per level instead of one scalar predicate call per candidate.
+        ``ids[i]`` is scored against ``ids[:i] + ids[i+1:]``.  Memo
+        misses of one level evaluate together through the population
+        kernel (:meth:`AnalysisMemo._entries`), so a fresh n-task level
+        costs one stacked fixed point instead of n scalar ones, with
+        the scalar enumeration's exact hit/miss pattern and counters
+        (level ids are distinct, so no same-level self-hits exist on
+        either path).
         """
         ids = list(ids)
-        base = frozenset(ids)
-        entry = self.context._entry
-        counter = self.counter
-        return [
-            entry(tid, ids[:i] + ids[i + 1 :], base - {tid}, counter)[2]
-            for i, tid in enumerate(ids)
-        ]
+        entries = self.context._entries(
+            ids,
+            [ids[:i] + ids[i + 1 :] for i in range(len(ids))],
+            self.counter,
+        )
+        return [entry[2] for entry in entries]
 
     def times_ids(
         self, tid: int, hp_ids: Sequence[int]

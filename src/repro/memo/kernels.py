@@ -67,21 +67,33 @@ def _wcrt_exact(
     limit only consults it on the infinite-limit path -- so skipping it
     here changes no result.
     """
+    # Hot loop: the branchy max/abs/int builtins of the reference
+    # analysis are unrolled into arithmetic on the (non-negative)
+    # quotient -- every comparison sees the same floats, so the factor
+    # and convergence decisions are unchanged bit for bit.
+    ceil = math.ceil
+    rtol = _CEIL_RTOL
     response = wcet
     for _ in range(_MAX_ITERATIONS):
         interference = 0.0
         for record in hp:
             quotient = response / record[0]
             nearest = round(quotient)
-            if abs(quotient - nearest) <= _CEIL_RTOL * max(1.0, abs(quotient)):
+            diff = quotient - nearest
+            if diff < 0.0:
+                diff = -diff
+            if diff <= rtol * (quotient if quotient > 1.0 else 1.0):
                 factor = nearest
             else:
-                factor = int(math.ceil(quotient))
+                factor = ceil(quotient)
             interference += factor * record[1]
         updated = wcet + interference
         if updated > period:
             return _INF
-        if abs(updated - response) <= 1e-12 * max(1.0, updated):
+        diff = updated - response
+        if diff < 0.0:
+            diff = -diff
+        if diff <= 1e-12 * (updated if updated > 1.0 else 1.0):
             return updated
         response = updated
     raise ScheduleError(
@@ -97,24 +109,36 @@ def _bcrt_exact(bcet: float, hp: Sequence[TaskRecord], name: str) -> float:
         bcet_util += record[3]
     if bcet_util + 1e-12 >= 1.0:
         return _INF
+    # Same builtin-free unrolling as :func:`_wcrt_exact`; skipping the
+    # ``factor <= 1`` terms drops exact ``+ 0.0`` additions, which are
+    # the identity on the non-negative interference accumulator.
+    ceil = math.ceil
+    rtol = _CEIL_RTOL
     response = bcet / (1.0 - bcet_util) + 1e-9
     for _ in range(_MAX_ITERATIONS):
         interference = 0.0
         for record in hp:
             quotient = response / record[0]
             nearest = round(quotient)
-            if abs(quotient - nearest) <= _CEIL_RTOL * max(1.0, abs(quotient)):
+            diff = quotient - nearest
+            if diff < 0.0:
+                diff = -diff
+            if diff <= rtol * (quotient if quotient > 1.0 else 1.0):
                 factor = nearest
             else:
-                factor = int(math.ceil(quotient))
-            interference += max(0, factor - 1) * record[2]
+                factor = ceil(quotient)
+            if factor > 1:
+                interference += (factor - 1) * record[2]
         updated = bcet + interference
-        if updated > response + 1e-12 * max(1.0, response):
+        if updated > response + 1e-12 * (response if response > 1.0 else 1.0):
             raise ScheduleError(
                 f"BCRT iteration increased for task {name!r}; "
                 "seed was not an upper bound (numerical inconsistency)"
             )
-        if abs(updated - response) <= 1e-12 * max(1.0, updated):
+        diff = updated - response
+        if diff < 0.0:
+            diff = -diff
+        if diff <= 1e-12 * (updated if updated > 1.0 else 1.0):
             return updated
         response = updated
     raise ScheduleError(

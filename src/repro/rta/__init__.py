@@ -15,6 +15,7 @@ analyses the paper builds on:
 """
 
 from repro.rta.bcrt import best_case_response_time
+from repro.rta.popbatch import analyze_population, evaluate_problems
 from repro.rta.interface import (
     ResponseTimes,
     latency_jitter,
@@ -37,4 +38,6 @@ __all__ = [
     "task_is_stable",
     "taskset_is_schedulable",
     "taskset_is_stable",
+    "analyze_population",
+    "evaluate_problems",
 ]

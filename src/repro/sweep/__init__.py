@@ -23,11 +23,12 @@ from repro.sweep.result import (
     decode_nonfinite,
     encode_nonfinite,
 )
-from repro.sweep.spec import SweepSpec, SweepWorker
+from repro.sweep.spec import SweepChunkWorker, SweepSpec, SweepWorker
 
 __all__ = [
     "SweepSpec",
     "SweepWorker",
+    "SweepChunkWorker",
     "SweepResult",
     "SweepError",
     "resolve_jobs",

@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -31,7 +30,7 @@ from repro.sweep.result import (
     decode_nonfinite,
     encode_nonfinite,
 )
-from repro.sweep.spec import SweepSpec, SweepWorker
+from repro.sweep.spec import SweepChunkWorker, SweepSpec, SweepWorker
 
 #: Cache file schema version (independent of the artifact format).
 _CACHE_FORMAT = 1
@@ -108,17 +107,37 @@ def _execute_chunk(
     indexed_items: List[Tuple[int, Any]],
     params: Dict[str, Any],
     seed: int,
+    chunk_worker: Optional[SweepChunkWorker] = None,
 ) -> Tuple[float, List[Dict[str, Any]]]:
     """Run one chunk; module-level so process pools can pickle it.
 
     Returns ``(seconds, records)``: the wall time is measured inside the
     worker process, so pool scheduling and pickling latency stay out of
-    the per-chunk duration metric.
+    the per-chunk duration metric.  A spec-provided ``chunk_worker``
+    takes the whole item list at once (the population-kernel fast path);
+    its record-per-item contract is checked the same way as the per-item
+    worker's.
     """
     start = time.perf_counter()
     records: List[Dict[str, Any]] = []
-    for global_index, item in indexed_items:
-        record = worker(item, params, seed)
+    if chunk_worker is not None:
+        chunk_records = chunk_worker(
+            [item for _, item in indexed_items], params, seed
+        )
+        if len(chunk_records) != len(indexed_items):
+            raise TypeError(
+                f"sweep chunk worker {chunk_worker.__qualname__} returned "
+                f"{len(chunk_records)} records for {len(indexed_items)} items"
+            )
+        produced = zip(
+            (index for index, _ in indexed_items), chunk_records
+        )
+    else:
+        produced = (
+            (global_index, worker(item, params, seed))
+            for global_index, item in indexed_items
+        )
+    for global_index, record in produced:
         if not isinstance(record, dict):
             raise TypeError(
                 f"sweep worker {worker.__qualname__} returned "
@@ -274,6 +293,7 @@ def run_sweep(
                         indexed_items,
                         spec.params,
                         spec.seed,
+                        spec.chunk_worker,
                     )
                 except Exception as exc:
                     raise SweepError(
@@ -281,6 +301,12 @@ def run_sweep(
                     ) from exc
                 finish_chunk(chunk_index, seconds, records)
     else:
+        # Imported here rather than at module level: the serial path (and
+        # every jobs=1 CLI run) never touches multiprocessing, and the
+        # concurrent.futures/multiprocessing import chain is a measurable
+        # slice of interpreter start-up.
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
         with _kernel_cache_env(cache_dir), ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 pool.submit(
@@ -290,6 +316,7 @@ def run_sweep(
                     indexed_items,
                     spec.params,
                     spec.seed,
+                    spec.chunk_worker,
                 ): chunk_index
                 for chunk_index, indexed_items in pending
             }

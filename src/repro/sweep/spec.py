@@ -13,13 +13,19 @@ from __future__ import annotations
 import hashlib
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ModelError
 
 #: Worker signature: ``worker(item, params, seed) -> record`` where
 #: ``record`` is a flat, JSON-serialisable dict.
 SweepWorker = Callable[[Any, Dict[str, Any], int], Dict[str, Any]]
+
+#: Chunk-worker signature: ``chunk_worker(items, params, seed) ->
+#: [record, ...]`` -- one record per item, in item order.
+SweepChunkWorker = Callable[
+    [List[Any], Dict[str, Any], int], List[Dict[str, Any]]
+]
 
 
 def _stable_repr(value: Any) -> str:
@@ -81,6 +87,14 @@ class SweepSpec:
         between runs.
     version:
         Bump to invalidate cached chunks when worker semantics change.
+    chunk_worker:
+        Optional whole-chunk fast path: ``chunk_worker(items, params,
+        seed)`` returns one record per item, in item order, **identical**
+        to what per-item ``worker`` calls would return (that equivalence
+        is the provider's contract -- it is what lets population kernels
+        amortise setup across a chunk).  Deliberately *not* part of the
+        fingerprint: like the job count, it may not change a single
+        record, so cached chunks stay interchangeable with per-item runs.
     """
 
     name: str
@@ -91,19 +105,24 @@ class SweepSpec:
     chunk_size: int = 32
     volatile_keys: Tuple[str, ...] = ()
     version: int = 1
+    chunk_worker: Optional[SweepChunkWorker] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ModelError("sweep needs a non-empty name")
         if self.chunk_size < 1:
             raise ModelError(f"chunk_size must be >= 1, got {self.chunk_size}")
-        qualname = getattr(self.worker, "__qualname__", "")
-        module = getattr(self.worker, "__module__", "")
-        if not module or "<lambda>" in qualname or "<locals>" in qualname:
-            raise ModelError(
-                "sweep workers must be module-level functions (picklable by "
-                f"name); got {module}.{qualname or self.worker!r}"
-            )
+        workers = [self.worker]
+        if self.chunk_worker is not None:
+            workers.append(self.chunk_worker)
+        for worker in workers:
+            qualname = getattr(worker, "__qualname__", "")
+            module = getattr(worker, "__module__", "")
+            if not module or "<lambda>" in qualname or "<locals>" in qualname:
+                raise ModelError(
+                    "sweep workers must be module-level functions (picklable "
+                    f"by name); got {module}.{qualname or worker!r}"
+                )
         object.__setattr__(self, "items", tuple(self.items))
         object.__setattr__(self, "volatile_keys", tuple(self.volatile_keys))
 

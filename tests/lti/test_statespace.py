@@ -84,6 +84,31 @@ class TestFrequencyResponse:
             lag.evaluate(1j * w)[0, 0], lag.frequency_response([w])[0, 0, 0]
         )
 
+    def test_matches_loop_oracle(self, servo, lag):
+        # One numeric code path: the production stacked solve must agree
+        # with the per-point loop oracle on regular grids.
+        omega = np.linspace(0.1, 30.0, 47)
+        for system in (servo, lag):
+            points = 1j * omega
+            np.testing.assert_allclose(
+                system.frequency_response(omega),
+                system._frequency_response_loop(points),
+                rtol=1e-12,
+            )
+
+    def test_singular_points_resolve_individually(self):
+        # An integrator has a pole at s = 0: the grid containing omega=0
+        # re-enters the stacked solve per point, so the regular points
+        # keep their batched values and only the pole maps to inf --
+        # exactly what the loop oracle produces.
+        integrator = StateSpace([[0.0]], [[1.0]], [[1.0]])
+        omega = np.array([0.0, 1.0, 2.0])
+        got = integrator.frequency_response(omega)
+        oracle = integrator._frequency_response_loop(1j * omega)
+        assert np.all(np.isinf(got[0]))
+        np.testing.assert_array_equal(got[1:], oracle[1:])
+        np.testing.assert_array_equal(np.isinf(got), np.isinf(oracle))
+
 
 class TestInterconnections:
     def test_series_transfer_function(self, lag):

@@ -1,0 +1,60 @@
+"""Golden re-pin checks of the population kernel tier.
+
+The population kernels promise that no recorded artifact hash moves: the
+census sweep's ``canonical_sha256`` must be identical with the
+population tier on, off, and across ``--jobs``.  The fast check pins a
+small census across tiers in-process; the slow check re-pins the full
+1002-set number recorded in ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.census import sweep_spec
+from repro.sweep import run_sweep
+from repro.tiers import POPULATION_KERNEL_ENV
+
+_REPO = Path(__file__).resolve().parents[2]
+
+
+def _census_sha(tmp_path, benchmarks, *, tier, jobs=1, tag=""):
+    old = os.environ.get(POPULATION_KERNEL_ENV)
+    os.environ[POPULATION_KERNEL_ENV] = tier
+    try:
+        result = run_sweep(
+            sweep_spec(benchmarks=benchmarks),
+            cache_dir=str(tmp_path / f"cache-{tier}-{jobs}{tag}"),
+            jobs=jobs,
+        )
+    finally:
+        if old is None:
+            del os.environ[POPULATION_KERNEL_ENV]
+        else:
+            os.environ[POPULATION_KERNEL_ENV] = old
+    return result.canonical_sha256()
+
+
+class TestCensusShaAcrossTiers:
+    def test_small_census_identical_on_off(self, tmp_path):
+        on = _census_sha(tmp_path, 8, tier="on")
+        off = _census_sha(tmp_path, 8, tier="off")
+        assert on == off
+
+    @pytest.mark.slow
+    def test_full_census_matches_recorded_golden(self, tmp_path):
+        bench = json.loads((_REPO / "BENCH_sweep.json").read_text())
+        assert (
+            _census_sha(tmp_path, 334, tier="on")
+            == bench["canonical_sha256"]
+        )
+
+    @pytest.mark.slow
+    def test_full_census_identical_across_jobs(self, tmp_path):
+        assert _census_sha(tmp_path, 334, tier="on", jobs=1) == _census_sha(
+            tmp_path, 334, tier="on", jobs=2
+        )
