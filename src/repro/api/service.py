@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.api.model import ControlTaskSystem, as_system
 from repro.api.report import SCHEMA_VERSION, AnalysisReport, TaskVerdict
 from repro.errors import ModelError
+from repro.exec.workerenv import worker_memo
 from repro.memo import AnalysisMemo
 from repro.rta.batch import analyze_taskset
 from repro.rta.interface import ResponseTimes, latency_jitter
@@ -71,14 +72,29 @@ def task_verdict(
     higher_priority: Sequence[Task],
     *,
     deadline: Optional[float] = None,
+    memo: Optional[AnalysisMemo] = None,
 ) -> TaskVerdict:
     """Exact verdict of one task against an explicit hp-set.
 
     Runs the scalar response-time analyses (identical numerics to the
     pre-façade per-task plumbing, which the detector/scenario pinned
     outputs rely on), then applies the task's stability bound.
+
+    ``memo`` answers the query from a shared
+    :class:`~repro.memo.AnalysisMemo` instead.  Only the implicit
+    deadline is memoisable -- the memo kernels evaluate with
+    ``limit = period``, exactly :func:`latency_jitter`'s default -- so
+    an explicit ``deadline`` always takes the scalar path.  The verdict
+    is bit-identical either way (the memo kernel pin).
     """
-    times = latency_jitter(task, higher_priority, deadline=deadline)
+    if memo is not None and deadline is None:
+        run = memo.run()
+        best, worst = run.times_ids(
+            memo.intern(task), memo.intern_all(higher_priority)
+        )
+        times = ResponseTimes(best=best, worst=worst)
+    else:
+        times = latency_jitter(task, higher_priority, deadline=deadline)
     return verdict_from_times(task, times)
 
 
@@ -295,13 +311,36 @@ def assign(
 def _assign_worker(
     item: Dict[str, int], params: Dict[str, Any], seed: int
 ) -> Dict[str, Any]:
-    """Sweep worker: assign + validate one system of the batch (by index)."""
+    """Sweep worker: assign + validate one system of the batch (by index).
+
+    The ambient worker-lifetime memo feeds *validation only*: the search
+    itself always runs cold, because a warm search memo would change the
+    outcome's canonical ``cache_hits`` field across workers and runs.
+    """
     outcome = assign(
         params["systems"][item["k"]],
         algorithm=params.get("algorithm"),
+        validation_memo=worker_memo(),
         **params.get("options", {}),
     )
     return {"k": item["k"], "outcome": outcome.to_dict()}
+
+
+def _assign_inline_call(
+    systems: Sequence[ControlTaskSystem],
+    algorithm: Optional[str],
+    options: Dict[str, Any],
+) -> List["AssignmentOutcome"]:
+    """Plan body of the serial ``assign_batch`` path.
+
+    Consumes the ambient worker memo for validation only (see
+    :func:`_assign_worker` for why the search never sees it).
+    """
+    memo = worker_memo()
+    return [
+        assign(system, algorithm=algorithm, validation_memo=memo, **options)
+        for system in systems
+    ]
 
 
 def assign_batch(
@@ -338,16 +377,30 @@ def assign_batch(
     if not normalised:
         return []
     if resolve_jobs(jobs) == 1 and cache_dir is None:
-        return [
-            assign(
-                system,
-                algorithm=algorithm,
-                memo=memo,
-                validation_memo=validation_memo,
-                **options,
-            )
-            for system in normalised
-        ]
+        if memo is not None or validation_memo is not None:
+            return [
+                assign(
+                    system,
+                    algorithm=algorithm,
+                    memo=memo,
+                    validation_memo=validation_memo,
+                    **options,
+                )
+                for system in normalised
+            ]
+        # No caller-provided memo: dispatch on the shared serial backend
+        # so post-search validation reuses its backend-lifetime memo --
+        # the serial analogue of the pool workers' warm memos.
+        from repro.exec.backends import backend_for_jobs
+        from repro.exec.plan import ExecutionPlan
+
+        plan = ExecutionPlan(
+            name="api-assign",
+            fn=_assign_inline_call,
+            calls=((normalised, algorithm, options),),
+            weights=(len(normalised),),
+        )
+        return backend_for_jobs(1).run(plan)[0]
     if memo is not None or validation_memo is not None:
         raise ModelError(
             "memo=/validation_memo= require the inline path "
@@ -450,6 +503,7 @@ def _outcome_from_dict(data: Dict[str, Any]) -> AssignmentOutcome:
 
 def _analyze_inline_population(
     systems: Sequence[ControlTaskSystem],
+    memo: Optional[AnalysisMemo] = None,
 ) -> List[AnalysisReport]:
     """The serial ``analyze_batch`` hot path, through the population tier.
 
@@ -460,9 +514,13 @@ def _analyze_inline_population(
     straight back through it).  This is what makes a whole sweep chunk,
     a census, or a :mod:`repro.serve` micro-batch pay one stacked RTA
     pass instead of one pass per system.
-    """
-    from repro.rta.popbatch import analyze_population
 
+    ``memo`` layers a shared :class:`~repro.memo.AnalysisMemo` *onto*
+    the population tier (:meth:`~repro.memo.AnalysisMemo.
+    population_analysis`): known subproblems answer from the memo, and
+    the misses of the whole population still ride one stacked kernel
+    pass -- reports stay bit-identical either way.
+    """
     reports: List[Optional[AnalysisReport]] = [None] * len(systems)
     pending: List[int] = []
     for k, system in enumerate(systems):
@@ -473,9 +531,13 @@ def _analyze_inline_population(
             pending.append(k)
     if pending:
         tasksets = [systems[k].resolved_taskset() for k in pending]
-        for k, taskset, analysis in zip(
-            pending, tasksets, analyze_population(tasksets)
-        ):
+        if memo is not None:
+            analyses = memo.population_analysis(tasksets)
+        else:
+            from repro.rta.popbatch import analyze_population
+
+            analyses = analyze_population(tasksets)
+        for k, taskset, analysis in zip(pending, tasksets, analyses):
             reports[k] = _finish_report(systems[k], taskset, analysis)
     return reports  # type: ignore[return-value]
 
@@ -487,9 +549,11 @@ def _analyze_worker(
 
     Ships the canonical dict *without* the embedded hash -- the hash is
     recomputable on demand from the reconstructed report, and hashing in
-    the hot loop would double the worker's serialisation cost.
+    the hot loop would double the worker's serialisation cost.  The
+    ambient worker-lifetime memo makes repeated subproblems free across
+    the worker's whole life (reports are bit-identical regardless).
     """
-    report = analyze(params["systems"][item["k"]])
+    report = analyze(params["systems"][item["k"]], memo=worker_memo())
     return {"k": item["k"], "report": report._canonical_dict()}
 
 
@@ -504,12 +568,20 @@ def _analyze_chunk_worker(
     interchangeable.
     """
     reports = _analyze_inline_population(
-        [params["systems"][item["k"]] for item in items]
+        [params["systems"][item["k"]] for item in items],
+        memo=worker_memo(),
     )
     return [
         {"k": item["k"], "report": report._canonical_dict()}
         for item, report in zip(items, reports)
     ]
+
+
+def _analyze_inline_call(
+    systems: Sequence[ControlTaskSystem],
+) -> List[AnalysisReport]:
+    """Plan body of the serial ``analyze_batch`` path (ambient-memo aware)."""
+    return _analyze_inline_population(systems, memo=worker_memo())
 
 
 def analyze_batch(
@@ -549,7 +621,20 @@ def analyze_batch(
     if resolve_jobs(jobs) == 1 and cache_dir is None:
         if memo is not None:
             return [analyze(system, memo=memo) for system in normalised]
-        return _analyze_inline_population(normalised)
+        # No caller-provided memo: dispatch on the shared serial backend,
+        # whose backend-lifetime ambient memo gives the serial path the
+        # same cross-call warmth as the pool workers (bit-identical
+        # reports, per the memo contract).
+        from repro.exec.backends import backend_for_jobs
+        from repro.exec.plan import ExecutionPlan
+
+        plan = ExecutionPlan(
+            name="api-analyze",
+            fn=_analyze_inline_call,
+            calls=((normalised,),),
+            weights=(len(normalised),),
+        )
+        return backend_for_jobs(1).run(plan)[0]
     if memo is not None:
         raise ModelError(
             "memo= requires the inline path (jobs=1 and no cache_dir): "

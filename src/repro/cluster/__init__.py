@@ -2,15 +2,17 @@
 
 Two ways to put more cores behind :mod:`repro.serve`:
 
-* **Process-pool compute backend**
-  (:class:`~repro.cluster.pool.ProcessPoolBackend`, ``repro serve
-  --jobs N``): one daemon process keeps the HTTP front end, the
-  coalescing :class:`~repro.serve.batcher.MicroBatcher`, and the shared
+* **Process-pool compute backend** (``repro serve --jobs N``): one
+  daemon process keeps the HTTP front end, the coalescing
+  :class:`~repro.serve.batcher.MicroBatcher`, and the shared
   content-addressed :class:`~repro.serve.store.ResultStore`; model
   batches are sliced across N long-lived worker processes, each owning
   its own :class:`~repro.memo.AnalysisMemo`.  A worker crash fails the
   affected items over to in-process computation -- accepted requests
-  are never dropped -- and the pool is rebuilt.
+  are never dropped -- and the pool is rebuilt.  The backend itself
+  now lives on the execution plane as :class:`repro.exec.PoolBackend`
+  (shared by sweeps and batch facades); ``repro.cluster.pool`` is a
+  deprecated import shim.
 
 * **SO_REUSEPORT sharded daemons**
   (:class:`~repro.cluster.shard.ShardManager`, ``repro serve

@@ -1,255 +1,42 @@
-"""Persistent process-pool compute backend for the analysis daemon.
+"""Deprecated import path: the pool backend moved to :mod:`repro.exec`.
 
-At ``jobs > 1`` the daemon used to push every batch through
-``analyze_batch(..., jobs=N)``, which spins up (and tears down) a fresh
-``ProcessPoolExecutor`` *per batch* -- fine for a 1000-item sweep, fatal
-for serving, where a batch is a handful of requests and the pool setup
-dwarfs the compute.  :class:`ProcessPoolBackend` keeps one long-lived
-pool of N worker processes behind the :class:`~repro.serve.batcher.
-MicroBatcher` instead:
+``cluster.ProcessPoolBackend`` was the daemon's private persistent
+process pool; it has been promoted to the execution plane as
+:class:`repro.exec.PoolBackend`, which every parallel call site (sweeps,
+batch facades, scenario validation, serving) now shares.  This module
+keeps the old import path working:
 
-* each worker owns a **worker-lifetime** :class:`~repro.memo.
-  AnalysisMemo` (created once by the pool initializer), so the
-  incremental-analysis win of the daemon memo survives the move across
-  process boundaries -- near-identical models recompute only their new
-  ``(task, hp-set)`` subproblems *within each worker*;
-* the parent keeps the content-addressed
-  :class:`~repro.serve.store.ResultStore`, so the response cache (and
-  its disk tier) stays shared across all workers;
-* a batch is split into contiguous slices, one per worker, and the
-  per-payload results are re-concatenated in submission order -- the
-  byte-identity serving contract is per item and unaffected by the
-  split (the memo's task-set-order contract makes memoised and fresh
-  analyses bit-identical).
+* ``ProcessPoolBackend`` is a thin subclass of
+  :class:`~repro.exec.backends.PoolBackend` that emits a
+  :class:`DeprecationWarning` (same constructor signature, same
+  ``compute``/``stats``/``worker_pids``/``close`` surface, same crash
+  containment).
+* ``compute_one`` / ``PoolResult`` re-export from
+  :mod:`repro.exec.facade`.
 
-Crash containment: a worker process dying mid-batch (OOM killer,
-segfault in a native kernel) breaks the whole ``concurrent.futures``
-pool.  The backend never lets that drop accepted requests -- affected
-slices **fail over to in-process per-item computation**, the pool is
-rebuilt for subsequent batches, and the event is counted
-(``worker_crashes``, ``failover_items`` in ``/v1/stats`` under
-``topology.pool``) and logged through the daemon's structured logger.
+Migrate by replacing ``from repro.cluster.pool import
+ProcessPoolBackend`` with ``from repro.exec import PoolBackend``; this
+shim will be removed once nothing imports it.
 """
 
 from __future__ import annotations
 
-import json
-import threading
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, List, Optional, Tuple
+import warnings
 
-from repro.obs.logs import serve_logger
-from repro.sweep import resolve_jobs
+from repro.exec.backends import PoolBackend
+from repro.exec.facade import PoolResult, compute_one  # noqa: F401
 
-#: One computed response: ``(ok, body, meta)`` -- the daemon dispatch
-#: result shape (meta carries the report summary for the obs window).
-PoolResult = Tuple[bool, str, Optional[Dict[str, Any]]]
-
-# -- worker-process side ------------------------------------------------------
-
-#: Worker-lifetime analysis memo, created by :func:`_pool_initializer`.
-#: Lives in the *worker* process; the parent never touches it.
-_WORKER_MEMO = None
+__all__ = ["PoolResult", "ProcessPoolBackend", "compute_one"]
 
 
-def _pool_initializer(memo_entries: int) -> None:
-    """Run once per worker process: build its private analysis memo."""
-    global _WORKER_MEMO
-    if memo_entries > 0:
-        from repro.memo import AnalysisMemo
+class ProcessPoolBackend(PoolBackend):
+    """Deprecated alias of :class:`repro.exec.PoolBackend`."""
 
-        _WORKER_MEMO = AnalysisMemo(max_entries=memo_entries)
-    else:
-        _WORKER_MEMO = None
-
-
-def _error_body(exc: BaseException) -> str:
-    return json.dumps(
-        {"error": str(exc)}, sort_keys=True, separators=(",", ":")
-    )
-
-
-def compute_one(group: Tuple[str, ...], system: Any, memo=None) -> PoolResult:
-    """Compute one model through the façade; never raises.
-
-    Shared by the worker processes and the parent's failover path so
-    both produce identical result shapes (and identical bytes -- the
-    memo=/memo-less outputs are bit-identical by the memo contract).
-    """
-    from repro.api.service import analyze, assign
-
-    try:
-        if group[0] == "analyze":
-            report = analyze(system, memo=memo)
-            return True, report.report_json(), {"summary": report.summary()}
-        # validation_memo, not memo: a warm *search* memo would change
-        # the outcome's canonical cache_hits field and break wire
-        # byte-identity with cold façade calls.
-        outcome = assign(system, algorithm=group[1], validation_memo=memo)
-        return True, outcome.outcome_json(), None
-    except Exception as exc:  # noqa: BLE001 -- isolate the poisoned model
-        return False, _error_body(exc), None
-
-
-def _pool_compute(
-    group: Tuple[str, ...], systems: List[Any]
-) -> List[PoolResult]:
-    """One slice of a batch, computed in a worker process."""
-    return [compute_one(group, system, _WORKER_MEMO) for system in systems]
-
-
-# -- parent side --------------------------------------------------------------
-
-
-class ProcessPoolBackend:
-    """Long-lived worker pool the daemon dispatches model batches to.
-
-    ``compute`` runs on the batcher's single dispatch thread, so the
-    backend needs no internal request queueing -- only the crash-rebuild
-    path takes the lock (``stats()`` can race a rebuild).
-    """
-
-    def __init__(self, workers: int, *, memo_entries: int = 65536):
-        self.workers = resolve_jobs(workers)
-        if self.workers < 1:
-            raise ValueError(f"workers must resolve to >= 1, got {workers}")
-        self.memo_entries = int(memo_entries)
-        self._lock = threading.Lock()
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self.log = serve_logger()
-        self.batches = 0
-        self.items = 0
-        self.worker_crashes = 0
-        self.failover_items = 0
-        self.pools_rebuilt = 0
-        # Spawn the workers *now*, while the constructing process is
-        # still single-threaded: the default fork start method is only
-        # safe before the daemon's event-loop and dispatch threads
-        # exist, and an eagerly warmed pool also keeps the first served
-        # batch off the cold-start path.
-        self._warm()
-
-    # -- pool lifecycle ------------------------------------------------------
-    def _pool(self) -> ProcessPoolExecutor:
-        with self._lock:
-            if self._executor is None:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_pool_initializer,
-                    initargs=(self.memo_entries,),
-                )
-            return self._executor
-
-    def _warm(self) -> None:
-        """Force every worker process to exist (and run its initializer)."""
-        try:
-            self._pool().submit(int, 0).result()
-        except (BrokenProcessPool, OSError, RuntimeError):
-            # Leave the lazy path to retry (and count) the failure.
-            self._rebuild_pool()
-
-    def _rebuild_pool(self) -> None:
-        """Tear down a broken pool; the next batch builds a fresh one."""
-        with self._lock:
-            executor, self._executor = self._executor, None
-            self.pools_rebuilt += 1
-        if executor is not None:
-            executor.shutdown(wait=False)
-
-    def worker_pids(self) -> List[int]:
-        """PIDs of the live worker processes (crash-injection tests)."""
-        executor = self._pool()
-        # Touch the pool so workers exist even before the first batch.
-        executor.submit(int, 0).result()
-        return sorted(pid for pid in (executor._processes or {}))
-
-    def close(self) -> None:
-        with self._lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
-
-    # -- computation ---------------------------------------------------------
-    def compute(
-        self, group: Tuple[str, ...], payloads: List[Any]
-    ) -> List[PoolResult]:
-        """One batch: slice across workers, gather in submission order.
-
-        Any slice whose worker died (or whose submission failed because
-        the pool broke) is recomputed in-process item by item -- an
-        accepted request is never dropped, it just loses the parallelism
-        for this batch.
-        """
-        self.batches += 1
-        self.items += len(payloads)
-        slices = self._slice(payloads)
-        futures = []
-        try:
-            executor = self._pool()
-            for part in slices:
-                futures.append(executor.submit(_pool_compute, group, part))
-        except (BrokenProcessPool, OSError, RuntimeError) as exc:
-            # Submission itself failed: nothing is in flight, fail the
-            # whole batch over to the in-process path.
-            self._note_crash(exc, len(payloads))
-            return [compute_one(group, system) for system in payloads]
-        results: List[PoolResult] = []
-        crashed: Optional[BaseException] = None
-        for part, future in zip(slices, futures):
-            try:
-                results.extend(future.result())
-            except (BrokenProcessPool, OSError, RuntimeError) as exc:
-                crashed = exc
-                self.failover_items += len(part)
-                results.extend(
-                    compute_one(group, system) for system in part
-                )
-        if crashed is not None:
-            self._note_crash(crashed, 0)
-        return results
-
-    def _note_crash(self, exc: BaseException, failover_items: int) -> None:
-        self.worker_crashes += 1
-        self.failover_items += failover_items
-        self.log.warning(
-            "cluster pool worker crashed; failing over in-process",
-            extra={
-                "error": repr(exc),
-                "worker_crashes": self.worker_crashes,
-                "failover_items": self.failover_items,
-            },
+    def __init__(self, workers, *, memo_entries: int = 65536):
+        warnings.warn(
+            "repro.cluster.pool.ProcessPoolBackend moved to the execution "
+            "plane; import repro.exec.PoolBackend instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._rebuild_pool()
-
-    def _slice(self, payloads: List[Any]) -> List[List[Any]]:
-        """Contiguous slices, one per worker, preserving payload order."""
-        n = len(payloads)
-        parts = min(self.workers, n)
-        if parts <= 1:
-            return [list(payloads)]
-        base, extra = divmod(n, parts)
-        slices, start = [], 0
-        for k in range(parts):
-            size = base + (1 if k < extra else 0)
-            slices.append(list(payloads[start : start + size]))
-            start += size
-        return slices
-
-    def stats(self) -> Dict[str, Any]:
-        with self._lock:
-            alive = (
-                len(self._executor._processes or {})
-                if self._executor is not None
-                else 0
-            )
-        return {
-            "workers": self.workers,
-            "alive_workers": alive,
-            "memo_entries": self.memo_entries,
-            "batches": self.batches,
-            "items": self.items,
-            "worker_crashes": self.worker_crashes,
-            "failover_items": self.failover_items,
-            "pools_rebuilt": self.pools_rebuilt,
-        }
+        super().__init__(workers, memo_entries=memo_entries)

@@ -42,7 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ReproError
 from repro.obs.logs import serve_logger
 from repro.serve.client import ServeClient, ServeClientError, wait_until_ready
-from repro.sweep import resolve_jobs
+from repro.exec import resolve_jobs
 
 from repro.cluster.aggregate import aggregate_stats
 

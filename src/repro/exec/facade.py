@@ -1,0 +1,56 @@
+"""Facade-call workers for serving batches dispatched through the plane.
+
+These are the functions :meth:`~repro.exec.backends.PoolBackend.compute`
+sends to workers: one slice of a daemon batch, each payload computed
+through the public :mod:`repro.api` facade with the ambient
+worker-lifetime memo.  Kept separate from the backends so the parent's
+failover path and the worker path share one definition (identical
+result shapes, identical bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exec.workerenv import worker_memo
+
+#: One computed response: ``(ok, body, meta)`` -- the daemon dispatch
+#: result shape (meta carries the report summary for the obs window).
+PoolResult = Tuple[bool, str, Optional[Dict[str, Any]]]
+
+
+def _error_body(exc: BaseException) -> str:
+    return json.dumps(
+        {"error": str(exc)}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def compute_one(group: Tuple[str, ...], system: Any, memo=None) -> PoolResult:
+    """Compute one model through the facade; never raises.
+
+    Shared by the worker processes and the parent's failover path so
+    both produce identical result shapes (and identical bytes -- the
+    memo=/memo-less outputs are bit-identical by the memo contract).
+    """
+    from repro.api.service import analyze, assign
+
+    try:
+        if group[0] == "analyze":
+            report = analyze(system, memo=memo)
+            return True, report.report_json(), {"summary": report.summary()}
+        # validation_memo, not memo: a warm *search* memo would change
+        # the outcome's canonical cache_hits field and break wire
+        # byte-identity with cold facade calls.
+        outcome = assign(system, algorithm=group[1], validation_memo=memo)
+        return True, outcome.outcome_json(), None
+    except Exception as exc:  # noqa: BLE001 -- isolate the poisoned model
+        return False, _error_body(exc), None
+
+
+def facade_slice(
+    group: Tuple[str, ...], systems: List[Any]
+) -> List[PoolResult]:
+    """One slice of a serving batch, computed with the ambient memo."""
+    memo = worker_memo()
+    return [compute_one(group, system, memo) for system in systems]

@@ -1,0 +1,67 @@
+"""Execution-plane observability: the ``repro_exec_*`` instrument family.
+
+Every backend reports through these instruments, so chunk wall-time,
+crash containment, failover, and worker-memo efficiency are uniform
+properties of every parallel call site -- scraped by ``/v1/metrics``
+when a plan runs inside the daemon process, and assertable in tests via
+``Counter.value()``.
+
+Imported lazily by the backends (the obs registry pulls in the metrics
+module; serial CLI start-up shouldn't pay for it until a plan runs).
+"""
+
+from __future__ import annotations
+
+
+class ExecInstruments:
+    """Handle bundle over the process-wide registry (cheap to rebuild)."""
+
+    def __init__(self):
+        from repro.obs.metrics import default_registry
+
+        registry = default_registry()
+        self.task_seconds = registry.histogram(
+            "repro_exec_task_seconds",
+            "Wall time of one plan call, measured in the executing process",
+            labels=("plan", "backend"),
+        )
+        self.tasks_total = registry.counter(
+            "repro_exec_tasks_total",
+            "Plan calls finished, by outcome (computed | failover)",
+            labels=("plan", "backend", "outcome"),
+        )
+        self.failover_items_total = registry.counter(
+            "repro_exec_failover_items_total",
+            "Items recomputed in-process after a pool crash",
+            labels=("plan", "backend"),
+        )
+        self.worker_crashes_total = registry.counter(
+            "repro_exec_worker_crashes_total",
+            "Pool breakages observed (worker death, broken pipe)",
+            labels=("backend",),
+        )
+        self.pools_rebuilt_total = registry.counter(
+            "repro_exec_pools_rebuilt_total",
+            "Process pools torn down and re-forked after a crash",
+            labels=("backend",),
+        )
+        self.memo_hits_total = registry.counter(
+            "repro_exec_memo_hits_total",
+            "Worker-lifetime memo hits, attributed to the dispatching plan",
+            labels=("plan", "backend"),
+        )
+        self.memo_recomputations_total = registry.counter(
+            "repro_exec_memo_recomputations_total",
+            "Worker-lifetime memo misses actually recomputed, by plan",
+            labels=("plan", "backend"),
+        )
+
+
+_INSTRUMENTS = None
+
+
+def instruments() -> ExecInstruments:
+    global _INSTRUMENTS
+    if _INSTRUMENTS is None:
+        _INSTRUMENTS = ExecInstruments()
+    return _INSTRUMENTS

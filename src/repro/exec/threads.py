@@ -1,0 +1,18 @@
+"""Thread-dispatch helpers for execution-plane consumers.
+
+The only sanctioned home for ``concurrent.futures`` thread machinery
+outside the backends (the lint test bans the import elsewhere): the
+daemon's :class:`~repro.serve.batcher.MicroBatcher` obtains its single
+dispatch thread here, which keeps the "one dispatch thread, therefore
+coherent memo stat deltas" invariant stated next to its construction
+site enforced in one place.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def single_thread_executor(name: str) -> ThreadPoolExecutor:
+    """A one-thread executor; ``name`` prefixes the thread's name."""
+    return ThreadPoolExecutor(max_workers=1, thread_name_prefix=name)

@@ -18,13 +18,9 @@ This is the maximal-latency conservative line, visually matching the
 
 from __future__ import annotations
 
-import json
 import math
-import os
-import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional
 
 import numpy as np
 
@@ -100,60 +96,20 @@ def _bucket_period(h: float) -> float:
     return float(10.0 ** (round(math.log10(h) / step) * step))
 
 
-#: Environment variable naming a directory for the cross-process bound
-#: memo.  The sweep executor exports it (under its ``--cache-dir``) before
-#: forking workers: without it, every worker process of a parallel sweep
-#: rebuilds this cache from cold -- on few-core hosts that redundant work
-#: can exceed the parallel win.  One tiny JSON file per (plant, period
-#: bucket, delay fraction); writes are atomic (temp + rename), concurrent
-#: duplicate computation is harmless.
-KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE_DIR"
-
-
-def _disk_bound_path(
-    directory: str, plant_name: str, h_bucket: float, frac: float
-) -> str:
-    return os.path.join(
-        directory, f"bound-{plant_name}-{h_bucket:.9e}-{frac:.6f}.json"
-    )
-
-
-def _load_disk_bound(path: str) -> Optional[LinearStabilityBound]:
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-        return LinearStabilityBound(a=data["a"], b=data["b"])
-    except (OSError, ValueError, KeyError):
-        return None
-
-
-def _store_disk_bound(path: str, bound: LinearStabilityBound) -> None:
-    directory = os.path.dirname(path)
-    try:
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        with os.fdopen(fd, "w") as handle:
-            json.dump({"a": bound.a, "b": bound.b}, handle)
-        os.replace(tmp, path)
-    except OSError:
-        pass  # cache is an optimisation; never fail the analysis over it
+# The in-process ``lru_cache`` above each worker is the only cache tier:
+# worker-lifetime reuse across processes is the execution plane's job
+# (``repro.exec`` pool workers live for the whole run, so their caches
+# and analysis memos stay warm across every chunk they compute).  A
+# bespoke disk-backed cross-process memo used to live here; it was
+# retired when sweeps moved onto persistent pools.
 
 
 @lru_cache(maxsize=4096)
 def _cached_bound(plant_name: str, h_bucket: float, nominal_delay_frac: float) -> LinearStabilityBound:
     from repro.control.plants import get_plant
 
-    disk_dir = os.environ.get(KERNEL_CACHE_ENV)
-    if disk_dir:
-        path = _disk_bound_path(disk_dir, plant_name, h_bucket, nominal_delay_frac)
-        cached = _load_disk_bound(path)
-        if cached is not None:
-            return cached
     plant = get_plant(plant_name)
-    bound = _compute_bound(plant, h_bucket, nominal_delay_frac * h_bucket)
-    if disk_dir:
-        _store_disk_bound(path, bound)
-    return bound
+    return _compute_bound(plant, h_bucket, nominal_delay_frac * h_bucket)
 
 
 def _compute_bound(plant: Plant, h: float, nominal_delay: float) -> LinearStabilityBound:

@@ -212,6 +212,13 @@ class AnalysisMemo:
             for priority in priorities
         ]
         entries = self._entries(ids, hp_lists, counter)
+        return self._assemble_analysis(tasks, entries)
+
+    @staticmethod
+    def _assemble_analysis(
+        tasks: Sequence[Task], entries: Sequence[MemoEntry]
+    ) -> TasksetAnalysis:
+        """Build a :class:`TasksetAnalysis` from per-task memo entries."""
         times: Dict[str, ResponseTimes] = {}
         violating: List[str] = []
         for task, entry in zip(tasks, entries):
@@ -230,6 +237,111 @@ class AnalysisMemo:
             stable=not violating,
             violating=tuple(violating),
         )
+
+    def population_analysis(
+        self,
+        tasksets: Sequence[TaskSet],
+        counter: Optional[EvaluationCounter] = None,
+    ) -> List[TasksetAnalysis]:
+        """Memoised drop-in for :func:`repro.rta.popbatch.analyze_population`.
+
+        Semantically identical to calling :meth:`taskset_analysis` on
+        each set in order -- same results (bit-identical floats, by the
+        ``evaluate_problems`` pin), same counter totals (a subproblem
+        repeated across the population is a miss on first sight and a
+        hit on every repeat, exactly as sequential memoisation would
+        count it) -- but every first-sight miss across the *whole
+        population* rides one stacked kernel pass.  This is what keeps
+        the population-kernel tier intact when a worker-lifetime memo
+        is layered onto the batch analysis path.
+        """
+        from repro.rta.popbatch import evaluate_problems
+
+        if counter is None:
+            counter = EvaluationCounter()
+        per_set: List[Tuple[List[Task], List[int], List[List[int]]]] = []
+        for taskset in tasksets:
+            taskset.check_distinct_priorities()
+            tasks = list(taskset)
+            ids = self.intern_all(tasks)
+            priorities = [task.priority for task in tasks]
+            hp_lists = [
+                [ids[j] for j, other in enumerate(priorities) if other > priority]
+                for priority in priorities
+            ]
+            per_set.append((tasks, ids, hp_lists))
+
+        flat_tids = [tid for _, ids, _ in per_set for tid in ids]
+        flat_hp = [hp for _, _, hp_lists in per_set for hp in hp_lists]
+        keys = [
+            (tid, frozenset(hp)) for tid, hp in zip(flat_tids, flat_hp)
+        ]
+        n = len(keys)
+        bounded = self.max_entries is not None
+        entries: List[Optional[MemoEntry]] = [None] * n
+        hits = 0
+        misses: List[int] = []
+        first_at: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        pending: List[Tuple[int, int]] = []
+        with self._lock:
+            for i, key in enumerate(keys):
+                stored = self.memo.get(key)
+                if stored is not None:
+                    hits += 1
+                    if bounded:
+                        self.memo.move_to_end(key)
+                    entries[i] = stored
+                elif key in first_at:
+                    # Sequentially this would hit the entry the earlier
+                    # miss had just stored; count it as a hit and copy
+                    # the computed value once it exists.
+                    hits += 1
+                    pending.append((i, first_at[key]))
+                else:
+                    first_at[key] = i
+                    misses.append(i)
+            records = self._records
+            problems = [
+                (records[flat_tids[i]], [records[t] for t in flat_hp[i]])
+                for i in misses
+            ]
+        if misses:
+            kernel_start = time.perf_counter()
+            try:
+                computed = evaluate_problems(problems)
+            except Exception:
+                # A kernel error: replay the sequential enumeration so
+                # the exception -- and the counter state it leaves
+                # behind -- match the per-set path exactly (nothing was
+                # stored or ticked yet).
+                return [
+                    self.taskset_analysis(taskset, counter)
+                    for taskset in tasksets
+                ]
+            kernel_elapsed = time.perf_counter() - kernel_start
+        counter.count += n
+        counter.hits += hits
+        with self._lock:
+            self.total.count += n
+            self.total.hits += hits
+            if misses:
+                self.kernel_seconds += kernel_elapsed
+                for i, value in zip(misses, computed):
+                    stored = self.memo.setdefault(keys[i], value)
+                    entries[i] = stored
+                    if stored is value and bounded:
+                        while len(self.memo) > self.max_entries:
+                            self.memo.popitem(last=False)
+                            self.evictions += 1
+        for i, j in pending:
+            entries[i] = entries[j]
+        results: List[TasksetAnalysis] = []
+        offset = 0
+        for tasks, _, _ in per_set:
+            chunk = entries[offset : offset + len(tasks)]
+            offset += len(tasks)
+            results.append(self._assemble_analysis(tasks, chunk))
+        return results
 
     # -- evaluation core -----------------------------------------------------
     def _entry(

@@ -74,11 +74,18 @@ def _analytic_block(instance, record: Dict[str, Any]) -> Dict[str, Any]:
 
     Routed through the analysis façade; the record's slack convention for
     bound-less tasks (``inf``/``-inf`` by deadline) predates the façade
-    and is preserved for report compatibility.
+    and is preserved for report compatibility.  The ambient
+    execution-plane memo answers repeated ``(task, hp-set)`` queries
+    across a validation run's instances (bit-identical verdicts -- the
+    implicit deadline matches the memo kernels' ``limit = period``).
     """
+    from repro.exec.workerenv import worker_memo
+
     taskset = instance.analysis
     task = taskset.by_name(instance.control)
-    verdict = task_verdict(task, taskset.higher_priority(task))
+    verdict = task_verdict(
+        task, taskset.higher_priority(task), memo=worker_memo()
+    )
     times = verdict.times
     record["latency"] = float(verdict.latency)
     record["jitter"] = float(verdict.jitter)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from repro.exec.threads import single_thread_executor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -87,9 +87,7 @@ class MicroBatcher:
         # Python 3.9 (the oldest interpreter this package supports).
         self._queue: Optional["asyncio.Queue[Any]"] = None
         self._worker: Optional[asyncio.Task] = None
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-dispatch"
-        )
+        self._executor = single_thread_executor("repro-serve-dispatch")
         self._closing = False
         self.n_requests = 0
         self.n_batches = 0

@@ -53,7 +53,7 @@ scalar cost per request:
    ``X-Repro-Memo-Recomputations``) and aggregated in ``GET /v1/stats``
    under ``"memo"``.  ``--memo-entries 0`` disables the layer (the
    benchmark's memo-off baseline); with ``--jobs > 1`` model batches go
-   to the persistent worker pool (:mod:`repro.cluster.pool`) where each
+   to the persistent worker pool (:class:`repro.exec.PoolBackend`) where each
    worker owns its own worker-lifetime memo instead.
 
 Horizontal scaling (:mod:`repro.cluster`): ``--jobs N`` pools the
@@ -87,7 +87,7 @@ from repro.obs.window import summary_from_report_body
 from repro.search.strategies import STRATEGIES
 from repro.serve.batcher import MicroBatcher
 from repro.serve.store import ResultStore
-from repro.sweep import resolve_jobs
+from repro.exec import resolve_jobs
 from repro.sweep.result import canonical_json_with_hash
 
 _REASONS = {
@@ -155,17 +155,16 @@ class AnalysisDaemon:
         self.port = port
         self.jobs = resolve_jobs(jobs)
         self.cache_dir = cache_dir
-        #: ``jobs > 1``: model batches go to a long-lived pool of worker
-        #: processes (:mod:`repro.cluster.pool`) instead of per-batch
-        #: ``analyze_batch(jobs=N)`` pools; each worker then owns its own
-        #: worker-lifetime memo, so the daemon-level memo stays off.
+        #: ``jobs > 1``: model batches go to the execution plane's
+        #: long-lived :class:`~repro.exec.backends.PoolBackend` instead
+        #: of per-batch ``analyze_batch(jobs=N)`` pools; each worker then
+        #: owns its own worker-lifetime memo, so the daemon-level memo
+        #: stays off.
         self.pool = None
         if self.jobs > 1:
-            from repro.cluster.pool import ProcessPoolBackend
+            from repro.exec import PoolBackend
 
-            self.pool = ProcessPoolBackend(
-                self.jobs, memo_entries=memo_entries
-            )
+            self.pool = PoolBackend(self.jobs, memo_entries=memo_entries)
         #: Daemon-lifetime analysis memo: incremental recomputation for
         #: near-identical models.  ``memo_entries`` bounds the subproblem
         #: cache (LRU); ``0`` disables the layer.  Only consulted on the

@@ -36,6 +36,22 @@ def pid_worker(item: Any, params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     return {"pid": os.getpid()}
 
 
+def pool_crashing_worker(
+    item: Any, params: Dict[str, Any], seed: int
+) -> Dict[str, Any]:
+    """Worker that kills its own process on marked items -- but only
+    inside a pool worker, so the in-process failover recomputation
+    succeeds deterministically (crash-containment tests).
+    """
+    from repro.exec import in_worker
+
+    if item.get("boom") and in_worker():
+        import os
+
+        os._exit(17)
+    return {"value": item["index"] * 3, "index": item["index"]}
+
+
 def sentinel_string_worker(
     item: Any, params: Dict[str, Any], seed: int
 ) -> Dict[str, Any]:

@@ -2,18 +2,29 @@
 
 The execution model mirrors the alternating structure of the paper's
 experiments (generate -> analyze -> aggregate): items are split into
-chunks, each chunk is mapped through the spec's worker (in-process at
-``jobs=1``, in a ``concurrent.futures`` process pool otherwise), and the
-per-chunk record lists are concatenated in chunk order -- so aggregation
-order, and therefore the canonical output, is independent of completion
-order and job count.
+chunks, each chunk becomes one call of an execution-plane
+:class:`~repro.exec.plan.ExecutionPlan`, and the per-chunk record lists
+are concatenated in chunk order -- so aggregation order, and therefore
+the canonical output, is independent of completion order, job count,
+and backend choice.
 
-Cache/resume: with a ``cache_dir``, every computed chunk is written to its
-own JSON file keyed by the spec fingerprint; a resumed run loads matching
-chunk files instead of recomputing them, which turns a killed 10k-benchmark
-sweep into a warm restart.  Worker failures are propagated as
-:class:`SweepError` naming the chunk and the original exception -- never
-swallowed, never partially aggregated.
+Dispatch is delegated to :mod:`repro.exec`: ``jobs=1`` (or a single
+pending chunk) runs on the shared :class:`~repro.exec.backends.
+SerialBackend`; ``jobs=N`` on the shared persistent
+:class:`~repro.exec.backends.PoolBackend`, whose workers keep a
+worker-lifetime analysis memo warm across chunks *and across sweeps* in
+the same process, and whose crash containment recomputes lost chunks
+in-process instead of failing the run.  The population-kernel tier gate
+is resolved here, at plan construction, and forwarded as a plan env
+override -- persistent workers forked before a tier toggle still honour
+the caller's setting.
+
+Cache/resume: with a ``cache_dir``, every computed chunk is written to
+its own JSON file keyed by the spec fingerprint; a resumed run loads
+matching chunk files instead of recomputing them, which turns a killed
+10k-benchmark sweep into a warm restart.  Worker failures are propagated
+as :class:`SweepError` naming the chunk and the original exception --
+never swallowed, never partially aggregated.
 """
 
 from __future__ import annotations
@@ -23,7 +34,8 @@ import os
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.exec.jobs import ExecError, resolve_jobs
+from repro.exec.plan import ExecutionPlan, TaskFailed
 from repro.sweep.result import (
     SweepResult,
     atomic_write_text,
@@ -32,73 +44,19 @@ from repro.sweep.result import (
 )
 from repro.sweep.spec import SweepChunkWorker, SweepSpec, SweepWorker
 
+__all__ = ["SweepError", "resolve_jobs", "run_sweep"]
+
 #: Cache file schema version (independent of the artifact format).
 _CACHE_FORMAT = 1
 
-# Exported to workers (and the serial path) when a ``cache_dir`` is
-# given: a directory for cross-process kernel memos (the jitter-margin
-# stability bounds).  Forked workers would otherwise each rebuild those
-# expensive caches from cold.
-from repro.jittermargin.linearbound import KERNEL_CACHE_ENV
 
+class SweepError(ExecError):
+    """A sweep could not complete (worker failure or bad cache state).
 
-class _kernel_cache_env:
-    """Context manager exporting the kernel-memo directory to children."""
-
-    def __init__(self, cache_dir: Optional[str]):
-        self.value = (
-            os.path.join(cache_dir, "kernels") if cache_dir else None
-        )
-        self.previous: Optional[str] = None
-
-    def __enter__(self) -> None:
-        if self.value is not None:
-            self.previous = os.environ.get(KERNEL_CACHE_ENV)
-            os.environ[KERNEL_CACHE_ENV] = self.value
-
-    def __exit__(self, *exc_info) -> None:
-        if self.value is not None:
-            if self.previous is None:
-                os.environ.pop(KERNEL_CACHE_ENV, None)
-            else:
-                os.environ[KERNEL_CACHE_ENV] = self.previous
-
-
-class SweepError(ReproError):
-    """A sweep could not complete (worker failure or bad cache state)."""
-
-
-def resolve_jobs(jobs) -> int:
-    """Resolve a job-count request to a concrete worker count.
-
-    ``None``, ``0`` and ``"auto"`` (case-insensitive) resolve to
-    ``os.cpu_count()`` so multi-core hosts scale without hand-tuning;
-    positive integers pass through; anything else is a :class:`SweepError`.
-    Non-integral numbers are rejected rather than truncated -- a script
-    passing ``--jobs 1.5`` gets an error, not a silent serial run.
+    Subclasses :class:`~repro.exec.jobs.ExecError`: a sweep failure *is*
+    an execution-plane failure, named in sweep vocabulary (sweep name
+    and chunk index instead of plan name and call index).
     """
-    if jobs is None:
-        return os.cpu_count() or 1
-    if isinstance(jobs, str):
-        if jobs.strip().lower() == "auto":
-            return os.cpu_count() or 1
-        try:
-            jobs = int(jobs)
-        except ValueError:
-            raise SweepError(
-                f"jobs must be a positive integer, 0, or 'auto'; got {jobs!r}"
-            ) from None
-    if isinstance(jobs, float):
-        if not jobs.is_integer():
-            raise SweepError(
-                f"jobs must be a whole number of workers, got {jobs!r}"
-            )
-        jobs = int(jobs)
-    if jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise SweepError(f"jobs must be >= 0 (0 = auto), got {jobs}")
-    return int(jobs)
 
 
 def _execute_chunk(
@@ -213,22 +171,29 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    backend=None,
 ) -> SweepResult:
     """Execute the sweep and return the aggregated result.
 
     Parameters
     ----------
     jobs:
-        ``1`` runs chunks in-process (no pool, no pickling); ``N > 1``
-        uses a :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
-        workers; ``0``, ``None`` or ``"auto"`` resolve to
-        ``os.cpu_count()`` (see :func:`resolve_jobs`).  The records are
-        identical at every level -- that is the engine's core guarantee,
-        enforced by the determinism tests.
+        ``1`` dispatches chunks on the shared serial backend (no pool,
+        no pickling); ``N > 1`` on the shared persistent pool backend
+        with ``N`` workers; ``0``, ``None`` or ``"auto"`` resolve to
+        ``os.cpu_count()`` (see :func:`repro.exec.resolve_jobs`).  The
+        records are identical at every level -- that is the engine's
+        core guarantee, enforced by the determinism tests.
     cache_dir:
         Directory for per-chunk cache files.  Computed chunks are always
         stored when given; ``resume=True`` additionally *loads* chunks
         whose fingerprint matches instead of recomputing them.
+    backend:
+        Explicit execution backend (anything with the
+        :meth:`~repro.exec.backends._Backend.run_iter` contract),
+        overriding job-count selection.  Used by tests to pin a sweep
+        to a specific pool instance (crash injection, byte-identity
+        across backends).
     """
     jobs = resolve_jobs(jobs)
     fingerprint = spec.fingerprint()
@@ -283,61 +248,57 @@ def run_sweep(
                 records,
             )
 
-    if jobs == 1 or len(pending) <= 1:
-        with _kernel_cache_env(cache_dir):
-            for chunk_index, indexed_items in pending:
-                try:
-                    seconds, records = _execute_chunk(
-                        spec.worker,
-                        chunk_index,
-                        indexed_items,
-                        spec.params,
-                        spec.seed,
-                        spec.chunk_worker,
-                    )
-                except Exception as exc:
-                    raise SweepError(
-                        f"sweep {spec.name!r}: chunk {chunk_index} failed: {exc!r}"
-                    ) from exc
-                finish_chunk(chunk_index, seconds, records)
-    else:
-        # Imported here rather than at module level: the serial path (and
-        # every jobs=1 CLI run) never touches multiprocessing, and the
-        # concurrent.futures/multiprocessing import chain is a measurable
-        # slice of interpreter start-up.
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+    # Tier gates are resolved *here*, at plan construction, and forwarded
+    # as a plan env override: a persistent pool worker forked before the
+    # caller toggled the population kernel still computes this sweep under
+    # the caller's setting.
+    from repro.tiers import POPULATION_KERNEL_ENV, resolve_population_flag
 
-        with _kernel_cache_env(cache_dir), ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(
-                    _execute_chunk,
-                    spec.worker,
-                    chunk_index,
-                    indexed_items,
-                    spec.params,
-                    spec.seed,
-                    spec.chunk_worker,
-                ): chunk_index
-                for chunk_index, indexed_items in pending
-            }
-            try:
-                # Finish (and cache) chunks as they complete, so a killed
-                # or failing run leaves every completed chunk on disk for
-                # --resume -- same incremental behavior as the serial path.
-                for future in as_completed(futures):
-                    chunk_index = futures[future]
-                    try:
-                        seconds, records = future.result()
-                    except Exception as exc:
-                        raise SweepError(
-                            f"sweep {spec.name!r}: chunk {chunk_index} "
-                            f"failed: {exc!r}"
-                        ) from exc
-                    finish_chunk(chunk_index, seconds, records)
-            except SweepError:
-                for future in futures:
-                    future.cancel()
-                raise
+    plan = ExecutionPlan(
+        name=f"sweep-{spec.name}",
+        fn=_execute_chunk,
+        calls=tuple(
+            (
+                spec.worker,
+                chunk_index,
+                indexed_items,
+                spec.params,
+                spec.seed,
+                spec.chunk_worker,
+            )
+            for chunk_index, indexed_items in pending
+        ),
+        weights=tuple(len(items) for _, items in pending),
+        env=(
+            (
+                POPULATION_KERNEL_ENV,
+                "on" if resolve_population_flag(None) else "off",
+            ),
+        ),
+    )
+
+    if backend is None:
+        # A single pending chunk gains nothing from a pool; keep the
+        # historical serial fast path for it.
+        from repro.exec.backends import backend_for_jobs
+
+        backend = backend_for_jobs(
+            1 if (jobs == 1 or len(pending) <= 1) else jobs
+        )
+
+    try:
+        # Finish (and cache) chunks as they complete, so a killed or
+        # failing run leaves every completed chunk on disk for --resume.
+        for position, outcome in backend.run_iter(plan):
+            chunk_index = pending[position][0]
+            seconds, records = outcome.result
+            finish_chunk(chunk_index, seconds, records)
+    except TaskFailed as failure:
+        chunk_index = pending[failure.index][0]
+        cause = failure.__cause__
+        raise SweepError(
+            f"sweep {spec.name!r}: chunk {chunk_index} failed: {cause!r}"
+        ) from cause
 
     records = [
         record
@@ -347,6 +308,7 @@ def run_sweep(
     elapsed = time.perf_counter() - start
     meta = {
         "jobs": jobs,
+        "backend": backend.kind,
         "elapsed_seconds": elapsed,
         "n_items": spec.n_items,
         "n_chunks": len(chunk_list),

@@ -1,0 +1,90 @@
+"""Crash containment outside the daemon: kill workers mid-run.
+
+Satellite contract: a worker death mid-sweep and mid-scenario-validation
+must leave the run complete, with ``failover_items > 0`` and a canonical
+sha identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.exec import PoolBackend
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep._testing import pool_crashing_worker
+
+pytestmark = pytest.mark.sweep
+
+
+class TestSweepFailover:
+    def _spec(self):
+        # Two marked items in different chunks: at least one pool worker
+        # dies mid-sweep; the in-process rerun (in_worker() is False)
+        # computes the same records deterministically.
+        return SweepSpec(
+            name="crashy",
+            worker=pool_crashing_worker,
+            items=tuple(
+                {"index": i, "boom": i in (2, 7)} for i in range(10)
+            ),
+            seed=3,
+            chunk_size=2,
+        )
+
+    def test_worker_death_mid_sweep_completes_with_failover(self):
+        serial = run_sweep(self._spec(), jobs=1)
+        backend = PoolBackend(2, memo_entries=0)
+        try:
+            survived = run_sweep(self._spec(), backend=backend)
+        finally:
+            backend.close()
+        assert survived.canonical_sha256() == serial.canonical_sha256()
+        assert backend.failover_items > 0
+        assert backend.worker_crashes >= 1
+        assert backend.pools_rebuilt >= 1
+
+    def test_backend_usable_after_crash(self):
+        backend = PoolBackend(2, memo_entries=0)
+        try:
+            run_sweep(self._spec(), backend=backend)
+            crashes = backend.worker_crashes
+            clean = SweepSpec(
+                name="clean",
+                worker=pool_crashing_worker,
+                items=tuple({"index": i} for i in range(6)),
+                seed=3,
+                chunk_size=2,
+            )
+            serial = run_sweep(clean, jobs=1)
+            after = run_sweep(clean, backend=backend)
+            assert after.canonical_sha256() == serial.canonical_sha256()
+            # The rebuilt pool computed the clean sweep without failover.
+            assert backend.worker_crashes == crashes
+        finally:
+            backend.close()
+
+
+class TestScenarioValidationFailover:
+    @pytest.mark.scenario
+    def test_sigkill_mid_validation_sha_unchanged(self):
+        from repro.scenarios.validate import sweep_spec
+
+        spec = sweep_spec(
+            scenario="smoke_single_loop", instances=6, horizon_periods=30,
+            chunk_size=1,
+        )
+        serial = run_sweep(spec, jobs=1)
+        backend = PoolBackend(2, memo_entries=0)
+        try:
+            # Kill a live worker, then dispatch: futures already queued
+            # to the broken pool fail over to in-process computation.
+            os.kill(backend.worker_pids()[0], signal.SIGKILL)
+            survived = run_sweep(spec, backend=backend)
+        finally:
+            backend.close()
+        assert survived.canonical_sha256() == serial.canonical_sha256()
+        assert backend.failover_items > 0
+        assert backend.worker_crashes >= 1

